@@ -1,0 +1,48 @@
+"""Figure 3 — GPU data transfer activity in bytes (lower is better).
+
+Regenerates the per-application HtoD/DtoH byte series for the three
+variants and checks the paper's headline reduction factors (shape, not
+absolute bytes — our problem sizes are reduced).
+"""
+
+import pytest
+
+from repro.report import figure3
+from repro.suite import BENCHMARK_ORDER, get_benchmark, run_benchmark
+
+# Paper section VI: unoptimized/OMPDart byte ratios.  We assert the same
+# order of magnitude at our reduced problem sizes.
+PAPER_RATIOS = {
+    "ace": 1010, "accuracy": 400, "backprop": 2, "clenergy": 65,
+    "bfs": 23, "hotspot": 1.2, "nw": 2, "xsbench": 20,
+}
+
+
+def test_figure3_regenerates(evaluation_runs, capsys):
+    series, text = figure3(evaluation_runs)
+    assert set(series) == set(BENCHMARK_ORDER)
+    for per in series.values():
+        assert per["OMPDart"]["HtoD"] <= per["Unoptimized"]["HtoD"]
+        assert per["OMPDart"]["DtoH"] <= per["Unoptimized"]["DtoH"]
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_reduction_factors_track_paper(evaluation_runs):
+    for name, paper_x in PAPER_RATIOS.items():
+        measured = evaluation_runs[name].transfer_reduction_x
+        # within one order of magnitude of the paper's factor
+        assert measured >= paper_x / 10, (name, measured, paper_x)
+
+
+def test_tool_never_exceeds_expert_bytes(evaluation_runs):
+    for name, run in evaluation_runs.items():
+        assert run.ompdart.stats.total_bytes <= run.expert.stats.total_bytes, name
+
+
+@pytest.mark.parametrize("name", ["accuracy", "bfs", "lulesh"])
+def test_bench_three_variant_simulation(benchmark, name):
+    benchmark.pedantic(
+        run_benchmark, args=(name,), kwargs={"verify": True},
+        rounds=1, iterations=1,
+    )

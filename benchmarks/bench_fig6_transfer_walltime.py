@@ -1,0 +1,42 @@
+"""Figure 6 — improvements in data-transfer wall time over unoptimized.
+
+Regenerates the transfer-time series; checks the paper's shape: large
+improvements everywhere, OMPDart >= expert (equal except lulesh, where
+the expert's redundant updates cost ~20x).
+"""
+
+from repro.report import figure6
+from repro.suite import BENCHMARK_ORDER, geometric_mean
+
+
+def test_figure6_regenerates(evaluation_runs, capsys):
+    series, text = figure6(evaluation_runs)
+    assert set(series) == set(BENCHMARK_ORDER)
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_transfer_time_improves_everywhere(evaluation_runs):
+    for name, run in evaluation_runs.items():
+        assert run.transfer_time_improvement_x >= 1.0, name
+
+
+def test_geomean_improvements(evaluation_runs):
+    tool = geometric_mean(
+        [r.transfer_time_improvement_x for r in evaluation_runs.values()]
+    )
+    expert = geometric_mean(
+        [r.expert_transfer_time_improvement_x for r in evaluation_runs.values()]
+    )
+    # paper: 5.1x (OMPDart) vs 4.2x (expert)
+    assert tool >= expert
+    assert tool > 2.0
+
+
+def test_lulesh_expert_pays_for_redundant_updates(evaluation_runs):
+    run = evaluation_runs["lulesh"]
+    tool_vs_expert = (
+        run.expert.stats.transfer_time_s / run.ompdart.stats.transfer_time_s
+    )
+    # paper: ~20x transfer-time advantage for the tool on lulesh
+    assert tool_vs_expert > 3.0

@@ -1,0 +1,48 @@
+"""Table I — AST nodes recognized as offload kernels.
+
+Regenerates the table and benchmarks directive recognition over a
+source containing every Table I directive.
+"""
+
+from repro.frontend import ast_nodes as A
+from repro.frontend import parse_source
+from repro.frontend.ast_nodes import OFFLOAD_KERNEL_DIRECTIVES
+from repro.report import table1
+
+
+def _source_with_all_directives() -> str:
+    body = ["int a[8];", "int main() {"]
+    for spelling in OFFLOAD_KERNEL_DIRECTIVES.values():
+        pragma = "#pragma " + spelling
+        body.append(pragma)
+        body.append("for (int i = 0; i < 8; i++) a[i] = i;")
+    body.append("return 0;")
+    body.append("}")
+    return "\n".join(body)
+
+
+def test_table1_regenerates(capsys):
+    text = table1()
+    assert "OMPTargetDirective" in text
+    assert "omp target teams distribute parallel for simd" in text
+    assert len(text.strip().splitlines()) == 12 + 2  # rows + header + rule
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_all_table1_directives_recognized():
+    tu = parse_source(_source_with_all_directives(), "all_directives.c")
+    kernels = [n for n in tu.walk() if A.is_offload_kernel(n)]
+    assert len(kernels) == len(OFFLOAD_KERNEL_DIRECTIVES)
+    assert {type(k) for k in kernels} == set(OFFLOAD_KERNEL_DIRECTIVES)
+
+
+def test_bench_directive_recognition(benchmark):
+    src = _source_with_all_directives()
+
+    def parse_and_count():
+        tu = parse_source(src, "bench.c")
+        return sum(1 for n in tu.walk() if A.is_offload_kernel(n))
+
+    count = benchmark(parse_and_count)
+    assert count == 12

@@ -1,0 +1,36 @@
+"""Table III — the nine evaluation programs.
+
+Regenerates the table and benchmarks parsing of the whole suite.
+"""
+
+from repro.frontend import parse_source
+from repro.report import table3
+from repro.suite import BENCHMARK_ORDER, get_benchmark
+
+
+def test_table3_regenerates(capsys):
+    text = table3()
+    for name in BENCHMARK_ORDER:
+        assert name in text
+    assert "Rodinia" in text and "HeCBench" in text
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_every_program_parses_both_variants():
+    for name in BENCHMARK_ORDER:
+        bench = get_benchmark(name)
+        parse_source(bench.unoptimized_source(), f"{name}_unoptimized.c")
+        parse_source(bench.expert_source(), f"{name}_expert.c")
+
+
+def test_bench_parse_suite(benchmark):
+    sources = [
+        get_benchmark(name).unoptimized_source() for name in BENCHMARK_ORDER
+    ]
+
+    def parse_all():
+        return [parse_source(s, "b.c") for s in sources]
+
+    tus = benchmark(parse_all)
+    assert len(tus) == 9

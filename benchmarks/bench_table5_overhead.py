@@ -1,0 +1,44 @@
+"""Table V — OMPDart tool execution time per benchmark.
+
+This is the paper's tool-overhead measurement (their average was 0.29 s,
+with lulesh the largest at 1.35 s).  pytest-benchmark measures our tool
+on each application's unoptimized source.
+"""
+
+import pytest
+
+from repro.core import OMPDart
+from repro.report import table5
+from repro.suite import BENCHMARK_ORDER, get_benchmark
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+def test_bench_tool_execution_time(benchmark, name):
+    source = get_benchmark(name).unoptimized_source()
+    tool = OMPDart()
+    result = benchmark(tool.run, source, f"{name}.c")
+    assert result.plans, "tool must produce a plan for every benchmark"
+
+
+def test_table5_regenerates(capsys):
+    tool = OMPDart()
+    timings = {}
+    for name in BENCHMARK_ORDER:
+        res = tool.run(get_benchmark(name).unoptimized_source(), f"{name}.c")
+        timings[name] = res.elapsed_seconds
+    text = table5(timings)
+    assert "lulesh" in text and "(average)" in text
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_lulesh_is_the_slowest_to_analyze():
+    # Paper: lulesh, with 15 kernels, had the greatest overhead.
+    tool = OMPDart()
+    timings = {
+        name: tool.run(
+            get_benchmark(name).unoptimized_source(), f"{name}.c"
+        ).elapsed_seconds
+        for name in BENCHMARK_ORDER
+    }
+    assert max(timings, key=timings.get) == "lulesh"

@@ -1,0 +1,15 @@
+"""Shared fixtures for the evaluation harness.
+
+The nine-application, three-variant simulation sweep is the expensive
+part, so it runs once per session and feeds Figures 3-6.
+"""
+
+import pytest
+
+from repro.suite import run_all
+
+
+@pytest.fixture(scope="session")
+def evaluation_runs():
+    """All nine benchmarks, three variants each, outputs verified."""
+    return run_all(verify=True)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Inspect the hybrid AST-CFG representation (paper Fig. 2 + Listing 5).
+
+Dumps the Clang-style AST of the paper's Listing 4 (compare with the
+paper's Listing 5), then prints the DOT rendering of the hybrid AST-CFG
+for the paper's Fig. 2 example function.
+
+Run:  python examples/ast_cfg_visualization.py > astcfg.dot
+      (the last section is valid Graphviz input)
+"""
+
+from repro.cfg import ASTCFG, astcfg_to_dot
+from repro.frontend import dump_ast, parse_source
+
+LISTING4 = """\
+#define N 100
+int main() {
+  int a[N];
+  #pragma omp target teams distribute \\
+      parallel for
+  for (int i = 0; i < N/2; i++) {
+    a[i] = i;
+  }
+  return 0;
+}
+"""
+
+FIG2 = """\
+int bar(int a[]);
+int foo(int a[]) {
+  int x = bar(a);
+  if (x > 0) {
+    a[x] = 0;
+  }
+  return x;
+}
+"""
+
+print("// === paper Listing 5: Clang-style AST dump of Listing 4 ===")
+tu = parse_source(LISTING4, "listing4.c")
+for line in dump_ast(tu).splitlines():
+    print("//", line)
+
+print("//")
+print("// === paper Fig. 2: hybrid AST-CFG of foo() ===")
+tu2 = parse_source(FIG2, "fig2.c")
+astcfg = ASTCFG(tu2.lookup_function("foo"))
+print("//", astcfg)
+print("// offloaded nodes:", len(astcfg.cfg.offloaded_nodes()))
+print(astcfg_to_dot(astcfg))

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The paper's headline result: OMPDart beats the expert on LULESH.
+
+"OMPDart generated mappings significantly outperformed the expert-
+defined mappings in lulesh, achieving a speedup of 1.6x and a reduction
+in data transfer of over 23GB ... primarily attributed to the inclusion
+of several redundant update directives in the expert implementation."
+
+This example runs all three LULESH variants through the simulator,
+prints the nsys-style profile, and shows the tool-vs-expert factors the
+paper reports (HtoD 7.4x, DtoH 5.1x, ~85% transfer reduction, 1.6x).
+
+Run:  python examples/lulesh_case_study.py
+"""
+
+from repro.suite import run_benchmark
+
+run = run_benchmark("lulesh")
+run.verify()
+
+print("LULESH 2.0 case study (reduced 1-D mesh, 15 kernels per step)")
+print("=" * 72)
+(plan,) = run.transform.plans
+print(f"tool-mapped variables: {len(plan.maps)}  "
+      f"firstprivate clauses: {len(plan.firstprivates)}  "
+      f"in-loop updates: {len(plan.updates)} (expert carries redundant ones)")
+
+print("\nSimulated nsys profile:")
+header = f"  {'variant':12s} {'HtoD calls':>10s} {'HtoD bytes':>11s} " \
+         f"{'DtoH calls':>10s} {'DtoH bytes':>11s} {'model time':>11s}"
+print(header)
+for label, sim in (
+    ("unoptimized", run.unoptimized),
+    ("OMPDart", run.ompdart),
+    ("expert", run.expert),
+):
+    s = sim.stats
+    print(f"  {label:12s} {s.h2d_calls:10d} {s.h2d_bytes:11d} "
+          f"{s.d2h_calls:10d} {s.d2h_bytes:11d} {s.total_time_s * 1e3:9.2f}ms")
+
+t, e = run.ompdart.stats, run.expert.stats
+print("\nOMPDart vs expert (paper values in parentheses):")
+print(f"  HtoD byte reduction: {e.h2d_bytes / t.h2d_bytes:.1f}x   (7.4x)")
+print(f"  DtoH byte reduction: {e.d2h_bytes / t.d2h_bytes:.1f}x   (5.1x)")
+print(f"  total transfer cut:  {100 * (1 - t.total_bytes / e.total_bytes):.0f}%"
+      "    (85%)")
+print(f"  speedup over expert: {t.speedup_over(e):.2f}x  (1.6x)")
+print(f"\nprogram output (all three variants identical):\n"
+      f"  {run.ompdart.output.strip()}")

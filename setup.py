@@ -1,0 +1,4 @@
+"""Shim so legacy `python setup.py develop` works where `wheel` is absent."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — reproduction of OMPDart (SC24).
+
+"Static Generation of Efficient OpenMP Offload Data Mappings",
+Marzen, Dutta, Jannesari; SC24.
+
+The package provides:
+
+* ``repro.frontend`` — a mini-C + OpenMP frontend (Clang substitute)
+* ``repro.cfg`` — per-function CFGs and the hybrid AST-CFG
+* ``repro.analysis`` — the paper's static analyses (sections IV-B..IV-E)
+* ``repro.core`` — the OMPDart tool itself
+* ``repro.rewrite`` — source rewriting (section IV-F)
+* ``repro.runtime`` — simulated OpenMP offload runtime + profiler
+* ``repro.suite`` — the nine evaluation benchmarks (section V)
+* ``repro.report`` — generators for every table and figure (section VI)
+"""
+
+from ._version import __version__  # noqa: F401
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    """Lazy top-level conveniences to keep import time low."""
+    if name == "OMPDart":
+        from .core.tool import OMPDart
+
+        return OMPDart
+    if name == "transform_source":
+        from .core.tool import transform_source
+
+        return transform_source
+    if name == "parse_source":
+        from .frontend import parse_source
+
+        return parse_source
+    if name == "dump_ast":
+        from .frontend import dump_ast
+
+        return dump_ast
+    if name == "run_simulation":
+        from .runtime.interp import run_simulation
+
+        return run_simulation
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,48 @@
+"""OMPDart's static analyses (paper sections IV-B through IV-E)."""
+
+from .access import Access, AccessKind, collect_accesses, summarize  # noqa: F401
+from .alias import (  # noqa: F401
+    MemoryObject,
+    PointsToResult,
+    analyze_function,
+    verify_disambiguation,
+)
+from .bounds import (  # noqa: F401
+    Interval,
+    LoopBounds,
+    eval_interval,
+    find_indexing_var,
+    find_update_insert_loc,
+    infer_access_range,
+    loop_bounds,
+)
+from .effects import FunctionSummary, InterproceduralAnalysis, owned_exprs  # noqa: F401
+from .liveness import LivenessAnalysis, LivenessResult, escaping_variables  # noqa: F401
+from .placement import (  # noqa: F401
+    Placement,
+    PlacementAnalysis,
+    PlacementKind,
+    UpdatePosition,
+)
+from .validity import (  # noqa: F401
+    Direction,
+    Space,
+    TransferNeed,
+    ValidityAnalysis,
+    ValidityResult,
+    VarFacts,
+    VarState,
+    variables_of_interest,
+)
+
+__all__ = [
+    "Access", "AccessKind", "collect_accesses", "summarize",
+    "MemoryObject", "PointsToResult", "analyze_function", "verify_disambiguation",
+    "Interval", "LoopBounds", "eval_interval", "find_indexing_var",
+    "find_update_insert_loc", "infer_access_range", "loop_bounds",
+    "FunctionSummary", "InterproceduralAnalysis", "owned_exprs",
+    "LivenessAnalysis", "LivenessResult", "escaping_variables",
+    "Placement", "PlacementAnalysis", "PlacementKind", "UpdatePosition",
+    "Direction", "Space", "TransferNeed", "ValidityAnalysis", "ValidityResult",
+    "VarFacts", "VarState", "variables_of_interest",
+]

@@ -1,0 +1,313 @@
+"""Array access pattern analysis (paper section IV-E).
+
+Extends the compile-time bounds algorithm of Guo et al. (which OMPDart
+builds on) to multi-dimensional arrays and nested loops:
+
+* :func:`loop_bounds` — recover (index variable, lower, upper, step)
+  from a ``ForStmt``'s init/cond/inc triple, exactly the Listing 4/5
+  walk-through in the paper;
+* :func:`infer_access_range` — interval evaluation of a subscript
+  expression under known loop bounds (the Guo et al. unused-segment
+  filter, extended to nested loops);
+* :func:`find_update_insert_loc` — the paper's Algorithm 1: the
+  outermost enclosing loop whose induction variable feeds the array
+  subscript, bounded below by ``loc_lim`` (end of the preceding kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend import ast_nodes as A
+from ..frontend.parser import fold_integer_constant
+from ..frontend.visitor import referenced_var_names
+
+
+@dataclass(frozen=True)
+class LoopBounds:
+    """Inferred iteration space of a ``for`` loop."""
+
+    index_var: str
+    #: Inclusive lower bound, when constant.
+    lower: int | None
+    #: Inclusive upper bound, when constant (cond bound minus the
+    #: off-by-one, as the paper describes for ``<``).
+    upper: int | None
+    step: int
+    #: The loop this was inferred from.
+    stmt: A.ForStmt
+
+    @property
+    def trip_count(self) -> int | None:
+        """Number of iterations; ``lower``/``upper`` are normalized so
+        ``lower <= upper`` for non-empty loops of either direction."""
+        if self.lower is None or self.upper is None or self.step == 0:
+            return None
+        span = self.upper - self.lower
+        if span < 0:
+            return 0
+        return span // abs(self.step) + 1
+
+
+def find_indexing_var(for_stmt: A.ForStmt) -> str | None:
+    """The paper's ``findIndexingVar``: the loop's induction variable.
+
+    Recognized iteration statements: ``i++ ++i i-- --i i += c i -= c
+    i = i + c  i = i - c``.  Returns None when the shape is too complex
+    ("this analysis may be impeded if ... any of these statements are
+    overly complex").
+    """
+    inc = for_stmt.inc
+    if inc is None:
+        return None
+    inc = _strip(inc)
+    if isinstance(inc, A.UnaryOperator) and inc.op in ("++", "--"):
+        target = _strip(inc.operand)
+        if isinstance(target, A.DeclRefExpr):
+            return target.name
+        return None
+    if isinstance(inc, A.BinaryOperator) and inc.op in ("+=", "-="):
+        target = _strip(inc.lhs)
+        if isinstance(target, A.DeclRefExpr):
+            return target.name
+        return None
+    if isinstance(inc, A.BinaryOperator) and inc.op == "=":
+        target = _strip(inc.lhs)
+        rhs = _strip(inc.rhs)
+        if (
+            isinstance(target, A.DeclRefExpr)
+            and isinstance(rhs, A.BinaryOperator)
+            and rhs.op in ("+", "-")
+        ):
+            for side in (rhs.lhs, rhs.rhs):
+                side = _strip(side)
+                if isinstance(side, A.DeclRefExpr) and side.name == target.name:
+                    return target.name
+    return None
+
+
+def _strip(expr: A.Expr) -> A.Expr:
+    while isinstance(expr, A.ParenExpr):
+        expr = expr.inner
+    return expr
+
+
+def _step_of(inc: A.Expr, var: str) -> int:
+    inc = _strip(inc)
+    if isinstance(inc, A.UnaryOperator):
+        return 1 if inc.op == "++" else -1
+    if isinstance(inc, A.BinaryOperator) and inc.op in ("+=", "-="):
+        step = fold_integer_constant(inc.rhs)
+        if step is None:
+            return 0
+        return step if inc.op == "+=" else -step
+    if isinstance(inc, A.BinaryOperator) and inc.op == "=":
+        rhs = _strip(inc.rhs)
+        if isinstance(rhs, A.BinaryOperator):
+            const = None
+            for side in (rhs.lhs, rhs.rhs):
+                folded = fold_integer_constant(side)
+                if folded is not None:
+                    const = folded
+            if const is not None:
+                return const if rhs.op == "+" else -const
+    return 0
+
+
+def _initial_value(for_stmt: A.ForStmt, var: str) -> int | None:
+    init = for_stmt.init
+    if init is None:
+        return None
+    if isinstance(init, A.DeclStmt):
+        for decl in init.decls:
+            if decl.name == var and decl.init is not None:
+                return fold_integer_constant(decl.init)
+        return None
+    if isinstance(init, A.ExprStmt):
+        expr = _strip(init.expr)
+        if isinstance(expr, A.BinaryOperator) and expr.op == "=":
+            lhs = _strip(expr.lhs)
+            if isinstance(lhs, A.DeclRefExpr) and lhs.name == var:
+                return fold_integer_constant(expr.rhs)
+    return None
+
+
+def loop_bounds(for_stmt: A.ForStmt) -> LoopBounds | None:
+    """Infer the loop's iteration space; None when the shape is opaque.
+
+    The paper's example: ``for (int i = 0; i < 100/2; i++)`` yields
+    lower 0 and upper ``100/2 - 1`` — "subtracting 1 to avoid an
+    off-by-one error".
+    """
+    var = find_indexing_var(for_stmt)
+    if var is None or for_stmt.cond is None:
+        return None
+    step = _step_of(for_stmt.inc, var)
+    if step == 0:
+        return None
+    lower = _initial_value(for_stmt, var)
+
+    cond = _strip(for_stmt.cond)
+    if not isinstance(cond, A.BinaryOperator):
+        return None
+    lhs, rhs = _strip(cond.lhs), _strip(cond.rhs)
+    op = cond.op
+    # Normalize so the induction variable is on the left-hand side.
+    if isinstance(rhs, A.DeclRefExpr) and rhs.name == var:
+        lhs, rhs = rhs, lhs
+        op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+    if not (isinstance(lhs, A.DeclRefExpr) and lhs.name == var):
+        return None
+    bound = fold_integer_constant(rhs)
+
+    if step > 0:
+        if op == "<":
+            upper = None if bound is None else bound - 1
+            return LoopBounds(var, lower, upper, step, for_stmt)
+        if op == "<=":
+            return LoopBounds(var, lower, bound, step, for_stmt)
+        if op == "!=":
+            upper = None if bound is None else bound - step
+            return LoopBounds(var, lower, upper, step, for_stmt)
+        return None
+    # Decreasing loop: `lower` from the init is actually the top.
+    if op == ">":
+        bottom = None if bound is None else bound + 1
+        return LoopBounds(var, bottom if bottom is not None else None, lower, step, for_stmt)
+    if op == ">=":
+        return LoopBounds(var, bound, lower, step, for_stmt)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Interval evaluation of subscript expressions (Guo et al., extended)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Interval:
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+
+def _iv(*values: int) -> Interval:
+    return Interval(min(values), max(values))
+
+
+def eval_interval(expr: A.Expr, env: dict[str, Interval]) -> Interval | None:
+    """Interval-arithmetic evaluation of an (integer) index expression.
+
+    ``env`` maps induction variables to their inclusive ranges.  Returns
+    None when the expression involves unknown variables or operators —
+    callers then fall back to whole-array transfers, preserving the
+    paper's soundness-first posture.
+    """
+    expr = _strip(expr)
+    if isinstance(expr, A.IntegerLiteral):
+        return _iv(expr.value)
+    folded = fold_integer_constant(expr)
+    if folded is not None:
+        return _iv(folded)
+    if isinstance(expr, A.DeclRefExpr):
+        return env.get(expr.name)
+    if isinstance(expr, A.UnaryOperator) and expr.op == "-":
+        inner = eval_interval(expr.operand, env)
+        return None if inner is None else _iv(-inner.lo, -inner.hi)
+    if isinstance(expr, A.BinaryOperator):
+        left = eval_interval(expr.lhs, env)
+        right = eval_interval(expr.rhs, env)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return _iv(left.lo + right.lo, left.hi + right.hi)
+        if expr.op == "-":
+            return _iv(left.lo - right.hi, left.hi - right.lo)
+        if expr.op == "*":
+            corners = [
+                left.lo * right.lo, left.lo * right.hi,
+                left.hi * right.lo, left.hi * right.hi,
+            ]
+            return _iv(*corners)
+        if expr.op == "/" and right.lo == right.hi and right.lo != 0:
+            d = right.lo
+            return _iv(left.lo // d if d > 0 else left.hi // d,
+                       left.hi // d if d > 0 else left.lo // d)
+        if expr.op == "%" and right.lo == right.hi and right.lo > 0:
+            if left.lo >= 0:
+                if left.hi - left.lo + 1 >= right.lo:
+                    return _iv(0, right.lo - 1)
+                lo_m, hi_m = left.lo % right.lo, left.hi % right.lo
+                if lo_m <= hi_m:
+                    return _iv(lo_m, hi_m)
+                return _iv(0, right.lo - 1)
+            return None
+    return None
+
+
+def infer_access_range(
+    subscript: A.ArraySubscriptExpr,
+    loops: list[A.ForStmt],
+) -> Interval | None:
+    """Inclusive element-index interval touched by ``subscript``.
+
+    ``loops`` are the enclosing for-loops (any order).  Only the
+    innermost (final) index expression is evaluated — for
+    multi-dimensional accesses this is the contiguous dimension,
+    matching how Guo et al. filter unused segments.
+    """
+    env: dict[str, Interval] = {}
+    for loop in loops:
+        bounds = loop_bounds(loop)
+        if bounds is None or bounds.lower is None or bounds.upper is None:
+            continue
+        lo, hi = bounds.lower, bounds.upper
+        if lo > hi:
+            lo, hi = hi, lo
+        env[bounds.index_var] = Interval(lo, hi)
+    return eval_interval(subscript.index, env)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 — update placement for nested loops of arbitrary depth
+# ---------------------------------------------------------------------------
+
+
+def find_update_insert_loc(
+    access: A.ArraySubscriptExpr,
+    loops: list[A.ForStmt],
+    loc_lim: int | None = None,
+) -> A.Node:
+    """Paper Algorithm 1, verbatim semantics.
+
+    ``access``  — the array access whose update directive is placed;
+    ``loops``   — stack of enclosing for statements, **innermost first**
+                  (top of the paper's stack);
+    ``loc_lim`` — byte offset the directive must not precede (typically
+                  the end of the preceding target kernel's scope).
+
+    Returns the statement the directive should directly precede (for
+    ``update from``) or follow (for ``update to``): the outermost loop
+    whose induction variable participates in the subscript, or the
+    access itself when no enclosing loop does.
+    """
+    idx_exprs = access.index_exprs()
+    indexing_vars: set[str] = set()
+    for idx in idx_exprs:
+        indexing_vars |= referenced_var_names(idx)
+
+    pos: A.Node = access
+    stack = list(reversed(loops))  # pop() yields innermost first
+    while stack:
+        for_stmt = stack.pop()
+        if loc_lim is not None and for_stmt.begin_offset < loc_lim:
+            break
+        for_idx_var = find_indexing_var(for_stmt)
+        if for_idx_var is None:
+            continue
+        if for_idx_var in indexing_vars:
+            pos = for_stmt
+    return pos

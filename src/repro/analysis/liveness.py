@@ -1,0 +1,126 @@
+"""Live-variable analysis (paper sections II-B and IV-D).
+
+Classic backward may-analysis over the CFG.  OMPDart uses it at target
+data region exit: "For variables used in an offloaded region, we want to
+determine if they are subsequently read, since if read after the target
+region we must make sure that data will be valid upon region exit."
+
+Kill sets are deliberately weak for aggregates: writing one array
+element does not kill the array (the paper conservatively treats element
+accesses as whole-array accesses, and a partial write cannot make the
+rest of the array dead).  Scalar writes kill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import CFG, CFGNode
+from ..frontend import ast_nodes as A
+from .access import Access, AccessKind
+from .effects import InterproceduralAnalysis
+
+
+@dataclass
+class LivenessResult:
+    """live-in / live-out variable-name sets per CFG node."""
+
+    live_in: dict[CFGNode, frozenset[str]] = field(default_factory=dict)
+    live_out: dict[CFGNode, frozenset[str]] = field(default_factory=dict)
+
+    def is_live_after(self, node: CFGNode, name: str) -> bool:
+        return name in self.live_out.get(node, frozenset())
+
+    def is_live_before(self, node: CFGNode, name: str) -> bool:
+        return name in self.live_in.get(node, frozenset())
+
+
+def _use_def(accesses: list[Access]) -> tuple[set[str], set[str]]:
+    """(uses, strong defs) of one node.
+
+    Processing order within a statement is reads-then-writes; an access
+    that both reads and writes contributes to uses.  Only whole-variable
+    scalar writes produce strong defs.
+    """
+    uses: set[str] = set()
+    defs: set[str] = set()
+    for acc in accesses:
+        if acc.kind.reads:
+            uses.add(acc.name)
+        if acc.kind.writes:
+            is_scalar = True
+            if acc.decl is not None and isinstance(acc.decl, A.VarDecl):
+                qt = acc.decl.qual_type
+                is_scalar = qt.is_scalar and not qt.is_pointer
+            if acc.subscript is not None:
+                is_scalar = False
+            if is_scalar and acc.kind is AccessKind.WRITE:
+                defs.add(acc.name)
+    # A variable both used and defined in the same node stays a use.
+    return uses, defs - uses
+
+
+class LivenessAnalysis:
+    """Backward worklist liveness over one function CFG."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        effects: InterproceduralAnalysis,
+        *,
+        live_at_exit: set[str] | None = None,
+    ):
+        self.cfg = cfg
+        self.effects = effects
+        #: Variables considered live when the function returns — globals
+        #: and data escaping through pointer parameters, conservatively.
+        self.live_at_exit = set(live_at_exit or set())
+
+    def node_accesses(self, node: CFGNode) -> list[Access]:
+        if node.ast is None or not isinstance(node.ast, A.Stmt):
+            return []
+        return self.effects.resolve_node_accesses(node.ast)
+
+    def run(self) -> LivenessResult:
+        use: dict[CFGNode, set[str]] = {}
+        kill: dict[CFGNode, set[str]] = {}
+        for node in self.cfg.nodes:
+            u, d = _use_def(self.node_accesses(node))
+            use[node], kill[node] = u, d
+
+        live_in: dict[CFGNode, set[str]] = {n: set() for n in self.cfg.nodes}
+        live_out: dict[CFGNode, set[str]] = {n: set() for n in self.cfg.nodes}
+        live_out[self.cfg.exit] = set(self.live_at_exit)
+        live_in[self.cfg.exit] = set(self.live_at_exit)
+
+        worklist = list(self.cfg.nodes)
+        while worklist:
+            node = worklist.pop()
+            if node is self.cfg.exit:
+                continue
+            out = set(self.live_at_exit) if not node.successors else set()
+            for edge in node.successors:
+                out |= live_in[edge.dst]
+            new_in = use[node] | (out - kill[node])
+            if out != live_out[node] or new_in != live_in[node]:
+                live_out[node] = out
+                live_in[node] = new_in
+                worklist.extend(e.src for e in node.predecessors)
+
+        return LivenessResult(
+            {n: frozenset(s) for n, s in live_in.items()},
+            {n: frozenset(s) for n, s in live_out.items()},
+        )
+
+
+def escaping_variables(fn: A.FunctionDecl, tu: A.TranslationUnit) -> set[str]:
+    """Variables whose values outlive ``fn``: globals + pointer params.
+
+    These are treated as live at function exit so region-exit ``from``
+    decisions stay sound across translation-unit boundaries.
+    """
+    names = {v.name for v in tu.global_vars()}
+    for p in fn.params:
+        if p.qual_type.is_pointer:
+            names.add(p.name)
+    return names

@@ -1,0 +1,448 @@
+"""Forward validity dataflow over the AST-CFG (paper section IV-D).
+
+"We define data to be valid in a memory space if the data was last
+written to in said memory space and invalid or stale if the data was
+last written to in any other memory space.  While traversing the CFG,
+we track whether a memory space has a valid, up-to-date copy of each
+variable at each node."
+
+Lattice: per variable, two booleans (valid-on-host, valid-on-device);
+TOP is (True, True), meet is conjunction — a copy is valid at a join
+only if it is valid on every incoming path.  The transfer function
+records a :class:`TransferNeed` whenever a read observes a stale copy
+(a true RAW dependency across memory spaces — anti and output
+dependencies need no communication) and then *assumes the transfer
+happens*, so downstream state reflects the mapping the tool will insert.
+
+The fixpoint visits loop back edges like any other edge, which realizes
+the paper's loop rule: if data must be valid at the top of a loop body,
+it must still be valid when the back edge is taken, otherwise the meet
+exposes a loop-carried dependency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..cfg.astcfg import ASTCFG
+from ..cfg.graph import CFGNode, EdgeLabel, NodeKind
+from ..frontend import ast_nodes as A
+from .access import Access, AccessKind
+from .effects import InterproceduralAnalysis
+
+
+class Space(enum.Enum):
+    HOST = "host"
+    DEVICE = "device"
+
+
+class Direction(enum.Enum):
+    """Transfer direction, named like the profiler counters."""
+
+    HTOD = "HtoD"
+    DTOH = "DtoH"
+
+    @property
+    def source(self) -> Space:
+        return Space.HOST if self is Direction.HTOD else Space.DEVICE
+
+    @property
+    def dest(self) -> Space:
+        return Space.DEVICE if self is Direction.HTOD else Space.HOST
+
+
+@dataclass(frozen=True)
+class VarState:
+    """Validity of one variable's copies.  Immutable; meet returns new."""
+
+    valid_host: bool = True
+    valid_dev: bool = False
+
+    def meet(self, other: "VarState") -> "VarState":
+        return VarState(
+            self.valid_host and other.valid_host,
+            self.valid_dev and other.valid_dev,
+        )
+
+    def valid_in(self, space: Space) -> bool:
+        return self.valid_host if space is Space.HOST else self.valid_dev
+
+    def with_valid(self, space: Space, value: bool) -> "VarState":
+        if space is Space.HOST:
+            return VarState(value, self.valid_dev)
+        return VarState(self.valid_host, value)
+
+    def after_write(self, space: Space) -> "VarState":
+        """A write makes its space the only valid one."""
+        return VarState(space is Space.HOST, space is Space.DEVICE)
+
+    def after_weak_write(self, space: Space) -> "VarState":
+        """A partial (element) write: the writing space stays/becomes
+        valid, the other becomes stale — same as a strong write under
+        the paper's whole-array conservatism."""
+        return self.after_write(space)
+
+
+#: TOP of the lattice: both copies valid (used for unvisited preds).
+TOP = VarState(True, True)
+#: Boundary state at function entry: host data valid, device empty.
+ENTRY = VarState(True, False)
+
+
+@dataclass(frozen=True)
+class TransferNeed:
+    """A true (RAW) dependency between memory spaces at one CFG node."""
+
+    var: str
+    direction: Direction
+    node: CFGNode
+    #: The triggering access, when a single expression caused it.
+    access: Access | None = None
+    #: The offload kernel the read occurs in (HtoD needs inside kernels).
+    kernel: A.OMPExecutableDirective | None = None
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.var, self.direction.value, self.node.node_id)
+
+
+@dataclass
+class VarFacts:
+    """Aggregate facts about one variable across the function."""
+
+    name: str
+    decl: A.Decl | None = None
+    used_on_device: bool = False
+    device_reads: bool = False
+    device_writes: bool = False
+    host_reads: bool = False
+    host_writes: bool = False
+    #: kernel directive id -> joined access kind inside that kernel.
+    kernel_access: dict[int, AccessKind] = field(default_factory=dict)
+
+    def note(self, space: Space, kind: AccessKind,
+             kernel: A.OMPExecutableDirective | None) -> None:
+        if space is Space.DEVICE:
+            self.used_on_device = True
+            self.device_reads |= kind.reads
+            self.device_writes |= kind.writes
+            if kernel is not None:
+                old = self.kernel_access.get(kernel.node_id, AccessKind.NONE)
+                self.kernel_access[kernel.node_id] = old.join(kind)
+        else:
+            self.host_reads |= kind.reads
+            self.host_writes |= kind.writes
+
+
+@dataclass
+class ValidityResult:
+    """Everything the planner needs from the dataflow."""
+
+    needs: list[TransferNeed]
+    facts: dict[str, VarFacts]
+    #: Fixpoint state *entering* each node.
+    state_in: dict[CFGNode, dict[str, VarState]]
+    #: Fixpoint state *leaving* each node.
+    state_out: dict[CFGNode, dict[str, VarState]]
+    #: Per-node resolved accesses (cached for placement queries).
+    node_accesses: dict[int, list[Access]]
+
+    def state_at_exit(self, cfg_exit: CFGNode) -> dict[str, VarState]:
+        return self.state_in.get(cfg_exit, {})
+
+
+class ValidityAnalysis:
+    """Worklist fixpoint over one function's AST-CFG."""
+
+    def __init__(
+        self,
+        astcfg: ASTCFG,
+        effects: InterproceduralAnalysis,
+        tracked: set[str],
+    ):
+        self.astcfg = astcfg
+        self.cfg = astcfg.cfg
+        self.effects = effects
+        self.tracked = tracked
+        self._accesses: dict[int, list[Access]] = {}
+        self._must_execute_heads = self._find_must_execute_heads()
+
+    def _find_must_execute_heads(self) -> set[int]:
+        """PRED nodes of loops with a statically known trip count >= 1.
+
+        For such loops the exit (false) edge can only be taken after the
+        body ran, so the state leaving the loop is the post-body state —
+        not the meet with the never-entered pre-state.  This keeps
+        device writes inside constant-trip kernels visible after the
+        loop (the paper's Listing 2 reuse case) without giving up
+        soundness for genuinely unknown bounds.
+        """
+        from .bounds import loop_bounds  # local import: avoid module cycle
+
+        heads: set[int] = set()
+        for node in self.cfg.nodes:
+            if node.kind is not NodeKind.PRED or not isinstance(node.ast, A.ForStmt):
+                continue
+            bounds = loop_bounds(node.ast)
+            if bounds is not None and bounds.trip_count is not None \
+                    and bounds.trip_count >= 1:
+                heads.add(node.node_id)
+        return heads
+
+    # -- access resolution (cached) ------------------------------------------
+
+    def accesses_of(self, node: CFGNode) -> list[Access]:
+        cached = self._accesses.get(node.node_id)
+        if cached is not None:
+            return cached
+        if node.ast is None or not isinstance(node.ast, A.Stmt):
+            result: list[Access] = []
+        else:
+            result = [
+                a for a in self.effects.resolve_node_accesses(node.ast)
+                if a.name in self.tracked
+            ]
+        self._accesses[node.node_id] = result
+        return result
+
+    # -- transfer function ------------------------------------------------------
+
+    def _apply_node(
+        self,
+        node: CFGNode,
+        state: dict[str, VarState],
+        needs: dict[tuple[str, str, int], TransferNeed],
+        facts: dict[str, VarFacts] | None,
+    ) -> dict[str, VarState]:
+        space = Space.DEVICE if node.offloaded else Space.HOST
+        out = dict(state)
+        for acc in self.accesses_of(node):
+            var = acc.name
+            vs = out.get(var, ENTRY)
+            reads = acc.kind.reads
+            if acc.kind.writes and not reads and self._write_is_guarded(node, acc):
+                # A conditionally-executed write is a read-modify-write
+                # at whole-variable granularity: the untaken path keeps
+                # the incoming value, so the destination copy must be
+                # valid *before* the write (bfs's device-set flag is the
+                # canonical case).
+                reads = True
+            if facts is not None:
+                fact = facts.setdefault(var, VarFacts(var, acc.decl))
+                if fact.decl is None:
+                    fact.decl = acc.decl
+                fact.note(space, acc.kind, node.kernel)
+            if reads:
+                if not vs.valid_in(space):
+                    direction = (
+                        Direction.HTOD if space is Space.DEVICE else Direction.DTOH
+                    )
+                    need = TransferNeed(var, direction, node, acc, node.kernel)
+                    needs.setdefault(need.key, need)
+                    # Assume the tool satisfies the dependency here.
+                    vs = vs.with_valid(space, True)
+            if acc.kind.writes:
+                vs = vs.after_write(space)
+            out[var] = vs
+        return out
+
+    def _write_is_guarded(self, node: CFGNode, acc: Access) -> bool:
+        """Is this write control-dependent on a branch whose other arm
+        does not also write the variable?
+
+        Walks the AST ancestry from the writing statement up to the
+        enclosing kernel directive (device writes) or the function (host
+        writes).  `if` statements whose other branch writes the same
+        variable do not guard — both paths define it, which is how
+        unconditional boundary-vs-interior kernels stay strong writes.
+        """
+        stmt = node.ast
+        if stmt is None:
+            return False
+        current: A.Node = stmt
+        for anc in stmt.ancestors():
+            if isinstance(anc, A.FunctionDecl):
+                break
+            if A.is_offload_kernel(anc):
+                break
+            if isinstance(anc, A.IfStmt) and current is not anc.cond:
+                other = (
+                    anc.else_branch if current is anc.then_branch else anc.then_branch
+                )
+                if other is None or not _subtree_writes(other, acc.name):
+                    return True
+            if isinstance(anc, (A.SwitchStmt, A.CaseStmt, A.DefaultStmt)):
+                return True
+            if isinstance(anc, A.ConditionalOperator):
+                return True
+            if isinstance(anc, A.WhileStmt) and current is not anc.cond:
+                return True  # while bodies may execute zero times
+            if isinstance(anc, A.ForStmt) and current is anc.body:
+                from .bounds import loop_bounds
+
+                bounds = loop_bounds(anc)
+                if bounds is None or bounds.trip_count is None or bounds.trip_count < 1:
+                    return True
+            current = anc
+        # Conditional operators *inside* the same statement also guard.
+        return _write_under_conditional(stmt, acc)
+
+    def _meet_states(
+        self, states: list[dict[str, VarState] | None]
+    ) -> dict[str, VarState]:
+        """Pointwise meet; unvisited (None) inputs contribute TOP."""
+        incoming: dict[str, VarState] | None = None
+        for st in states:
+            if st is None:
+                continue
+            if incoming is None:
+                incoming = dict(st)
+            else:
+                for var in self.tracked:
+                    incoming[var] = incoming.get(var, TOP).meet(st.get(var, TOP))
+        if incoming is None:
+            return {v: TOP for v in self.tracked}
+        return incoming
+
+    # -- fixpoint -----------------------------------------------------------------
+
+    def run(self) -> ValidityResult:
+        nodes = self.cfg.nodes
+        state_out: dict[CFGNode, dict[str, VarState]] = {}
+        state_in: dict[CFGNode, dict[str, VarState]] = {}
+        needs: dict[tuple[str, str, int], TransferNeed] = {}
+
+        entry_state = {v: ENTRY for v in self.tracked}
+        order = self.cfg.topological_order()
+        worklist: list[CFGNode] = list(order)
+        in_worklist = set(n.node_id for n in worklist)
+        iterations = 0
+        limit = max(64, len(nodes) * len(nodes))
+
+        #: Exit-edge states for must-execute loop heads (false edge only).
+        state_out_false: dict[CFGNode, dict[str, VarState]] = {}
+
+        def pred_out_for(edge) -> dict[str, VarState] | None:
+            """The OUT state flowing along ``edge`` from its source."""
+            src = edge.src
+            if (
+                src.node_id in self._must_execute_heads
+                and edge.label is EdgeLabel.FALSE
+                and not edge.is_back_edge
+            ):
+                return state_out_false.get(src)
+            return state_out.get(src)
+
+        while worklist:
+            iterations += 1
+            if iterations > limit * 4:  # pragma: no cover - safety valve
+                raise RuntimeError("validity analysis failed to converge")
+            node = worklist.pop(0)
+            in_worklist.discard(node.node_id)
+
+            if node is self.cfg.entry:
+                incoming = dict(entry_state)
+            else:
+                incoming = self._meet_states(
+                    [pred_out_for(e) for e in node.predecessors]
+                )
+
+            state_in[node] = incoming
+            new_out = self._apply_node(node, incoming, needs, None)
+            changed = state_out.get(node) != new_out
+            state_out[node] = new_out
+
+            if node.node_id in self._must_execute_heads:
+                # The exit edge carries post-body state only: meet over
+                # back-edge predecessors, re-run through the predicate.
+                back_in = self._meet_states(
+                    [
+                        state_out.get(e.src)
+                        for e in node.predecessors
+                        if e.is_back_edge
+                    ]
+                )
+                new_false = self._apply_node(node, back_in, needs, None)
+                if state_out_false.get(node) != new_false:
+                    state_out_false[node] = new_false
+                    changed = True
+
+            if changed:
+                for edge in node.successors:
+                    if edge.dst.node_id not in in_worklist:
+                        worklist.append(edge.dst)
+                        in_worklist.add(edge.dst.node_id)
+
+        # Final fact-collection sweep against the fixpoint states.
+        facts: dict[str, VarFacts] = {}
+        final_needs: dict[tuple[str, str, int], TransferNeed] = {}
+        for node in nodes:
+            if node in state_in:
+                self._apply_node(node, state_in[node], final_needs, facts)
+
+        ordered = sorted(
+            final_needs.values(),
+            key=lambda n: (
+                n.node.ast.begin_offset if n.node.ast is not None else 0,
+                n.var,
+            ),
+        )
+        return ValidityResult(ordered, facts, state_in, state_out, dict(self._accesses))
+
+
+def _subtree_writes(root: A.Node, var: str) -> bool:
+    """Quick syntactic check: does ``root`` assign to ``var``?"""
+    for n in root.walk():
+        if isinstance(n, A.BinaryOperator) and n.is_assignment:
+            ref, _ = _lvalue_base(n.lhs)
+            if ref is not None and ref.name == var:
+                return True
+        if isinstance(n, A.UnaryOperator) and n.op in ("++", "--"):
+            ref, _ = _lvalue_base(n.operand)
+            if ref is not None and ref.name == var:
+                return True
+    return False
+
+
+def _lvalue_base(expr: A.Expr):
+    from .access import _base_ref
+
+    return _base_ref(expr)
+
+
+def _write_under_conditional(stmt: A.Stmt, acc: Access) -> bool:
+    """Is the write nested under a ConditionalOperator within its own
+    statement (``x = c ? (y = 1) : 0`` style)?  Rare; checked for
+    completeness."""
+    if acc.ref is None:
+        return False
+    node: A.Node | None = acc.ref.parent
+    while node is not None and node is not stmt:
+        if isinstance(node, A.ConditionalOperator):
+            return True
+        node = node.parent
+    return False
+
+
+def variables_of_interest(
+    astcfg: ASTCFG, effects: InterproceduralAnalysis
+) -> set[str]:
+    """Variables referenced inside any offloaded region of the function.
+
+    "We trace the reads and writes to any variable referenced inside any
+    offloaded region" — excluding variables declared *inside* the kernel
+    (private by construction) and kernel-local loop indices.
+    """
+    declared_in_kernel: set[str] = set()
+    referenced: set[str] = set()
+    for node in astcfg.cfg.nodes:
+        if not node.offloaded or node.ast is None:
+            continue
+        if isinstance(node.ast, A.DeclStmt):
+            declared_in_kernel.update(d.name for d in node.ast.decls)
+        if isinstance(node.ast, (A.ForStmt,)) and isinstance(node.ast.init, A.DeclStmt):
+            declared_in_kernel.update(d.name for d in node.ast.init.decls)
+        for acc in effects.resolve_node_accesses(node.ast) if isinstance(node.ast, A.Stmt) else []:
+            referenced.add(acc.name)
+    return referenced - declared_in_kernel

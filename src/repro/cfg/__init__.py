@@ -1,0 +1,22 @@
+"""Control-flow graphs and the hybrid AST-CFG (paper section IV-B)."""
+
+from .astcfg import ASTCFG, build_astcfgs  # noqa: F401
+from .builder import CFGBuilder, build_cfg  # noqa: F401
+from .dot import astcfg_to_dot, cfg_to_dot, cfg_to_networkx  # noqa: F401
+from .graph import CFG, CFGEdge, CFGNode, EdgeLabel, LoopInfo, NodeKind  # noqa: F401
+
+__all__ = [
+    "ASTCFG",
+    "build_astcfgs",
+    "CFGBuilder",
+    "build_cfg",
+    "astcfg_to_dot",
+    "cfg_to_dot",
+    "cfg_to_networkx",
+    "CFG",
+    "CFGEdge",
+    "CFGNode",
+    "EdgeLabel",
+    "LoopInfo",
+    "NodeKind",
+]

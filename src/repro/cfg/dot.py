@@ -1,0 +1,64 @@
+"""DOT / networkx export of CFGs and AST-CFGs (paper Fig. 2 rendering)."""
+
+from __future__ import annotations
+
+from .astcfg import ASTCFG
+from .graph import CFG, EdgeLabel
+
+
+def cfg_to_dot(cfg: CFG, *, name: str | None = None) -> str:
+    """Render a CFG as a Graphviz DOT digraph string.
+
+    Offloaded nodes are shaded, back edges drawn dashed, and edge labels
+    follow the paper's ε/true/false convention.
+    """
+    title = name or cfg.function.name
+    lines = [f'digraph "{title}" {{', "  node [shape=box, fontname=monospace];"]
+    for node in cfg.nodes:
+        attrs = [f'label="{node.label}"']
+        if node.offloaded:
+            attrs.append('style=filled fillcolor="lightsteelblue"')
+        elif node.kind.value in ("Entry", "Exit"):
+            attrs.append("shape=oval")
+        lines.append(f"  n{node.node_id} [{' '.join(attrs)}];")
+    for edge in cfg.edges:
+        attrs = []
+        if edge.label is not EdgeLabel.EPSILON:
+            attrs.append(f'label="{edge.label.value}"')
+        if edge.is_back_edge:
+            attrs.append("style=dashed")
+        attr_text = f" [{' '.join(attrs)}]" if attrs else ""
+        lines.append(f"  n{edge.src.node_id} -> n{edge.dst.node_id}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def astcfg_to_dot(astcfg: ASTCFG) -> str:
+    """DOT rendering of the hybrid AST-CFG (CFG view with AST labels)."""
+    return cfg_to_dot(astcfg.cfg, name=f"astcfg_{astcfg.function.name}")
+
+
+def cfg_to_networkx(cfg: CFG):
+    """Convert a CFG to a :class:`networkx.DiGraph` for graph algorithms.
+
+    Node attributes: ``kind``, ``label``, ``offloaded``; edge attributes:
+    ``label``, ``back``.
+    """
+    import networkx as nx
+
+    g = nx.DiGraph(name=cfg.function.name)
+    for node in cfg.nodes:
+        g.add_node(
+            node.node_id,
+            kind=node.kind.value,
+            label=node.label,
+            offloaded=node.offloaded,
+        )
+    for edge in cfg.edges:
+        g.add_edge(
+            edge.src.node_id,
+            edge.dst.node_id,
+            label=edge.label.value,
+            back=edge.is_back_edge,
+        )
+    return g

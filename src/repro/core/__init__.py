@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the OMPDart tool."""
+
+from .directives import (  # noqa: F401
+    TABLE_II,
+    FirstprivateSpec,
+    FunctionPlan,
+    MapSpec,
+    MapType,
+    RegionSpec,
+    UpdateSpec,
+)
+from .errors import check_input_constraints, has_offload_kernels  # noqa: F401
+from .planner import PlannerOutput, plan_function  # noqa: F401
+from .region import check_declarations_precede_region, compute_region  # noqa: F401
+from .tool import OMPDart, ToolOptions, TransformResult, transform_source  # noqa: F401
+
+__all__ = [
+    "TABLE_II",
+    "FirstprivateSpec",
+    "FunctionPlan",
+    "MapSpec",
+    "MapType",
+    "RegionSpec",
+    "UpdateSpec",
+    "check_input_constraints",
+    "has_offload_kernels",
+    "PlannerOutput",
+    "plan_function",
+    "check_declarations_precede_region",
+    "compute_region",
+    "OMPDart",
+    "ToolOptions",
+    "TransformResult",
+    "transform_source",
+]

@@ -1,0 +1,312 @@
+"""C type system for the mini-C frontend.
+
+Rich enough for OMPDart's needs: byte sizes (transfer accounting),
+scalar-vs-aggregate classification (implicit mapping rules and the
+``firstprivate`` optimization are scalar-only), const detection
+(pointer-to-const parameters are assumed read-only, paper section IV-B),
+and numpy dtype mapping for the runtime simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class CType:
+    """Base class for all types.  Instances are immutable and hashable."""
+
+    name: str = "<type>"
+
+    @property
+    def size(self) -> int:
+        """Size in bytes (LP64 model; no struct padding — documented)."""
+        raise NotImplementedError
+
+    @property
+    def is_scalar(self) -> bool:
+        return False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return False
+
+    @property
+    def is_pointer(self) -> bool:
+        return False
+
+    @property
+    def is_array(self) -> bool:
+        return False
+
+    @property
+    def is_floating(self) -> bool:
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    name: str = "void"
+
+    @property
+    def size(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class IntegerType(CType):
+    name: str = "int"
+    byte_size: int = 4
+    signed: bool = True
+
+    @property
+    def size(self) -> int:
+        return self.byte_size
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def is_integer(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class FloatType(CType):
+    name: str = "double"
+    byte_size: int = 8
+
+    @property
+    def size(self) -> int:
+        return self.byte_size
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def is_floating(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    pointee: "QualType" = None  # type: ignore[assignment]
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.pointee} *"
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    @property
+    def is_scalar(self) -> bool:
+        # A pointer *value* is scalar; the pointed-to storage is not.
+        return True
+
+    @property
+    def is_pointer(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: "QualType" = None  # type: ignore[assignment]
+    length: int | None = None  # None for unsized `a[]` parameters
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        n = "" if self.length is None else str(self.length)
+        return f"{self.element} [{n}]"
+
+    @property
+    def size(self) -> int:
+        if self.length is None:
+            return 8  # decays to a pointer
+        return self.element.size * self.length
+
+    @property
+    def is_aggregate(self) -> bool:
+        return True
+
+    @property
+    def is_array(self) -> bool:
+        return True
+
+    def flattened(self) -> tuple["QualType", tuple[int, ...]]:
+        """Peel nested array types: returns (innermost element, dims)."""
+        dims: list[int] = []
+        qt: QualType = QualType(self)
+        while qt.type.is_array:
+            arr = qt.type
+            assert isinstance(arr, ArrayType)
+            dims.append(arr.length if arr.length is not None else -1)
+            qt = arr.element
+        return qt, tuple(dims)
+
+
+@dataclass(frozen=True)
+class StructType(CType):
+    tag: str = ""
+    #: (field name, field type) in declaration order.
+    fields: tuple[tuple[str, "QualType"], ...] = ()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"struct {self.tag}" if self.tag else "struct <anonymous>"
+
+    @property
+    def size(self) -> int:
+        return sum(t.size for _, t in self.fields)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return True
+
+    def field_type(self, member: str) -> "QualType":
+        for fname, ftype in self.fields:
+            if fname == member:
+                return ftype
+        raise KeyError(f"{self.name} has no member {member!r}")
+
+    def has_field(self, member: str) -> bool:
+        return any(fname == member for fname, _ in self.fields)
+
+
+@dataclass(frozen=True)
+class FunctionType(CType):
+    return_type: "QualType" = None  # type: ignore[assignment]
+    param_types: tuple["QualType", ...] = ()
+    variadic: bool = False
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        params = ", ".join(str(p) for p in self.param_types)
+        if self.variadic:
+            params += ", ..."
+        return f"{self.return_type} ({params})"
+
+    @property
+    def size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class QualType:
+    """A type plus qualifiers.  Only ``const`` matters to the analyses."""
+
+    type: CType
+    const: bool = False
+
+    @property
+    def size(self) -> int:
+        return self.type.size
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.type.is_scalar
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.type.is_aggregate
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.type.is_pointer
+
+    @property
+    def is_array(self) -> bool:
+        return self.type.is_array
+
+    @property
+    def is_floating(self) -> bool:
+        return self.type.is_floating
+
+    @property
+    def is_integer(self) -> bool:
+        return self.type.is_integer
+
+    def with_const(self, const: bool = True) -> "QualType":
+        return QualType(self.type, const)
+
+    def pointee(self) -> "QualType":
+        if isinstance(self.type, PointerType):
+            return self.type.pointee
+        raise TypeError(f"{self} is not a pointer")
+
+    def element(self) -> "QualType":
+        if isinstance(self.type, ArrayType):
+            return self.type.element
+        raise TypeError(f"{self} is not an array")
+
+    def points_to_const(self) -> bool:
+        """True for ``const T *`` — OMPDart's read-only assumption."""
+        return self.is_pointer and self.pointee().const
+
+    def __str__(self) -> str:
+        return f"const {self.type}" if self.const else str(self.type)
+
+
+# -- canonical builtin instances ------------------------------------------
+
+VOID = QualType(VoidType())
+BOOL = QualType(IntegerType("_Bool", 1))
+CHAR = QualType(IntegerType("char", 1))
+UCHAR = QualType(IntegerType("unsigned char", 1, signed=False))
+SHORT = QualType(IntegerType("short", 2))
+USHORT = QualType(IntegerType("unsigned short", 2, signed=False))
+INT = QualType(IntegerType("int", 4))
+UINT = QualType(IntegerType("unsigned int", 4, signed=False))
+LONG = QualType(IntegerType("long", 8))
+ULONG = QualType(IntegerType("unsigned long", 8, signed=False))
+LONGLONG = QualType(IntegerType("long long", 8))
+ULONGLONG = QualType(IntegerType("unsigned long long", 8, signed=False))
+SIZE_T = QualType(IntegerType("size_t", 8, signed=False))
+FLOAT = QualType(FloatType("float", 4))
+DOUBLE = QualType(FloatType("double", 8))
+LONGDOUBLE = QualType(FloatType("long double", 8))
+
+#: Names usable as bare type specifiers, pre-resolved.
+BUILTIN_TYPEDEFS: dict[str, QualType] = {
+    "size_t": SIZE_T,
+    "ssize_t": LONG,
+    "int8_t": CHAR,
+    "uint8_t": UCHAR,
+    "int16_t": SHORT,
+    "uint16_t": USHORT,
+    "int32_t": INT,
+    "uint32_t": UINT,
+    "int64_t": LONG,
+    "uint64_t": ULONG,
+    "FILE": QualType(StructType("FILE", ())),
+}
+
+
+def pointer_to(qt: QualType) -> QualType:
+    return QualType(PointerType(qt))
+
+
+def array_of(qt: QualType, length: int | None) -> QualType:
+    return QualType(ArrayType(qt, length))
+
+
+def numpy_dtype_name(qt: QualType) -> str:
+    """Map a scalar C type to the numpy dtype the simulator stores it in."""
+    t = qt.type
+    if isinstance(t, FloatType):
+        return "float32" if t.byte_size == 4 else "float64"
+    if isinstance(t, IntegerType):
+        prefix = "int" if t.signed else "uint"
+        return f"{prefix}{t.byte_size * 8}"
+    if isinstance(t, PointerType):
+        return "int64"
+    raise TypeError(f"no numpy dtype for {qt}")

@@ -1,0 +1,252 @@
+"""Hand-written lexer for the mini-C subset.
+
+Design notes
+------------
+* Every token records its byte offset in the *original* buffer; the
+  rewriter depends on this.
+* Preprocessor directives (``#define``, ``#include``, ``#pragma`` ...)
+  are lexed as one logical line each (backslash-newline splices
+  collapsed) and returned as a single :data:`TokenKind.PRAGMA` token
+  whose ``value`` holds the directive body.  The preprocessor decides
+  what to do with them; only ``#pragma omp`` survives to the parser.
+* Comments are skipped but their bytes stay in the buffer, so offsets of
+  the surrounding tokens are unaffected.
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import ParseError
+from .source import SourceBuffer
+from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+class Lexer:
+    """Tokenizes one :class:`SourceBuffer`.
+
+    Use :meth:`tokenize` for the whole buffer, or drive it token by token
+    with :meth:`next_token`.
+    """
+
+    def __init__(self, buffer: SourceBuffer):
+        self.buffer = buffer
+        self.text = buffer.text
+        self.pos = 0
+        self._at_line_start = True
+
+    # -- helpers ---------------------------------------------------------
+
+    def _error(self, message: str) -> ParseError:
+        line, col = self.buffer.line_col(self.pos)
+        return ParseError(f"{self.buffer.filename}:{line}:{col}: {message}")
+
+    def _peek(self, ahead: int = 0) -> str:
+        """One character of lookahead; NUL (never ``""``) past the end.
+
+        Returning ``""`` would make every ``in "..."`` membership test
+        succeed vacuously — a classic lexer bug.
+        """
+        i = self.pos + ahead
+        return self.text[i] if i < len(self.text) else "\0"
+
+    def _make(self, kind: TokenKind, start: int, value: object = None) -> Token:
+        return Token(kind, self.text[start : self.pos], self.buffer.location(start), value)
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments, tracking line starts."""
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch == "\n":
+                self._at_line_start = True
+                self.pos += 1
+            elif ch in " \t\r\f\v":
+                self.pos += 1
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < n and text[self.pos] != "\n":
+                    self.pos += 1
+            elif ch == "/" and self._peek(1) == "*":
+                end = text.find("*/", self.pos + 2)
+                if end == -1:
+                    raise self._error("unterminated block comment")
+                self.pos = end + 2
+            elif ch == "\\" and self._peek(1) == "\n":
+                self.pos += 2  # line splice outside directives
+            else:
+                return
+
+    # -- token producers -------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self.buffer.location(self.pos))
+        start = self.pos
+        ch = self.text[self.pos]
+
+        if ch == "#" and self._at_line_start:
+            return self._lex_directive(start)
+        self._at_line_start = False
+
+        if ch.isalpha() or ch == "_":
+            return self._lex_identifier(start)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(start)
+        if ch == '"':
+            return self._lex_string(start)
+        if ch == "'":
+            return self._lex_char(start)
+        return self._lex_punct(start)
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole buffer, including the trailing EOF token."""
+        out: list[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    def _lex_directive(self, start: int) -> Token:
+        """Consume an entire ``#...`` logical line (splices collapsed)."""
+        parts: list[str] = []
+        n = len(self.text)
+        while self.pos < n:
+            ch = self.text[self.pos]
+            if ch == "\\" and self._peek(1) == "\n":
+                self.pos += 2
+                parts.append(" ")
+                continue
+            if ch == "\n":
+                break
+            # Strip comments inside directive lines.
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < n and self.text[self.pos] != "\n":
+                    self.pos += 1
+                break
+            if ch == "/" and self._peek(1) == "*":
+                end = self.text.find("*/", self.pos + 2)
+                if end == -1:
+                    raise self._error("unterminated block comment in directive")
+                self.pos = end + 2
+                parts.append(" ")
+                continue
+            parts.append(ch)
+            self.pos += 1
+        body = "".join(parts)
+        tok = Token(
+            TokenKind.PRAGMA,
+            self.text[start : self.pos],
+            self.buffer.location(start),
+            value=body,
+        )
+        return tok
+
+    def _lex_identifier(self, start: int) -> Token:
+        n = len(self.text)
+        while self.pos < n and (self.text[self.pos].isalnum() or self.text[self.pos] == "_"):
+            self.pos += 1
+        text = self.text[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
+        return self._make(kind, start)
+
+    def _lex_number(self, start: int) -> Token:
+        n = len(self.text)
+        is_float = False
+        if self.text[self.pos] == "0" and self._peek(1) in "xX":
+            self.pos += 2
+            while self.pos < n and self.text[self.pos] in "0123456789abcdefABCDEF":
+                self.pos += 1
+            digits = self.text[start : self.pos]
+            self._consume_int_suffix()
+            return self._make(TokenKind.INT_LITERAL, start, value=int(digits, 16))
+
+        while self.pos < n and self.text[self.pos].isdigit():
+            self.pos += 1
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self.pos += 1
+            while self.pos < n and self.text[self.pos].isdigit():
+                self.pos += 1
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self.pos += 1
+            if self._peek() in "+-":
+                self.pos += 1
+            while self.pos < n and self.text[self.pos].isdigit():
+                self.pos += 1
+
+        digits = self.text[start : self.pos]
+        if is_float:
+            if self._peek() in "fFlL":
+                self.pos += 1
+            return self._make(TokenKind.FLOAT_LITERAL, start, value=float(digits))
+        if self._peek() in "fF":
+            self.pos += 1
+            return self._make(TokenKind.FLOAT_LITERAL, start, value=float(digits))
+        self._consume_int_suffix()
+        return self._make(TokenKind.INT_LITERAL, start, value=int(digits, 10))
+
+    def _consume_int_suffix(self) -> None:
+        while self._peek() in "uUlL":
+            self.pos += 1
+
+    def _lex_string(self, start: int) -> Token:
+        self.pos += 1  # opening quote
+        chars: list[str] = []
+        n = len(self.text)
+        while self.pos < n:
+            ch = self.text[self.pos]
+            if ch == '"':
+                self.pos += 1
+                return self._make(TokenKind.STRING_LITERAL, start, value="".join(chars))
+            if ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == "\\":
+                self.pos += 1
+                esc = self._peek()
+                chars.append(_ESCAPES.get(esc, esc))
+                self.pos += 1
+            else:
+                chars.append(ch)
+                self.pos += 1
+        raise self._error("unterminated string literal")
+
+    def _lex_char(self, start: int) -> Token:
+        self.pos += 1
+        ch = self._peek()
+        if ch == "\\":
+            self.pos += 1
+            ch = _ESCAPES.get(self._peek(), self._peek())
+        self.pos += 1
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self.pos += 1
+        return self._make(TokenKind.CHAR_LITERAL, start, value=ord(ch) if ch else 0)
+
+    def _lex_punct(self, start: int) -> Token:
+        for spelling, kind in PUNCTUATORS:
+            if self.text.startswith(spelling, self.pos):
+                self.pos += len(spelling)
+                return self._make(kind, start)
+        raise self._error(f"unexpected character {self.text[self.pos]!r}")
+
+
+def tokenize(text: str, filename: str = "<input>") -> list[Token]:
+    """Convenience helper: lex ``text`` into a token list (with EOF)."""
+    return Lexer(SourceBuffer(text, filename)).tokenize()

@@ -1,0 +1,287 @@
+"""Preprocessor-lite for the mini-C frontend.
+
+Supports the subset of the C preprocessor the nine evaluation benchmarks
+need:
+
+* object-like and function-like ``#define`` / ``#undef``
+* ``#include`` (skipped -- the tool analyses a single translation unit,
+  exactly like OMPDart, paper section IV-B)
+* ``#ifdef`` / ``#ifndef`` / ``#else`` / ``#endif`` and literal ``#if 0/1``
+* ``#pragma omp`` lines survive as :data:`TokenKind.PRAGMA` tokens; any
+  other pragma is dropped.
+
+Macro-expanded tokens keep their *use-site* source location so that all
+downstream rewrites land at real positions in the original file.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..diagnostics import ParseError
+from .lexer import Lexer
+from .source import SourceBuffer, SourceLocation
+from .tokens import Token, TokenKind
+
+
+@dataclass
+class MacroDefinition:
+    """One ``#define``.  ``params`` is ``None`` for object-like macros."""
+
+    name: str
+    body: list[Token]
+    params: list[str] | None = None
+    location: SourceLocation | None = None
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.params is not None
+
+
+def _lex_fragment(text: str, filename: str) -> list[Token]:
+    """Lex a directive fragment; drops the EOF token."""
+    toks = Lexer(SourceBuffer(text, filename)).tokenize()
+    return toks[:-1]
+
+
+@dataclass
+class _Pending:
+    token: Token
+    banned: frozenset[str] = frozenset()
+
+
+@dataclass
+class Preprocessor:
+    """Streams preprocessed tokens from a :class:`SourceBuffer`."""
+
+    buffer: SourceBuffer
+    predefined: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.macros: dict[str, MacroDefinition] = {}
+        self._lexer = Lexer(self.buffer)
+        self._queue: deque[_Pending] = deque()
+        self._cond_stack: list[bool] = []  # active flags of open #if blocks
+        for name, value in self.predefined.items():
+            body = _lex_fragment(str(value), f"<predef:{name}>")
+            self.macros[name] = MacroDefinition(name, body)
+
+    # -- public API ------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Run the whole buffer through the preprocessor."""
+        out: list[Token] = []
+        while True:
+            tok = self._next()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    # -- token pump ------------------------------------------------------
+
+    def _next(self) -> Token:
+        while True:
+            if self._queue:
+                pending = self._queue.popleft()
+                tok = pending.token
+                if tok.kind is TokenKind.IDENTIFIER and self._try_expand(tok, pending.banned):
+                    continue
+                return tok
+            tok = self._lexer.next_token()
+            if tok.kind is TokenKind.PRAGMA:
+                passthrough = self._handle_directive(tok)
+                if passthrough is not None:
+                    return passthrough
+                continue
+            if not self._active():
+                if tok.kind is TokenKind.EOF:
+                    raise ParseError(
+                        f"{self.buffer.filename}: unterminated conditional directive"
+                    )
+                continue
+            if tok.kind is TokenKind.IDENTIFIER and self._try_expand(tok, frozenset()):
+                continue
+            return tok
+
+    def _active(self) -> bool:
+        return all(self._cond_stack)
+
+    # -- macro expansion --------------------------------------------------
+
+    def _try_expand(self, tok: Token, banned: frozenset[str]) -> bool:
+        """Expand ``tok`` if it names a macro; returns True if it did."""
+        macro = self.macros.get(tok.text)
+        if macro is None or tok.text in banned:
+            return False
+        if macro.is_function_like:
+            args = self._collect_macro_args(macro, banned)
+            if args is None:
+                return False  # bare use of a function-like macro name
+            expansion = self._substitute(macro, args)
+        else:
+            expansion = list(macro.body)
+        new_banned = banned | {macro.name}
+        replaced = [
+            _Pending(
+                Token(t.kind, t.text, tok.location, t.value, expanded_from=macro.name),
+                new_banned,
+            )
+            for t in expansion
+        ]
+        self._queue.extendleft(reversed(replaced))
+        return True
+
+    def _peek_pending_or_lex(self) -> Token:
+        if self._queue:
+            return self._queue[0].token
+        tok = self._lexer.next_token()
+        self._queue.append(_Pending(tok))
+        return tok
+
+    def _pop_pending(self) -> _Pending:
+        if self._queue:
+            return self._queue.popleft()
+        return _Pending(self._lexer.next_token())
+
+    def _collect_macro_args(
+        self, macro: MacroDefinition, banned: frozenset[str]
+    ) -> list[list[Token]] | None:
+        nxt = self._peek_pending_or_lex()
+        if nxt.kind is not TokenKind.LPAREN:
+            return None
+        self._pop_pending()  # '('
+        args: list[list[Token]] = [[]]
+        depth = 1
+        while True:
+            pending = self._pop_pending()
+            tok = pending.token
+            if tok.kind is TokenKind.EOF:
+                raise ParseError(
+                    f"unterminated arguments for macro {macro.name!r} at {tok.location}"
+                )
+            if tok.kind is TokenKind.LPAREN:
+                depth += 1
+            elif tok.kind is TokenKind.RPAREN:
+                depth -= 1
+                if depth == 0:
+                    break
+            elif tok.kind is TokenKind.COMMA and depth == 1:
+                args.append([])
+                continue
+            args[-1].append(tok)
+        if args == [[]] and not macro.params:
+            args = []
+        if len(args) != len(macro.params or []):
+            raise ParseError(
+                f"macro {macro.name!r} expects {len(macro.params or [])} args,"
+                f" got {len(args)}"
+            )
+        return args
+
+    @staticmethod
+    def _substitute(macro: MacroDefinition, args: list[list[Token]]) -> list[Token]:
+        by_name = dict(zip(macro.params or [], args))
+        out: list[Token] = []
+        for tok in macro.body:
+            if tok.kind is TokenKind.IDENTIFIER and tok.text in by_name:
+                out.extend(by_name[tok.text])
+            else:
+                out.append(tok)
+        return out
+
+    # -- directives -------------------------------------------------------
+
+    def _handle_directive(self, tok: Token) -> Token | None:
+        """Process one ``#...`` logical line; returns a token to emit or None."""
+        body = str(tok.value or "").lstrip("#").strip()
+        if not body:
+            return None
+        head, _, rest = body.partition(" ")
+        rest = rest.strip()
+
+        # Conditional directives are processed even in inactive regions.
+        if head == "ifdef":
+            self._cond_stack.append(self._active() and rest.split()[0] in self.macros)
+            return None
+        if head == "ifndef":
+            self._cond_stack.append(self._active() and rest.split()[0] not in self.macros)
+            return None
+        if head == "if":
+            self._cond_stack.append(self._active() and self._eval_condition(rest, tok))
+            return None
+        if head == "else":
+            if not self._cond_stack:
+                raise ParseError(f"#else without #if at {tok.location}")
+            prev = self._cond_stack.pop()
+            self._cond_stack.append(self._active() and not prev)
+            return None
+        if head == "endif":
+            if not self._cond_stack:
+                raise ParseError(f"#endif without #if at {tok.location}")
+            self._cond_stack.pop()
+            return None
+
+        if not self._active():
+            return None
+
+        if head == "define":
+            self._handle_define(rest, tok)
+            return None
+        if head == "undef":
+            self.macros.pop(rest.split()[0], None)
+            return None
+        if head == "include":
+            return None  # single-TU analysis, like OMPDart
+        if head == "pragma":
+            kind, _, _ = rest.partition(" ")
+            if kind == "omp":
+                return tok  # parser consumes OpenMP pragmas
+            return None
+        raise ParseError(f"unsupported preprocessor directive #{head} at {tok.location}")
+
+    def _eval_condition(self, expr: str, tok: Token) -> bool:
+        expr = expr.strip()
+        if expr.startswith("defined"):
+            name = expr.replace("defined", "").strip().strip("()").strip()
+            return name in self.macros
+        try:
+            return int(expr, 0) != 0
+        except ValueError:
+            raise ParseError(
+                f"unsupported #if condition {expr!r} at {tok.location} "
+                "(only integer literals and defined(NAME) are supported)"
+            ) from None
+
+    def _handle_define(self, rest: str, tok: Token) -> None:
+        if not rest:
+            raise ParseError(f"empty #define at {tok.location}")
+        # Function-like only when '(' directly follows the name.
+        name_end = 0
+        while name_end < len(rest) and (rest[name_end].isalnum() or rest[name_end] == "_"):
+            name_end += 1
+        name = rest[:name_end]
+        if not name:
+            raise ParseError(f"malformed #define at {tok.location}")
+        params: list[str] | None = None
+        body_text = rest[name_end:]
+        if body_text.startswith("("):
+            close = body_text.find(")")
+            if close == -1:
+                raise ParseError(f"malformed function-like macro at {tok.location}")
+            param_text = body_text[1:close].strip()
+            params = [p.strip() for p in param_text.split(",")] if param_text else []
+            body_text = body_text[close + 1 :]
+        body = _lex_fragment(body_text.strip(), f"<define:{name}>")
+        self.macros[name] = MacroDefinition(name, body, params, tok.location)
+
+
+def preprocess(
+    text: str,
+    filename: str = "<input>",
+    predefined: dict[str, object] | None = None,
+) -> tuple[list[Token], SourceBuffer]:
+    """Preprocess ``text``; returns (tokens incl. EOF, original buffer)."""
+    buffer = SourceBuffer(text, filename)
+    pp = Preprocessor(buffer, predefined or {})
+    return pp.tokens(), buffer

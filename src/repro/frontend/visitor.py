@@ -1,0 +1,46 @@
+"""Generic AST visitors.
+
+Most analyses use ``Node.walk()`` directly; :class:`ASTVisitor` exists
+for passes that want per-class dispatch (double-dispatch over the Clang
+style class names), mirroring Clang's ``RecursiveASTVisitor`` idiom.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+
+
+class ASTVisitor:
+    """Dispatches ``visit_<ClassName>`` methods over an AST.
+
+    A visit method may return ``False`` to prune traversal into the
+    node's children; any other return value continues the walk.
+    """
+
+    def visit(self, node: A.Node) -> None:
+        method = getattr(self, f"visit_{node.class_name}", None)
+        descend = True
+        if method is not None:
+            descend = method(node) is not False
+        else:
+            descend = self.generic_visit(node) is not False
+        if descend:
+            for child in node.children():
+                self.visit(child)
+
+    def generic_visit(self, node: A.Node) -> bool | None:
+        """Called for nodes with no specific ``visit_*`` method."""
+        return None
+
+
+def collect_decl_refs(node: A.Node) -> list[A.DeclRefExpr]:
+    """All variable references in a subtree, in pre-order."""
+    return [
+        n for n in node.walk_instances(A.DeclRefExpr)
+        if not isinstance(n.decl, A.FunctionDecl)
+    ]
+
+
+def referenced_var_names(node: A.Node) -> set[str]:
+    """Names of all (non-function) variables referenced in a subtree."""
+    return {ref.name for ref in collect_decl_refs(node)}

@@ -1,0 +1,42 @@
+"""Plain-text tables and bar charts for the evaluation reports."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Monospace table with column auto-sizing."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_barchart(
+    title: str,
+    series: dict[str, float],
+    *,
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (the figures' visual form)."""
+    out = [title]
+    peak = max(series.values(), default=0.0)
+    label_w = max((len(k) for k in series), default=0)
+    for label, value in series.items():
+        bar = "#" * (int(value / peak * width) if peak > 0 else 0)
+        out.append(f"  {label.ljust(label_w)} |{bar} {value:,.3g}{unit}")
+    return "\n".join(out)
+
+
+def format_bytes(nbytes: int) -> str:
+    """Human-scaled byte counts like the paper's axis labels."""
+    for factor, suffix in ((1 << 30, "GB"), (1 << 20, "MB"), (1 << 10, "kB")):
+        if nbytes >= factor:
+            return f"{nbytes / factor:.2f} {suffix}"
+    return f"{nbytes} B"

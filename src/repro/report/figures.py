@@ -1,0 +1,121 @@
+"""Generators for paper Figures 3-6 (data series + ASCII rendering).
+
+Each function takes the dict of :class:`~repro.suite.runner.BenchmarkRun`
+produced by :func:`repro.suite.run_all` and returns (series, text):
+the numeric rows a plotting pipeline would consume, plus a rendered
+plain-text figure.
+"""
+
+from __future__ import annotations
+
+from ..suite.runner import BenchmarkRun, geometric_mean
+from .ascii import format_bytes, render_table
+
+_VARIANTS = ("Unoptimized", "OMPDart", "Expert")
+
+
+def _stats_of(run: BenchmarkRun):
+    return {
+        "Unoptimized": run.unoptimized.stats,
+        "OMPDart": run.ompdart.stats,
+        "Expert": run.expert.stats,
+    }
+
+
+def figure3(runs: dict[str, BenchmarkRun]):
+    """Fig. 3: GPU data transfer activity in bytes (lower is better)."""
+    series: dict[str, dict[str, dict[str, int]]] = {}
+    rows = []
+    for name, run in runs.items():
+        per = {}
+        for variant, stats in _stats_of(run).items():
+            per[variant] = {"HtoD": stats.h2d_bytes, "DtoH": stats.d2h_bytes}
+        series[name] = per
+        rows.append(
+            [name]
+            + [format_bytes(per[v]["HtoD"]) for v in _VARIANTS]
+            + [format_bytes(per[v]["DtoH"]) for v in _VARIANTS]
+        )
+    text = "Figure 3: GPU data transfer activity (bytes), lower is better\n"
+    text += render_table(
+        ["app", "HtoD unopt", "HtoD OMPDart", "HtoD expert",
+         "DtoH unopt", "DtoH OMPDart", "DtoH expert"],
+        rows,
+    )
+    return series, text
+
+
+def figure4(runs: dict[str, BenchmarkRun]):
+    """Fig. 4: GPU data transfer activity in memcpy calls."""
+    series: dict[str, dict[str, dict[str, int]]] = {}
+    rows = []
+    for name, run in runs.items():
+        per = {}
+        for variant, stats in _stats_of(run).items():
+            per[variant] = {"HtoD": stats.h2d_calls, "DtoH": stats.d2h_calls}
+        series[name] = per
+        rows.append(
+            [name]
+            + [per[v]["HtoD"] for v in _VARIANTS]
+            + [per[v]["DtoH"] for v in _VARIANTS]
+        )
+    text = "Figure 4: GPU data transfer activity (# memcpy calls), lower is better\n"
+    text += render_table(
+        ["app", "HtoD unopt", "HtoD OMPDart", "HtoD expert",
+         "DtoH unopt", "DtoH OMPDart", "DtoH expert"],
+        rows,
+    )
+    return series, text
+
+
+def figure5(runs: dict[str, BenchmarkRun]):
+    """Fig. 5: speedups over the unoptimized code (higher is better)."""
+    series: dict[str, dict[str, float]] = {}
+    rows = []
+    for name, run in runs.items():
+        series[name] = {
+            "OMPDart": run.speedup_x,
+            "Expert": run.expert_speedup_x,
+        }
+        rows.append([name, f"{run.speedup_x:.2f}x", f"{run.expert_speedup_x:.2f}x"])
+    tool_geo = geometric_mean([v["OMPDart"] for v in series.values()])
+    exp_geo = geometric_mean([v["Expert"] for v in series.values()])
+    tool_vs_expert = geometric_mean(
+        [run.ompdart.stats.speedup_over(run.expert.stats) for run in runs.values()]
+    )
+    rows.append(["(geomean)", f"{tool_geo:.2f}x", f"{exp_geo:.2f}x"])
+    text = "Figure 5: speedups over unoptimized OpenMP offload code\n"
+    text += render_table(["app", "OMPDart", "Expert"], rows)
+    text += (
+        f"\ngeomean OMPDart speedup over unoptimized: {tool_geo:.2f}x"
+        f" (paper: 2.8x)\n"
+        f"geomean OMPDart speedup over expert: {tool_vs_expert:.2f}x"
+        f" (paper: 1.05x)"
+    )
+    return series, text
+
+
+def figure6(runs: dict[str, BenchmarkRun]):
+    """Fig. 6: data-transfer wall-time improvement (higher is better)."""
+    series: dict[str, dict[str, float]] = {}
+    rows = []
+    for name, run in runs.items():
+        series[name] = {
+            "OMPDart": run.transfer_time_improvement_x,
+            "Expert": run.expert_transfer_time_improvement_x,
+        }
+        rows.append(
+            [name,
+             f"{run.transfer_time_improvement_x:.1f}x",
+             f"{run.expert_transfer_time_improvement_x:.1f}x"]
+        )
+    tool_geo = geometric_mean([v["OMPDart"] for v in series.values()])
+    exp_geo = geometric_mean([v["Expert"] for v in series.values()])
+    rows.append(["(geomean)", f"{tool_geo:.1f}x", f"{exp_geo:.1f}x"])
+    text = "Figure 6: improvements in data-transfer wall time over unoptimized\n"
+    text += render_table(["app", "OMPDart", "Expert"], rows)
+    text += (
+        f"\ngeomean transfer-time improvement: OMPDart {tool_geo:.1f}x"
+        f" (paper: 5.1x), expert {exp_geo:.1f}x (paper: 4.2x)"
+    )
+    return series, text

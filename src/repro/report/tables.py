@@ -1,0 +1,61 @@
+"""Generators for paper Tables I-V."""
+
+from __future__ import annotations
+
+from ..core.directives import TABLE_II
+from ..frontend.ast_nodes import OFFLOAD_KERNEL_DIRECTIVES
+from ..suite.complexity import analyze_complexity
+from ..suite.registry import BENCHMARK_ORDER, get_benchmark
+from .ascii import render_table
+
+
+def table1() -> str:
+    """Table I: AST nodes recognized as offload kernels."""
+    rows = [
+        [cls.__name__, spelling]
+        for cls, spelling in OFFLOAD_KERNEL_DIRECTIVES.items()
+    ]
+    return render_table(["Clang AST Node", "OpenMP Directive"], rows)
+
+
+def table2() -> str:
+    """Table II: OpenMP constructs OMPDart inserts."""
+    rows = [[construct, desc] for construct, desc in TABLE_II.items()]
+    return render_table(["OpenMP Construct", "Description"], rows)
+
+
+def table3() -> str:
+    """Table III: programs used for evaluating OMPDart."""
+    rows = []
+    for name in BENCHMARK_ORDER:
+        b = get_benchmark(name)
+        rows.append([b.name, b.suite, b.domain, b.description])
+    return render_table(
+        ["Application", "Benchmark Suite", "Domain", "Description"], rows
+    )
+
+
+def table4() -> str:
+    """Table IV: benchmark data-mapping complexity (measured here)."""
+    rows = []
+    for name in BENCHMARK_ORDER:
+        b = get_benchmark(name)
+        m = analyze_complexity(b.unoptimized_source(), name)
+        rows.append(
+            [name, m.kernels, m.offloaded_lines, m.mapped_variables,
+             m.possible_mappings]
+        )
+    return render_table(
+        ["Benchmark", "Kernels", "Offloaded Lines", "Mapped Variables",
+         "Possible Mappings"],
+        rows,
+    )
+
+
+def table5(timings: dict[str, float]) -> str:
+    """Table V: OMPDart overhead (tool execution time per benchmark)."""
+    rows = [[name, f"{seconds:.3f}s"] for name, seconds in timings.items()]
+    if timings:
+        avg = sum(timings.values()) / len(timings)
+        rows.append(["(average)", f"{avg:.3f}s"])
+    return render_table(["Benchmark", "Tool Execution Time"], rows)

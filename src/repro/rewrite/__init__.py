@@ -1,0 +1,6 @@
+"""Source rewriting: offset-addressed edits + directive emission."""
+
+from .buffer import RewriteBuffer  # noqa: F401
+from .emit import emit_plans  # noqa: F401
+
+__all__ = ["RewriteBuffer", "emit_plans"]

@@ -1,0 +1,151 @@
+"""Directive emission and consolidation (paper section IV-F).
+
+"When only a single offload region exists in a function, and the
+beginning of the offload region is the insertion point for the target
+data directive, the rewriter can simply append a map clause to the
+existing target directive.  Otherwise, the rewriter will insert a new
+target data directive and increase the indentation of the captured
+block. ... prior to inserting the directives and clauses into the
+source code, each type of directive and clause is consolidated based on
+their insertion point."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from ..frontend import ast_nodes as A
+from .buffer import RewriteBuffer
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..core.directives import FunctionPlan, UpdateSpec
+
+#: Extra indentation applied to a block captured by a new target data
+#: region, matching the paper's "increase the indentation" behaviour.
+REGION_INDENT = "  "
+
+
+def emit_plans(source: str, plans: list[FunctionPlan]) -> str:
+    """Apply every function plan to ``source`` and return the new text."""
+    buffer = RewriteBuffer(source)
+    for plan in plans:
+        _emit_plan(buffer, plan)
+    return buffer.apply()
+
+
+def _emit_plan(buffer: RewriteBuffer, plan: FunctionPlan) -> None:
+    _emit_region(buffer, plan)
+    _emit_updates(buffer, plan.updates)
+    _emit_firstprivates(buffer, plan)
+
+
+# -- target data region ------------------------------------------------------
+
+
+def _emit_region(buffer: RewriteBuffer, plan: FunctionPlan) -> None:
+    clauses = plan.map_clause_texts()
+    if not clauses:
+        return
+    region = plan.region
+    if region.single_kernel:
+        # Fast path: append map clauses to the kernel's own pragma line.
+        end = buffer.logical_line_end(region.first_stmt.begin_offset)
+        buffer.insert(end, " " + " ".join(clauses))
+        return
+
+    indent = buffer.indentation_at(region.first_stmt.begin_offset)
+    open_text = (
+        f"{indent}#pragma omp target data {' '.join(clauses)}\n{indent}{{\n"
+    )
+    begin = buffer.line_start(region.first_stmt.begin_offset)
+    buffer.insert(begin, open_text, priority=-10)
+
+    close_at = _after_stmt_offset(buffer, region.last_stmt)
+    buffer.insert(close_at, f"{indent}}}\n", priority=10)
+
+    _indent_block(buffer, begin, close_at)
+
+
+def _after_stmt_offset(buffer: RewriteBuffer, stmt: A.Stmt) -> int:
+    """Offset of the line start just after ``stmt`` ends."""
+    end = buffer.line_end(max(stmt.end_offset - 1, 0))
+    return min(end + 1, len(buffer.original))
+
+
+def _indent_block(buffer: RewriteBuffer, begin: int, end: int) -> None:
+    """Add one indentation level to every line in [begin, end)."""
+    offset = begin
+    text = buffer.original
+    while offset < end:
+        line_end = text.find("\n", offset)
+        if line_end == -1:
+            line_end = len(text)
+        if text[offset:line_end].strip():
+            buffer.insert(offset, REGION_INDENT, priority=5)
+        offset = line_end + 1
+
+
+# -- target update directives ---------------------------------------------------
+
+
+def _emit_updates(buffer: RewriteBuffer, updates: list[UpdateSpec]) -> None:
+    # Consolidate: one directive per (insertion offset), merging the
+    # variable lists of both directions.
+    grouped: dict[int, dict[str, list[str]]] = defaultdict(lambda: {"to": [], "from": []})
+    indents: dict[int, str] = {}
+    for upd in updates:
+        offset, indent = _update_insertion_point(buffer, upd)
+        if upd.var not in grouped[offset][upd.direction]:
+            grouped[offset][upd.direction].append(upd.var)
+        indents[offset] = indent
+    for offset in sorted(grouped):
+        parts: list[str] = []
+        if grouped[offset]["to"]:
+            parts.append(f"to({', '.join(sorted(grouped[offset]['to']))})")
+        if grouped[offset]["from"]:
+            parts.append(f"from({', '.join(sorted(grouped[offset]['from']))})")
+        indent = indents[offset]
+        buffer.insert(
+            offset, f"{indent}#pragma omp target update {' '.join(parts)}\n"
+        )
+
+
+def _update_insertion_point(
+    buffer: RewriteBuffer, upd: UpdateSpec
+) -> tuple[int, str]:
+    anchor = upd.anchor
+    if upd.position == "body-end":
+        assert isinstance(anchor, A.LoopStmt)
+        return _loop_body_end_point(buffer, anchor)
+    if upd.position == "after":
+        offset = _after_stmt_offset(buffer, anchor)  # type: ignore[arg-type]
+        return offset, buffer.indentation_at(anchor.begin_offset)
+    # "before": own line above the anchor statement.
+    offset = buffer.line_start(anchor.begin_offset)
+    return offset, buffer.indentation_at(anchor.begin_offset)
+
+
+def _loop_body_end_point(buffer: RewriteBuffer, loop: A.LoopStmt) -> tuple[int, str]:
+    """Insertion point just before a loop body's closing brace.
+
+    For non-compound bodies the directive goes after the single body
+    statement instead.
+    """
+    body = loop.body
+    if isinstance(body, A.CompoundStmt):
+        closing = body.end_offset - 1  # the '}'
+        offset = buffer.line_start(closing)
+        indent = buffer.indentation_at(loop.begin_offset) + REGION_INDENT
+        return offset, indent
+    offset = _after_stmt_offset(buffer, body)
+    return offset, buffer.indentation_at(body.begin_offset)
+
+
+# -- firstprivate clauses --------------------------------------------------------
+
+
+def _emit_firstprivates(buffer: RewriteBuffer, plan: FunctionPlan) -> None:
+    for spec in plan.firstprivates:
+        end = buffer.logical_line_end(spec.kernel.begin_offset)
+        buffer.insert(end, f" firstprivate({', '.join(spec.variables)})")

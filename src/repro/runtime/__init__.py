@@ -1,0 +1,36 @@
+"""Simulated OpenMP offload runtime (A100 + CUDA + nsys substitute)."""
+
+from .builtins import LCG, c_printf  # noqa: F401
+from .costmodel import A100_PCIE4, CostModel  # noqa: F401
+from .device import DeviceDataEnvironment, DeviceRuntimeError  # noqa: F401
+from .interp import (  # noqa: F401
+    Interpreter,
+    Machine,
+    SimulationError,
+    SimulationResult,
+    run_simulation,
+)
+from .profiler import MemcpyRecord, Profiler, TransferStats  # noqa: F401
+from .values import NULL, ArrayObject, Cell, Pointer, StructObject  # noqa: F401
+
+__all__ = [
+    "LCG",
+    "c_printf",
+    "A100_PCIE4",
+    "CostModel",
+    "DeviceDataEnvironment",
+    "DeviceRuntimeError",
+    "Interpreter",
+    "Machine",
+    "SimulationError",
+    "SimulationResult",
+    "run_simulation",
+    "MemcpyRecord",
+    "Profiler",
+    "TransferStats",
+    "ArrayObject",
+    "Cell",
+    "Pointer",
+    "StructObject",
+    "NULL",
+]

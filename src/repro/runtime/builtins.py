@@ -1,0 +1,157 @@
+"""Host-library builtins of the simulated machine.
+
+Math comes from :mod:`math`; ``printf`` renders with a C-format
+translator and appends to the program's captured output (the
+correctness-comparison channel, paper section VI); ``rand`` is a
+deterministic LCG so all three program variants see identical inputs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable
+
+from .values import NULL, ArrayObject, Pointer
+
+
+class LCG:
+    """glibc-style linear congruential generator — deterministic rand()."""
+
+    MODULUS = 2**31
+    MULTIPLIER = 1103515245
+    INCREMENT = 12345
+
+    def __init__(self, seed: int = 1):
+        self.state = seed % self.MODULUS
+
+    def srand(self, seed: int) -> None:
+        self.state = int(seed) % self.MODULUS
+
+    def rand(self) -> int:
+        self.state = (self.MULTIPLIER * self.state + self.INCREMENT) % self.MODULUS
+        return self.state & 0x7FFFFFFF
+
+
+_FORMAT_RE = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?(?:hh|h|ll|l|L|z|j|t)?[diouxXeEfgGcsp%]")
+
+
+def _translate_spec(spec: str) -> str:
+    """Map one C conversion spec to Python %-formatting."""
+    if spec == "%%":
+        return "%%"
+    body = spec[1:]
+    conv = body[-1]
+    flags_width = re.sub(r"(?:hh|h|ll|l|L|z|j|t)$", "", body[:-1])
+    if conv in ("i",):
+        conv = "d"
+    if conv == "p":
+        conv = "s"
+    return "%" + flags_width + conv
+
+
+def c_printf(fmt: str, args: list[Any]) -> str:
+    """Render a printf call; returns the produced text."""
+    specs = _FORMAT_RE.findall(fmt)
+    py_fmt = fmt
+    for spec in set(specs):
+        py_fmt = py_fmt.replace(spec, _translate_spec(spec))
+    values: list[Any] = []
+    arg_iter = iter(args)
+    for spec in specs:
+        if spec == "%%":
+            continue
+        val = next(arg_iter, 0)
+        conv = spec[-1]
+        if conv in "diouxX":
+            val = int(val)
+        elif conv in "eEfgG":
+            val = float(val)
+        elif conv == "c":
+            val = chr(int(val)) if not isinstance(val, str) else val
+            # Python %c accepts str
+        elif conv == "s" and isinstance(val, Pointer):
+            val = f"<ptr:{val.obj.name}+{val.offset}>"
+        elif conv == "p":
+            val = f"0x{id(val) & 0xFFFFFFFF:x}"
+        values.append(val)
+    try:
+        return py_fmt % tuple(values)
+    except (TypeError, ValueError):
+        return fmt  # malformed format: echo the raw string
+
+
+def make_math_builtins() -> dict[str, Callable[..., Any]]:
+    """Pure numeric builtins (no machine state)."""
+
+    def _clamped_exp(x: float) -> float:
+        return math.exp(min(x, 700.0))
+
+    return {
+        "exp": lambda x: _clamped_exp(float(x)),
+        "expf": lambda x: _clamped_exp(float(x)),
+        "exp2": lambda x: 2.0 ** min(float(x), 1000.0),
+        "log": lambda x: math.log(float(x)),
+        "log2": lambda x: math.log2(float(x)),
+        "log10": lambda x: math.log10(float(x)),
+        "sqrt": lambda x: math.sqrt(max(float(x), 0.0)),
+        "sqrtf": lambda x: math.sqrt(max(float(x), 0.0)),
+        "cbrt": lambda x: math.copysign(abs(float(x)) ** (1.0 / 3.0), float(x)),
+        "pow": lambda x, y: float(x) ** float(y),
+        "powf": lambda x, y: float(x) ** float(y),
+        "fabs": lambda x: abs(float(x)),
+        "fabsf": lambda x: abs(float(x)),
+        "abs": lambda x: abs(int(x)),
+        "sin": lambda x: math.sin(float(x)),
+        "cos": lambda x: math.cos(float(x)),
+        "tan": lambda x: math.tan(float(x)),
+        "tanh": lambda x: math.tanh(float(x)),
+        "floor": lambda x: math.floor(float(x)),
+        "ceil": lambda x: math.ceil(float(x)),
+        "fmax": lambda x, y: max(float(x), float(y)),
+        "fmin": lambda x, y: min(float(x), float(y)),
+        "fmaxf": lambda x, y: max(float(x), float(y)),
+        "fminf": lambda x, y: min(float(x), float(y)),
+        "fmod": lambda x, y: math.fmod(float(x), float(y)),
+        "atoi": lambda s: int(s) if isinstance(s, str) else 0,
+        "atof": lambda s: float(s) if isinstance(s, str) else 0.0,
+    }
+
+
+def mem_set(ptr: Any, value: int, nbytes: int) -> Any:
+    """``memset`` over an ArrayObject/Pointer target."""
+    obj, offset = _resolve(ptr)
+    if obj is None:
+        return ptr
+    elems = min(int(nbytes) // max(obj.elem_size, 1), obj.length - offset)
+    if obj.is_struct:
+        raise RuntimeError("memset over struct arrays is not supported")
+    if int(value) != 0:
+        raise RuntimeError("memset with non-zero fill is not supported")
+    obj.data[offset : offset + elems] = 0
+    return ptr
+
+
+def mem_copy(dst: Any, src: Any, nbytes: int) -> Any:
+    """``memcpy`` between array objects (host-side)."""
+    dobj, doff = _resolve(dst)
+    sobj, soff = _resolve(src)
+    if dobj is None or sobj is None:
+        return dst
+    elems = int(nbytes) // max(dobj.elem_size, 1)
+    if dobj.is_struct or sobj.is_struct:
+        for i in range(elems):
+            dobj.data[doff + i] = sobj.data[soff + i].copy()
+    else:
+        dobj.data[doff : doff + elems] = sobj.data[soff : soff + elems]
+    return dst
+
+
+def _resolve(ptr: Any) -> tuple[ArrayObject | None, int]:
+    if isinstance(ptr, Pointer):
+        return ptr.obj, ptr.offset
+    if isinstance(ptr, ArrayObject):
+        return ptr, 0
+    if ptr is NULL or ptr == 0:
+        return None, 0
+    raise RuntimeError(f"not a pointer value: {ptr!r}")

@@ -1,0 +1,132 @@
+"""Transfer/kernel ledger — the reproduction's ``nsys`` (paper section VI).
+
+The paper profiles every run with NVIDIA Nsight Systems "to evaluate the
+number of Host-to-Device (HtoD) and Device-to-Host (DtoH) CUDA memcpy
+calls, the bytes transferred each way, and the total time taken by data
+transfer."  This ledger records exactly those observables, plus the
+modelled kernel/host time needed for the Fig. 5 speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costmodel import A100_PCIE4, CostModel
+
+
+@dataclass(frozen=True)
+class MemcpyRecord:
+    """One simulated ``cudaMemcpy``."""
+
+    direction: str  # "HtoD" | "DtoH"
+    nbytes: int
+    #: What triggered it: "map-to", "map-from", "update-to",
+    #: "update-from", "implicit-to", "implicit-from".
+    cause: str = ""
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Immutable snapshot of one run's data-movement profile."""
+
+    h2d_calls: int
+    d2h_calls: int
+    h2d_bytes: int
+    d2h_bytes: int
+    transfer_time_s: float
+    kernel_time_s: float
+    host_time_s: float
+    kernel_launches: int
+
+    @property
+    def total_calls(self) -> int:
+        return self.h2d_calls + self.d2h_calls
+
+    @property
+    def total_bytes(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes
+
+    @property
+    def total_time_s(self) -> float:
+        """Modelled end-to-end wall time (serialized transfer+compute)."""
+        return self.transfer_time_s + self.kernel_time_s + self.host_time_s
+
+    def speedup_over(self, baseline: "TransferStats") -> float:
+        """Fig. 5 metric: baseline time / this time."""
+        return baseline.total_time_s / self.total_time_s
+
+    def transfer_improvement_over(self, baseline: "TransferStats") -> float:
+        """Fig. 6 metric: baseline transfer time / this transfer time."""
+        if self.transfer_time_s == 0:
+            return float("inf") if baseline.transfer_time_s > 0 else 1.0
+        return baseline.transfer_time_s / self.transfer_time_s
+
+
+class Profiler:
+    """Mutable ledger filled in by the interpreter."""
+
+    def __init__(self, cost_model: CostModel = A100_PCIE4):
+        self.cost_model = cost_model
+        self.records: list[MemcpyRecord] = []
+        self.h2d_calls = 0
+        self.d2h_calls = 0
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.transfer_time_s = 0.0
+        self.kernel_launches = 0
+        self.device_work = 0
+        self.host_work = 0
+        self._kernel_launch_time = 0.0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_memcpy(self, direction: str, nbytes: int, cause: str = "") -> None:
+        if direction not in ("HtoD", "DtoH"):
+            raise ValueError(f"bad memcpy direction {direction!r}")
+        if nbytes <= 0:
+            return  # zero-sized copies are elided by the runtime
+        self.records.append(MemcpyRecord(direction, nbytes, cause))
+        if direction == "HtoD":
+            self.h2d_calls += 1
+            self.h2d_bytes += nbytes
+        else:
+            self.d2h_calls += 1
+            self.d2h_bytes += nbytes
+        self.transfer_time_s += self.cost_model.memcpy_time(nbytes)
+
+    def record_kernel_launch(self) -> None:
+        self.kernel_launches += 1
+        self._kernel_launch_time += self.cost_model.kernel_launch_s
+
+    def tick_device(self, units: int = 1) -> None:
+        self.device_work += units
+
+    def tick_host(self, units: int = 1) -> None:
+        self.host_work += units
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def kernel_time_s(self) -> float:
+        return self._kernel_launch_time + self.device_work * self.cost_model.device_op_s
+
+    @property
+    def host_time_s(self) -> float:
+        return self.host_work * self.cost_model.host_op_s
+
+    @property
+    def current_time_s(self) -> float:
+        """Simulated wall clock (for ``omp_get_wtime``)."""
+        return self.transfer_time_s + self.kernel_time_s + self.host_time_s
+
+    def snapshot(self) -> TransferStats:
+        return TransferStats(
+            h2d_calls=self.h2d_calls,
+            d2h_calls=self.d2h_calls,
+            h2d_bytes=self.h2d_bytes,
+            d2h_bytes=self.d2h_bytes,
+            transfer_time_s=self.transfer_time_s,
+            kernel_time_s=self.kernel_time_s,
+            host_time_s=self.host_time_s,
+            kernel_launches=self.kernel_launches,
+        )

@@ -1,0 +1,26 @@
+"""The nine-benchmark evaluation suite (Rodinia/HeCBench substitute)."""
+
+from .complexity import ComplexityMetrics, analyze_complexity, possible_mappings  # noqa: F401
+from .registry import (  # noqa: F401
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    Benchmark,
+    PaperNumbers,
+    get_benchmark,
+)
+from .runner import BenchmarkRun, geometric_mean, run_all, run_benchmark  # noqa: F401
+
+__all__ = [
+    "ComplexityMetrics",
+    "analyze_complexity",
+    "possible_mappings",
+    "BENCHMARK_ORDER",
+    "BENCHMARKS",
+    "Benchmark",
+    "PaperNumbers",
+    "get_benchmark",
+    "BenchmarkRun",
+    "geometric_mean",
+    "run_all",
+    "run_benchmark",
+]

@@ -1,0 +1,67 @@
+"""Benchmark data-mapping complexity metrics (paper Table IV).
+
+"The number of possible mappings is approximated by the sum of two
+parts.  (1) The total combinations of mapping clauses. ... (2) The total
+combinations of update clauses. ...
+
+    mappings = kernels x variables x 4 + (lines / 2) x variables x 3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.effects import InterproceduralAnalysis
+from ..analysis.validity import variables_of_interest
+from ..cfg.astcfg import build_astcfgs
+from ..frontend import ast_nodes as A
+from ..frontend.parser import parse_source
+
+
+@dataclass(frozen=True)
+class ComplexityMetrics:
+    """One Table IV row."""
+
+    name: str
+    kernels: int
+    offloaded_lines: int
+    mapped_variables: int
+    possible_mappings: int
+
+
+def _offloaded_line_count(tu: A.TranslationUnit, source: str) -> int:
+    """Source lines covered by offload-kernel regions (directive + body)."""
+    lines: set[int] = set()
+    for node in tu.walk():
+        if not A.is_offload_kernel(node):
+            continue
+        begin = source.count("\n", 0, node.begin_offset) + 1
+        end = source.count("\n", 0, max(node.end_offset - 1, 0)) + 1
+        lines.update(range(begin, end + 1))
+    return len(lines)
+
+
+def possible_mappings(kernels: int, variables: int, lines: int) -> int:
+    """The paper's section V formula (truncated after the multiply)."""
+    return kernels * variables * 4 + int(lines / 2 * variables * 3)
+
+
+def analyze_complexity(source: str, name: str = "<input>") -> ComplexityMetrics:
+    """Compute the Table IV metrics for one unoptimized program."""
+    tu = parse_source(source, name)
+    kernels = sum(1 for n in tu.walk() if A.is_offload_kernel(n))
+    lines = _offloaded_line_count(tu, source)
+
+    effects = InterproceduralAnalysis(tu)
+    mapped: set[str] = set()
+    for astcfg in build_astcfgs(tu).values():
+        if astcfg.kernel_directives():
+            mapped |= variables_of_interest(astcfg, effects)
+
+    return ComplexityMetrics(
+        name=name,
+        kernels=kernels,
+        offloaded_lines=lines,
+        mapped_variables=len(mapped),
+        possible_mappings=possible_mappings(kernels, len(mapped), lines),
+    )

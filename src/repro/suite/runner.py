@@ -1,0 +1,143 @@
+"""Three-variant benchmark runner + correctness verification (section VI).
+
+For each application the harness:
+
+1. simulates the **Unoptimized** program (implicit mappings only);
+2. feeds the unoptimized source through **OMPDart** and simulates the
+   transformed program;
+3. simulates the **Expert** program from the suite;
+4. verifies all three produce identical output (the paper's correctness
+   criterion — the simulator executes kernels against device copies, so
+   a wrong mapping yields observably different results);
+5. returns the per-variant transfer profiles for the Fig. 3-6 metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tool import OMPDart, ToolOptions, TransformResult
+from ..runtime.costmodel import A100_PCIE4, CostModel
+from ..runtime.interp import SimulationResult, run_simulation
+from .registry import BENCHMARK_ORDER, Benchmark, get_benchmark
+
+
+@dataclass
+class BenchmarkRun:
+    """All artifacts of one three-variant evaluation."""
+
+    benchmark: Benchmark
+    unoptimized: SimulationResult
+    ompdart: SimulationResult
+    expert: SimulationResult
+    transform: TransformResult
+
+    # -- correctness -----------------------------------------------------
+
+    @property
+    def outputs_match(self) -> bool:
+        return (
+            self.unoptimized.output == self.ompdart.output == self.expert.output
+        )
+
+    def verify(self) -> None:
+        if not self.outputs_match:
+            raise AssertionError(
+                f"{self.benchmark.name}: variant outputs diverge\n"
+                f"unoptimized: {self.unoptimized.output!r}\n"
+                f"ompdart:     {self.ompdart.output!r}\n"
+                f"expert:      {self.expert.output!r}"
+            )
+
+    # -- Fig. 3 ----------------------------------------------------------
+
+    @property
+    def transfer_reduction_x(self) -> float:
+        """Unoptimized/OMPDart total transferred bytes."""
+        return self.unoptimized.stats.total_bytes / max(
+            self.ompdart.stats.total_bytes, 1
+        )
+
+    # -- Fig. 4 ----------------------------------------------------------
+
+    @property
+    def call_reduction_vs_expert(self) -> float:
+        """Fractional memcpy-call reduction of the tool vs the expert."""
+        expert_calls = max(self.expert.stats.total_calls, 1)
+        return 1.0 - self.ompdart.stats.total_calls / expert_calls
+
+    # -- Fig. 5 ----------------------------------------------------------
+
+    @property
+    def speedup_x(self) -> float:
+        return self.ompdart.stats.speedup_over(self.unoptimized.stats)
+
+    @property
+    def expert_speedup_x(self) -> float:
+        return self.expert.stats.speedup_over(self.unoptimized.stats)
+
+    # -- Fig. 6 ----------------------------------------------------------
+
+    @property
+    def transfer_time_improvement_x(self) -> float:
+        return self.ompdart.stats.transfer_improvement_over(
+            self.unoptimized.stats
+        )
+
+    @property
+    def expert_transfer_time_improvement_x(self) -> float:
+        return self.expert.stats.transfer_improvement_over(
+            self.unoptimized.stats
+        )
+
+
+def run_benchmark(
+    name: str,
+    *,
+    cost_model: CostModel = A100_PCIE4,
+    verify: bool = True,
+) -> BenchmarkRun:
+    """Run one application's three variants through the simulator."""
+    bench = get_benchmark(name)
+    unopt_src = bench.unoptimized_source()
+    expert_src = bench.expert_source()
+
+    tool = OMPDart(ToolOptions())
+    transform = tool.run(unopt_src, str(bench.unoptimized_path))
+
+    run = BenchmarkRun(
+        benchmark=bench,
+        unoptimized=run_simulation(
+            unopt_src, f"{name}_unoptimized.c", cost_model=cost_model
+        ),
+        ompdart=run_simulation(
+            transform.output_source, f"{name}_ompdart.c", cost_model=cost_model
+        ),
+        expert=run_simulation(
+            expert_src, f"{name}_expert.c", cost_model=cost_model
+        ),
+        transform=transform,
+    )
+    if verify:
+        run.verify()
+    return run
+
+
+def run_all(
+    *, cost_model: CostModel = A100_PCIE4, verify: bool = True
+) -> dict[str, BenchmarkRun]:
+    """Run the full nine-application evaluation (paper section VI)."""
+    return {
+        name: run_benchmark(name, cost_model=cost_model, verify=verify)
+        for name in BENCHMARK_ORDER
+    }
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geomean used for the paper's summary statistics."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= max(v, 1e-12)
+    return product ** (1.0 / len(values))

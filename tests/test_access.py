@@ -1,0 +1,141 @@
+"""Tests for memory access classification (paper section IV-B)."""
+
+from repro.analysis import AccessKind, collect_accesses, summarize
+from repro.frontend import ast_nodes as A
+from repro.frontend import parse_source
+
+
+def accesses_for(body, prelude="int a[8]; int b[8]; int x; int y;"):
+    src = f"{prelude}\nvoid g(double *p) {{}}\nvoid gc(const double *p) {{}}\n" \
+          f"int main() {{ {body} return 0; }}"
+    tu = parse_source(src, "t.c")
+    fn = tu.lookup_function("main")
+    out = []
+    for stmt in fn.body.stmts:
+        out.extend(collect_accesses(stmt))
+    return out
+
+
+def kinds_of(body, name, **kw):
+    joined = AccessKind.NONE
+    for acc in accesses_for(body, **kw):
+        if acc.name == name:
+            joined = joined.join(acc.kind)
+    return joined
+
+
+class TestKindLattice:
+    def test_join_identity(self):
+        assert AccessKind.NONE.join(AccessKind.READ) is AccessKind.READ
+
+    def test_join_read_write(self):
+        assert AccessKind.READ.join(AccessKind.WRITE) is AccessKind.READWRITE
+
+    def test_unknown_dominates(self):
+        for k in AccessKind:
+            assert AccessKind.UNKNOWN.join(k) is AccessKind.UNKNOWN
+
+    def test_reads_writes_predicates(self):
+        assert AccessKind.READ.reads and not AccessKind.READ.writes
+        assert AccessKind.WRITE.writes and not AccessKind.WRITE.reads
+        assert AccessKind.READWRITE.reads and AccessKind.READWRITE.writes
+        assert AccessKind.UNKNOWN.reads and AccessKind.UNKNOWN.writes
+
+
+class TestClassification:
+    def test_plain_read(self):
+        assert kinds_of("y = x;", "x") is AccessKind.READ
+
+    def test_plain_write(self):
+        assert kinds_of("x = 1;", "x") is AccessKind.WRITE
+
+    def test_compound_assign_is_readwrite(self):
+        assert kinds_of("x += 1;", "x") is AccessKind.READWRITE
+
+    def test_increment_is_readwrite(self):
+        assert kinds_of("x++;", "x") is AccessKind.READWRITE
+        assert kinds_of("--x;", "x") is AccessKind.READWRITE
+
+    def test_array_write_and_index_read(self):
+        accs = accesses_for("a[x] = 1;")
+        by_name = summarize(accs)
+        assert by_name["a"] is AccessKind.WRITE
+        assert by_name["x"] is AccessKind.READ
+
+    def test_array_read(self):
+        assert kinds_of("y = a[0];", "a") is AccessKind.READ
+
+    def test_array_subscript_recorded(self):
+        accs = [acc for acc in accesses_for("a[0] = 1;") if acc.name == "a"]
+        assert accs[0].subscript is not None
+        assert not accs[0].is_whole_variable
+
+    def test_rhs_then_lhs(self):
+        accs = [acc for acc in accesses_for("x = y;") if acc.name in ("x", "y")]
+        assert [a.name for a in accs] == ["y", "x"]
+
+    def test_address_of_is_unknown(self):
+        assert kinds_of("int *p; p = &x;", "x") is AccessKind.UNKNOWN
+
+    def test_ternary_both_arms(self):
+        by_name = summarize(accesses_for("y = x ? a[0] : b[0];"))
+        assert by_name["a"] is AccessKind.READ
+        assert by_name["b"] is AccessKind.READ
+
+    def test_decl_init_reads_rhs(self):
+        by_name = summarize(accesses_for("int z = x + 1;"))
+        assert by_name["x"] is AccessKind.READ
+        assert by_name["z"] is AccessKind.WRITE
+
+    def test_condition_reads(self):
+        by_name = summarize(accesses_for("if (x > 0) { }"))
+        assert by_name["x"] is AccessKind.READ
+
+    def test_sizeof_operand_not_accessed(self):
+        assert kinds_of("y = sizeof x;", "x") is AccessKind.NONE
+
+
+class TestCallArguments:
+    def test_scalar_arg_is_read(self):
+        assert kinds_of("g((double *)0); y = abs(x);", "x") is AccessKind.READ
+
+    def test_array_arg_unknown_before_resolution(self):
+        accs = [a for a in accesses_for("double d[4]; g(d);") if a.name == "d"]
+        assert accs[-1].kind is AccessKind.UNKNOWN
+        assert accs[-1].via_call is not None
+
+    def test_const_pointer_arg_is_read(self):
+        accs = [a for a in accesses_for("double d[4]; gc(d);") if a.name == "d"]
+        # argument type is double[4]; parameter is const double * -> READ
+        reads = [a for a in accs if a.via_call is not None]
+        assert reads and all(a.kind in (AccessKind.READ, AccessKind.UNKNOWN) for a in reads)
+
+    def test_address_of_arg_via_call(self):
+        src_accs = accesses_for("double z; g(&z);", prelude="int unused;")
+        tagged = [a for a in src_accs if a.name == "z" and a.via_call is not None]
+        assert tagged
+
+
+class TestStatementScoping:
+    def test_if_collects_only_condition(self):
+        src = "int x; int y;\nint main() { if (x) { y = 1; } return 0; }"
+        tu = parse_source(src, "t.c")
+        fn = tu.lookup_function("main")
+        if_stmt = next(fn.walk_instances(A.IfStmt))
+        names = {a.name for a in collect_accesses(if_stmt)}
+        assert names == {"x"}
+
+    def test_for_collects_only_condition(self):
+        src = "int n; int a[4];\nint main() { for (int i = 0; i < n; i++) a[i] = i; return 0; }"
+        tu = parse_source(src, "t.c")
+        fn = tu.lookup_function("main")
+        for_stmt = next(fn.walk_instances(A.ForStmt))
+        names = {a.name for a in collect_accesses(for_stmt)}
+        assert names == {"i", "n"}
+
+    def test_while_condition(self):
+        src = "int n;\nint main() { while (n > 0) { n--; } return 0; }"
+        tu = parse_source(src, "t.c")
+        fn = tu.lookup_function("main")
+        w = next(fn.walk_instances(A.WhileStmt))
+        assert summarize(collect_accesses(w))["n"] is AccessKind.READ

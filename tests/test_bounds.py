@@ -1,0 +1,227 @@
+"""Tests for loop bounds / access pattern analysis and Algorithm 1 (IV-E)."""
+
+import pytest
+
+from repro.analysis import (
+    Interval,
+    eval_interval,
+    find_indexing_var,
+    find_update_insert_loc,
+    infer_access_range,
+    loop_bounds,
+)
+from repro.frontend import ast_nodes as A
+from repro.frontend import parse_source
+
+
+def first_for(src):
+    tu = parse_source(src, "t.c")
+    return next(tu.walk_instances(A.ForStmt))
+
+
+def all_fors(src):
+    tu = parse_source(src, "t.c")
+    return list(tu.walk_instances(A.ForStmt)), tu
+
+
+def loop_src(header, body="a[i] = i;"):
+    return f"int a[256]; int n;\nint main() {{ int i; for ({header}) {{ {body} }} return 0; }}"
+
+
+class TestIndexingVar:
+    @pytest.mark.parametrize(
+        "header",
+        ["int i = 0; i < 8; i++", "int i = 0; i < 8; ++i",
+         "int i = 8; i > 0; i--", "int i = 0; i < 8; i += 2",
+         "int i = 0; i < 8; i = i + 1", "int i = 8; i >= 0; i = i - 2"],
+    )
+    def test_recognized_shapes(self, header):
+        assert find_indexing_var(first_for(loop_src(header, "a[0] = 0;"))) == "i"
+
+    def test_missing_increment(self):
+        assert find_indexing_var(first_for(loop_src("int i = 0; i < 8;", "i++;"))) is None
+
+    def test_complex_increment_rejected(self):
+        src = loop_src("int i = 0; i < 8; i = i * 2", "a[0] = 0;")
+        assert find_indexing_var(first_for(src)) is None
+
+
+class TestLoopBounds:
+    def test_paper_listing4(self):
+        # for (int i = 0; i < 100/2; i++) -> [0, 49]
+        src = loop_src("int i = 0; i < 100/2; i++")
+        b = loop_bounds(first_for(src))
+        assert (b.lower, b.upper, b.step) == (0, 49, 1)
+        assert b.trip_count == 50
+
+    def test_le_bound(self):
+        b = loop_bounds(first_for(loop_src("int i = 1; i <= 16; i++")))
+        assert (b.lower, b.upper) == (1, 16)
+        assert b.trip_count == 16
+
+    def test_strided(self):
+        b = loop_bounds(first_for(loop_src("int i = 0; i < 10; i += 3")))
+        assert b.trip_count == 4  # 0, 3, 6, 9
+
+    def test_decreasing(self):
+        b = loop_bounds(first_for(loop_src("int i = 9; i >= 0; i--", "a[i] = i;")))
+        assert (b.lower, b.upper, b.step) == (0, 9, -1)
+        assert b.trip_count == 10
+
+    def test_decreasing_gt(self):
+        b = loop_bounds(first_for(loop_src("int i = 9; i > 0; i--", "a[i] = i;")))
+        assert (b.lower, b.upper) == (1, 9)
+
+    def test_reversed_comparison(self):
+        # `8 > i` normalizes to `i < 8`
+        b = loop_bounds(first_for(loop_src("int i = 0; 8 > i; i++")))
+        assert (b.lower, b.upper) == (0, 7)
+
+    def test_symbolic_bound_gives_none_upper(self):
+        b = loop_bounds(first_for(loop_src("int i = 0; i < n; i++")))
+        assert b is not None
+        assert b.upper is None
+        assert b.trip_count is None
+
+    def test_assignment_init_form(self):
+        b = loop_bounds(first_for(loop_src("i = 2; i < 8; i++")))
+        assert b.lower == 2
+
+    def test_macro_folded_bound(self):
+        src = "#define N 32\nint a[N];\nint main() { for (int i = 0; i < N; i++) a[i] = i; return 0; }"
+        b = loop_bounds(first_for(src))
+        assert b.upper == 31
+
+
+class TestIntervalArithmetic:
+    ENV = {"i": Interval(0, 9), "j": Interval(1, 4)}
+
+    def parse_expr(self, text):
+        src = f"int a[512]; int i; int j;\nint main() {{ int q = a[{text}]; return q; }}"
+        tu = parse_source(src, "t.c")
+        sub = next(tu.walk_instances(A.ArraySubscriptExpr))
+        return sub.index
+
+    @pytest.mark.parametrize(
+        "text,lo,hi",
+        [
+            ("i", 0, 9),
+            ("i + 1", 1, 10),
+            ("i - j", -4, 8),
+            ("i * 4", 0, 36),
+            ("i * 4 + j", 1, 40),
+            ("2 * i + 3", 3, 21),
+            ("i / 2", 0, 4),
+            ("-i", -9, 0),
+        ],
+    )
+    def test_affine(self, text, lo, hi):
+        iv = eval_interval(self.parse_expr(text), self.ENV)
+        assert (iv.lo, iv.hi) == (lo, hi)
+
+    def test_unknown_var_gives_none(self):
+        assert eval_interval(self.parse_expr("k + 1"), self.ENV) is None
+
+    def test_mod_wraps(self):
+        iv = eval_interval(self.parse_expr("i % 4"), self.ENV)
+        assert (iv.lo, iv.hi) == (0, 3)
+
+    def test_interval_validates(self):
+        with pytest.raises(ValueError):
+            Interval(3, 1)
+
+
+class TestAccessRange:
+    def test_nested_loop_range(self):
+        src = """
+        double ps[128];
+        int main() {
+          for (int j = 1; j <= 16; j++)
+            for (int k = 0; k < 8; k++) {
+              double s = ps[k * 16 + j - 1];
+            }
+          return 0;
+        }
+        """
+        loops, tu = all_fors(src)
+        sub = next(tu.walk_instances(A.ArraySubscriptExpr))
+        rng = infer_access_range(sub, loops)
+        assert (rng.lo, rng.hi) == (0, 127)
+
+    def test_partial_range_detected(self):
+        src = """
+        double a[256];
+        int main() {
+          for (int i = 0; i < 64; i++) { double s = a[i]; }
+          return 0;
+        }
+        """
+        loops, tu = all_fors(src)
+        sub = next(tu.walk_instances(A.ArraySubscriptExpr))
+        rng = infer_access_range(sub, loops)
+        assert (rng.lo, rng.hi) == (0, 63)
+
+
+class TestAlgorithm1:
+    def listing6(self):
+        src = """
+        double partial_sum[128];
+        int main() {
+          for (int j = 1; j <= 16; j++) {
+            double sum = 0.0;
+            for (int k = 0; k < 8; k++) {
+              sum += partial_sum[k * 16 + j - 1];
+            }
+          }
+          return 0;
+        }
+        """
+        loops, tu = all_fors(src)
+        sub = next(tu.walk_instances(A.ArraySubscriptExpr))
+        return sub, loops
+
+    def test_listing6_outer_loop(self):
+        # Both j and k index partial_sum -> position is the outermost loop.
+        sub, loops = self.listing6()
+        pos = find_update_insert_loc(sub, list(reversed(loops)), None)
+        assert pos is loops[0]  # the j loop
+
+    def test_loc_lim_blocks_hoist(self):
+        sub, loops = self.listing6()
+        # pretend the preceding kernel ends between the two loops
+        loc_lim = loops[1].begin_offset - 1
+        pos = find_update_insert_loc(sub, list(reversed(loops)), loc_lim)
+        assert pos is loops[1]  # cannot move above the inner loop
+
+    def test_non_indexing_loop_skipped(self):
+        src = """
+        double a[64];
+        int main() {
+          for (int t = 0; t < 4; t++) {
+            for (int i = 0; i < 64; i++) {
+              double s = a[i];
+            }
+          }
+          return 0;
+        }
+        """
+        loops, tu = all_fors(src)
+        sub = next(tu.walk_instances(A.ArraySubscriptExpr))
+        pos = find_update_insert_loc(sub, list(reversed(loops)), None)
+        # only i indexes a -> position is the i loop, not the t loop
+        assert pos is loops[1]
+
+    def test_no_indexing_loops_returns_access(self):
+        src = """
+        double a[64];
+        int main() {
+          for (int t = 0; t < 4; t++) {
+            double s = a[0];
+          }
+          return 0;
+        }
+        """
+        loops, tu = all_fors(src)
+        sub = next(tu.walk_instances(A.ArraySubscriptExpr))
+        pos = find_update_insert_loc(sub, list(reversed(loops)), None)
+        assert pos is sub

@@ -1,0 +1,340 @@
+"""Tests for CFG construction and the hybrid AST-CFG."""
+
+import pytest
+
+from repro.cfg import (
+    ASTCFG,
+    EdgeLabel,
+    NodeKind,
+    build_astcfgs,
+    build_cfg,
+    cfg_to_dot,
+    cfg_to_networkx,
+)
+from repro.frontend import ast_nodes as A
+from repro.frontend import parse_source
+
+
+def cfg_for(src, name="main"):
+    tu = parse_source(src, "t.c")
+    fn = tu.lookup_function(name)
+    return build_cfg(fn)
+
+
+def astcfg_for(src, name="main"):
+    tu = parse_source(src, "t.c")
+    return ASTCFG(tu.lookup_function(name))
+
+
+class TestLinearFlow:
+    def test_empty_function(self):
+        cfg = cfg_for("int main() { return 0; }")
+        assert cfg.validate() == []
+        # entry -> return -> exit
+        assert cfg.entry.succ_nodes()[0].kind is NodeKind.STMT
+        assert cfg.exit in cfg.entry.succ_nodes()[0].succ_nodes()
+
+    def test_straight_line(self):
+        cfg = cfg_for("int main() { int a = 1; a = 2; a = 3; return a; }")
+        assert cfg.validate() == []
+        # One path entry..exit through 4 statement nodes.
+        node, count = cfg.entry, 0
+        while node is not cfg.exit:
+            assert len(node.successors) == 1
+            node = node.succ_nodes()[0]
+            count += 1
+        assert count == 5  # 4 stmts + exit hop
+
+    def test_decl_nodes_marked(self):
+        cfg = cfg_for("int main() { int a = 1; return a; }")
+        kinds = [n.kind for n in cfg.nodes]
+        assert NodeKind.DECL in kinds
+
+
+class TestBranches:
+    def test_if_has_true_false_edges(self):
+        cfg = cfg_for("int main() { int x = 1; if (x) x = 2; return x; }")
+        preds = [n for n in cfg.nodes if n.kind is NodeKind.PRED]
+        assert len(preds) == 1
+        labels = {e.label for e in preds[0].successors}
+        assert labels == {EdgeLabel.TRUE, EdgeLabel.FALSE}
+
+    def test_if_else_join(self):
+        cfg = cfg_for(
+            "int main() { int x = 1; if (x) x = 2; else x = 3; return x; }"
+        )
+        assert cfg.validate() == []
+        ret = [n for n in cfg.nodes if isinstance(n.ast, A.ReturnStmt)][0]
+        assert len(ret.predecessors) == 2
+
+    def test_switch_case_edges(self):
+        src = """
+        int main() {
+          int x = 1, y = 0;
+          switch (x) {
+            case 1: y = 1; break;
+            case 2: y = 2; break;
+            default: y = 9;
+          }
+          return y;
+        }
+        """
+        cfg = cfg_for(src)
+        assert cfg.validate() == []
+        pred = [n for n in cfg.nodes if n.kind is NodeKind.PRED][0]
+        labels = [e.label for e in pred.successors]
+        assert labels.count(EdgeLabel.CASE) == 2
+        assert labels.count(EdgeLabel.DEFAULT) == 1
+
+    def test_switch_fallthrough(self):
+        src = """
+        int main() {
+          int x = 1, y = 0;
+          switch (x) {
+            case 1: y = 1;
+            case 2: y = 2; break;
+          }
+          return y;
+        }
+        """
+        cfg = cfg_for(src)
+        assert cfg.validate() == []
+        # the `y = 2` node has two predecessors: fallthrough + case edge
+        y2 = [
+            n for n in cfg.nodes
+            if isinstance(n.ast, A.ExprStmt)
+            and isinstance(n.ast.expr, A.BinaryOperator)
+            and isinstance(n.ast.expr.rhs, A.IntegerLiteral)
+            and n.ast.expr.rhs.value == 2
+        ][0]
+        assert len(y2.predecessors) == 2
+
+    def test_switch_without_default_can_skip(self):
+        src = """
+        int main() {
+          int x = 5, y = 0;
+          switch (x) { case 1: y = 1; break; }
+          return y;
+        }
+        """
+        cfg = cfg_for(src)
+        pred = [n for n in cfg.nodes if n.kind is NodeKind.PRED][0]
+        ret = [n for n in cfg.nodes if isinstance(n.ast, A.ReturnStmt)][0]
+        assert ret in pred.succ_nodes()
+
+
+class TestLoops:
+    def test_for_loop_back_edge(self):
+        cfg = cfg_for("int main() { for (int i = 0; i < 3; i++) {} return 0; }")
+        assert cfg.validate() == []
+        back = [e for e in cfg.edges if e.is_back_edge]
+        assert len(back) == 1
+        assert len(cfg.loops) == 1
+        assert cfg.loops[0].back_edge is back[0]
+
+    def test_for_loop_head_is_pred(self):
+        cfg = cfg_for("int main() { for (int i = 0; i < 3; i++) {} return 0; }")
+        loop = cfg.loops[0]
+        assert loop.head is not None
+        assert loop.head.kind is NodeKind.PRED
+        assert isinstance(loop.head.ast, A.ForStmt)
+
+    def test_while_loop(self):
+        cfg = cfg_for("int main() { int i = 0; while (i < 3) i++; return i; }")
+        assert cfg.validate() == []
+        assert len(cfg.loops) == 1
+        assert len([e for e in cfg.edges if e.is_back_edge]) == 1
+
+    def test_do_loop_body_precedes_cond(self):
+        cfg = cfg_for("int main() { int i = 0; do { i++; } while (i < 3); return i; }")
+        assert cfg.validate() == []
+        loop = cfg.loops[0]
+        # do-while back edge goes head(true) -> body entry
+        assert loop.back_edge.src is loop.head
+        assert loop.back_edge.label is EdgeLabel.TRUE
+
+    def test_nested_loops_parenting(self):
+        src = """
+        int main() {
+          for (int i = 0; i < 2; i++)
+            for (int j = 0; j < 2; j++) { int x = 0; }
+          return 0;
+        }
+        """
+        cfg = cfg_for(src)
+        assert len(cfg.loops) == 2
+        inner = [l for l in cfg.loops if l.parent is not None]
+        assert len(inner) == 1
+        assert inner[0].depth == 2
+
+    def test_loop_depth_marking(self):
+        src = """
+        int main() {
+          int a = 0;
+          for (int i = 0; i < 2; i++) { a = 1; }
+          return a;
+        }
+        """
+        cfg = cfg_for(src)
+        body_assign = [
+            n for n in cfg.nodes
+            if isinstance(n.ast, A.ExprStmt) and n.loop_depth == 1
+        ]
+        assert body_assign
+
+    def test_break_exits_loop(self):
+        cfg = cfg_for("int main() { for (;;) { break; } return 0; }")
+        assert cfg.validate() == []
+        ret = [n for n in cfg.nodes if isinstance(n.ast, A.ReturnStmt)][0]
+        brk = [n for n in cfg.nodes if isinstance(n.ast, A.BreakStmt)][0]
+        assert ret in brk.succ_nodes()
+
+    def test_continue_in_while_is_back_edge(self):
+        cfg = cfg_for(
+            "int main() { int i = 0; while (i < 9) { i++; continue; } return i; }"
+        )
+        cont = [n for n in cfg.nodes if isinstance(n.ast, A.ContinueStmt)][0]
+        assert cont.successors[0].is_back_edge
+
+    def test_continue_in_for_goes_through_increment(self):
+        src = "int main() { for (int i = 0; i < 9; i++) { continue; } return 0; }"
+        cfg = cfg_for(src)
+        cont = [n for n in cfg.nodes if isinstance(n.ast, A.ContinueStmt)][0]
+        succ = cont.succ_nodes()[0]
+        assert isinstance(succ.ast, A.ExprStmt)  # the synthesized i++ node
+
+    def test_topological_order_ignores_back_edges(self):
+        cfg = cfg_for("int main() { for (int i = 0; i < 3; i++) {} return 0; }")
+        order = cfg.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for e in cfg.edges:
+            if not e.is_back_edge and e.src in pos and e.dst in pos:
+                assert pos[e.src] < pos[e.dst], f"forward edge {e!r} out of order"
+
+
+class TestOffloadMarking:
+    SRC = """
+    int a[10];
+    int main() {
+      a[0] = 1;
+      #pragma omp target teams distribute parallel for
+      for (int i = 0; i < 10; i++) {
+        a[i] = i;
+      }
+      a[1] = 2;
+      return 0;
+    }
+    """
+
+    def test_kernel_body_nodes_offloaded(self):
+        cfg = cfg_for(self.SRC)
+        offloaded = cfg.offloaded_nodes()
+        assert offloaded
+        for node in offloaded:
+            assert node.kernel is not None
+            assert node.kernel.directive_kind == "target teams distribute parallel for"
+
+    def test_host_nodes_not_offloaded(self):
+        cfg = cfg_for(self.SRC)
+        host_assigns = [
+            n for n in cfg.nodes
+            if isinstance(n.ast, A.ExprStmt) and not n.offloaded
+        ]
+        assert len(host_assigns) == 2
+
+    def test_directive_node_exists(self):
+        cfg = cfg_for(self.SRC)
+        directives = [n for n in cfg.nodes if n.kind is NodeKind.DIRECTIVE]
+        assert len(directives) == 1
+
+    def test_loop_inside_kernel_offloaded(self):
+        cfg = cfg_for(self.SRC)
+        loop = cfg.loops[0]
+        assert loop.head.offloaded
+
+
+class TestASTCFG:
+    def test_bidirectional_links(self):
+        astcfg = astcfg_for(self.__class__.SRC) if hasattr(self.__class__, "SRC") \
+            else astcfg_for(TestOffloadMarking.SRC)
+        for node in astcfg.cfg.nodes:
+            if node.ast is not None:
+                assert astcfg.cfg_node_of(node.ast) is not None
+
+    def test_cfg_node_containing_expression(self):
+        astcfg = astcfg_for(TestOffloadMarking.SRC)
+        subs = list(astcfg.function.walk_instances(A.ArraySubscriptExpr))
+        for sub in subs:
+            node = astcfg.cfg_node_containing(sub)
+            assert node is not None
+
+    def test_kernel_directives_in_source_order(self):
+        src = """
+        int a[4];
+        int main() {
+          #pragma omp target
+          for (int i = 0; i < 4; i++) a[i] = i;
+          #pragma omp target
+          for (int i = 0; i < 4; i++) a[i] *= 2;
+          return 0;
+        }
+        """
+        astcfg = astcfg_for(src)
+        kernels = astcfg.kernel_directives()
+        assert len(kernels) == 2
+        assert kernels[0].begin_offset < kernels[1].begin_offset
+
+    def test_data_management_detected(self):
+        src = """
+        int a[4];
+        int main() {
+          #pragma omp target update from(a)
+          return 0;
+        }
+        """
+        astcfg = astcfg_for(src)
+        assert len(astcfg.data_management_directives()) == 1
+
+    def test_call_sites(self):
+        src = """
+        int helper(int x) { return x + 1; }
+        int main() { return helper(helper(1)); }
+        """
+        astcfg = astcfg_for(src)
+        calls = astcfg.call_sites()
+        assert len(calls) == 2
+
+    def test_build_astcfgs_skips_prototypes(self):
+        src = "int f(int);\nint main() { return 0; }"
+        tu = parse_source(src, "t.c")
+        graphs = build_astcfgs(tu)
+        assert set(graphs) == {"main"}
+
+
+class TestExports:
+    def test_dot_output(self):
+        cfg = cfg_for("int main() { if (1) return 1; return 0; }")
+        dot = cfg_to_dot(cfg)
+        assert dot.startswith("digraph")
+        assert "true" in dot and "false" in dot
+
+    def test_dot_marks_back_edges_dashed(self):
+        cfg = cfg_for("int main() { for (int i = 0; i < 2; i++) {} return 0; }")
+        assert "style=dashed" in cfg_to_dot(cfg)
+
+    def test_networkx_roundtrip(self):
+        cfg = cfg_for("int main() { for (int i = 0; i < 2; i++) {} return 0; }")
+        g = cfg_to_networkx(cfg)
+        assert g.number_of_nodes() == len(cfg.nodes)
+        assert g.number_of_edges() == len(cfg.edges)
+
+    def test_networkx_cycle_matches_loops(self):
+        import networkx as nx
+
+        cfg = cfg_for("int main() { while (1) { break; } return 0; }")
+        g = cfg_to_networkx(cfg)
+        # removing back edges yields a DAG
+        fwd = nx.DiGraph(
+            (u, v) for u, v, d in g.edges(data=True) if not d["back"]
+        )
+        assert nx.is_directed_acyclic_graph(fwd)

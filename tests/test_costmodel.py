@@ -1,0 +1,86 @@
+"""Tests for the analytic cost model and profiler arithmetic."""
+
+import pytest
+
+from repro.runtime import Profiler, TransferStats
+from repro.runtime.costmodel import A100_PCIE4, CostModel
+
+
+class TestCostModel:
+    def test_memcpy_time_components(self):
+        cm = CostModel(memcpy_latency_s=1e-5, memcpy_bandwidth_Bps=1e9)
+        assert cm.memcpy_time(0) == pytest.approx(1e-5)
+        assert cm.memcpy_time(10**9) == pytest.approx(1e-5 + 1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().memcpy_time(-1)
+
+    def test_kernel_time(self):
+        cm = CostModel(kernel_launch_s=5e-6, device_op_s=1e-9)
+        assert cm.kernel_time(0) == pytest.approx(5e-6)
+        assert cm.kernel_time(10**6) == pytest.approx(5e-6 + 1e-3)
+
+    def test_device_faster_per_op_than_host(self):
+        # parallel device beats serial host per work unit — the premise
+        # that makes offloading worthwhile at all
+        assert A100_PCIE4.device_op_s < A100_PCIE4.host_op_s
+
+    def test_transfer_dominates_small_kernels(self):
+        # one 4-byte memcpy must cost more than a small kernel's compute,
+        # matching the paper's premise that launches/transfers dominate
+        cm = A100_PCIE4
+        assert cm.memcpy_time(4) > cm.device_op_s * 100
+
+
+class TestProfiler:
+    def test_memcpy_accounting(self):
+        p = Profiler()
+        p.record_memcpy("HtoD", 100)
+        p.record_memcpy("HtoD", 50)
+        p.record_memcpy("DtoH", 10)
+        s = p.snapshot()
+        assert (s.h2d_calls, s.h2d_bytes) == (2, 150)
+        assert (s.d2h_calls, s.d2h_bytes) == (1, 10)
+        assert s.total_calls == 3
+        assert s.total_bytes == 160
+
+    def test_zero_byte_copies_elided(self):
+        p = Profiler()
+        p.record_memcpy("HtoD", 0)
+        assert p.snapshot().total_calls == 0
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler().record_memcpy("sideways", 4)
+
+    def test_wall_clock_monotonic(self):
+        p = Profiler()
+        t0 = p.current_time_s
+        p.record_kernel_launch()
+        t1 = p.current_time_s
+        p.tick_device(1000)
+        t2 = p.current_time_s
+        p.record_memcpy("DtoH", 4096)
+        t3 = p.current_time_s
+        assert t0 < t1 < t2 < t3
+
+    def test_snapshot_immutable_view(self):
+        p = Profiler()
+        p.record_memcpy("HtoD", 8)
+        snap = p.snapshot()
+        p.record_memcpy("HtoD", 8)
+        assert snap.h2d_calls == 1  # snapshot unaffected
+
+    def test_speedup_and_improvement(self):
+        fast = TransferStats(1, 1, 8, 8, 0.001, 0.001, 0.001, 1)
+        slow = TransferStats(10, 10, 80, 80, 0.01, 0.001, 0.001, 10)
+        assert slow.speedup_over(fast) < 1.0
+        assert fast.speedup_over(slow) > 1.0
+        assert fast.transfer_improvement_over(slow) == pytest.approx(10.0)
+
+    def test_transfer_improvement_zero_guard(self):
+        none = TransferStats(0, 0, 0, 0, 0.0, 1.0, 1.0, 0)
+        some = TransferStats(1, 0, 8, 0, 0.5, 1.0, 1.0, 1)
+        assert none.transfer_improvement_over(some) == float("inf")
+        assert none.transfer_improvement_over(none) == 1.0

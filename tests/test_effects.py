@@ -1,0 +1,160 @@
+"""Tests for the interprocedural side-effect analysis (section IV-C)."""
+
+from repro.analysis import AccessKind, InterproceduralAnalysis
+from repro.frontend import ast_nodes as A
+from repro.frontend import parse_source
+
+
+def analyze(src):
+    tu = parse_source(src, "t.c")
+    return tu, InterproceduralAnalysis(tu)
+
+
+class TestParameterEffects:
+    def test_write_through_pointer_param(self):
+        tu, ipa = analyze("void f(double *p) { p[0] = 1.0; }")
+        assert ipa.summaries["f"].param_effects[0].writes
+
+    def test_read_through_pointer_param(self):
+        tu, ipa = analyze("double f(double *p) { return p[0]; }")
+        eff = ipa.summaries["f"].param_effects[0]
+        assert eff.reads and not eff.writes
+
+    def test_readwrite_param(self):
+        tu, ipa = analyze("void f(int *p) { p[0] += 1; }")
+        assert ipa.summaries["f"].param_effects[0] is AccessKind.READWRITE
+
+    def test_scalar_param_no_effect(self):
+        tu, ipa = analyze("int f(int x) { x = 3; return x; }")
+        assert ipa.summaries["f"].param_effects == {}
+
+    def test_pointer_value_read_is_not_an_effect(self):
+        # comparing the pointer itself does not touch pointed-to data
+        tu, ipa = analyze("int f(int *p) { return p == 0; }")
+        assert 0 not in ipa.summaries["f"].param_effects
+
+
+class TestGlobalEffects:
+    def test_global_write(self):
+        tu, ipa = analyze("int g;\nvoid f() { g = 1; }")
+        assert ipa.summaries["f"].global_effects["g"].writes
+
+    def test_global_read(self):
+        tu, ipa = analyze("int g;\nint f() { return g; }")
+        eff = ipa.summaries["f"].global_effects["g"]
+        assert eff.reads and not eff.writes
+
+    def test_global_array_element_write(self):
+        tu, ipa = analyze("double g[8];\nvoid f(int i) { g[i] = 0.0; }")
+        assert ipa.summaries["f"].global_effects["g"].writes
+
+
+class TestTransitivity:
+    def test_effects_propagate_through_calls(self):
+        src = """
+        void inner(double *p) { p[0] = 1.0; }
+        void outer(double *q) { inner(q); }
+        """
+        tu, ipa = analyze(src)
+        assert ipa.summaries["outer"].param_effects[0].writes
+
+    def test_three_level_chain(self):
+        src = """
+        int g;
+        void c() { g = 1; }
+        void b() { c(); }
+        void a() { b(); }
+        """
+        tu, ipa = analyze(src)
+        assert ipa.summaries["a"].global_effects["g"].writes
+
+    def test_recursive_function_terminates(self):
+        src = "int g;\nvoid f(int n) { if (n > 0) { g += 1; f(n - 1); } }"
+        tu, ipa = analyze(src)
+        assert ipa.summaries["f"].global_effects["g"] is AccessKind.READWRITE
+
+    def test_mutual_recursion_terminates(self):
+        src = """
+        int g;
+        void odd(int n);
+        void even(int n) { if (n > 0) odd(n - 1); else g = 0; }
+        void odd(int n) { if (n > 0) even(n - 1); else g = 1; }
+        """
+        tu, ipa = analyze(src)
+        assert ipa.summaries["even"].global_effects["g"].writes
+        assert ipa.summaries["odd"].global_effects["g"].writes
+
+    def test_early_fixpoint_exit(self):
+        tu, ipa = analyze("void f() {}\nvoid h() { f(); }")
+        # one productive pass plus one confirming pass at most
+        assert ipa.passes_run <= 2
+
+
+class TestConservativeDefaults:
+    def test_prototype_pointer_is_unknown(self):
+        src = "void ext(double *p);\nvoid f(double *q) { ext(q); }"
+        tu, ipa = analyze(src)
+        assert ipa.summaries["f"].param_effects[0] is AccessKind.UNKNOWN
+
+    def test_prototype_const_pointer_is_read(self):
+        src = "void ext(const double *p);\nvoid f(double *q) { ext(q); }"
+        tu, ipa = analyze(src)
+        eff = ipa.summaries["f"].param_effects[0]
+        assert eff.reads and not eff.writes
+
+    def test_builtin_math_has_no_effects(self):
+        tu, ipa = analyze("double f(double x) { return sqrt(x) + exp(x); }")
+        assert ipa.summaries["f"].param_effects == {}
+        assert ipa.summaries["f"].global_effects == {}
+
+    def test_memset_writes_argument(self):
+        src = "void f(double *p) { memset(p, 0, 64); }"
+        tu, ipa = analyze(src)
+        assert ipa.summaries["f"].param_effects[0].writes
+
+    def test_memcpy_direction(self):
+        src = "void f(double *dst, double *s) { memcpy(dst, s, 64); }"
+        tu, ipa = analyze(src)
+        assert ipa.summaries["f"].param_effects[0].writes
+        assert ipa.summaries["f"].param_effects[1].reads
+        assert not ipa.summaries["f"].param_effects[1].writes
+
+
+class TestCallSiteResolution:
+    def test_resolve_node_accesses_includes_callee_globals(self):
+        src = """
+        int g;
+        void bump() { g += 1; }
+        int main() { bump(); return g; }
+        """
+        tu, ipa = analyze(src)
+        main = tu.lookup_function("main")
+        call_stmt = main.body.stmts[0]
+        accs = ipa.resolve_node_accesses(call_stmt)
+        by_name = {a.name: a.kind for a in accs}
+        assert by_name["g"] is AccessKind.READWRITE
+
+    def test_resolution_maps_args_to_caller_vars(self):
+        src = """
+        void fill(double *p) { p[0] = 1.0; }
+        int main() { double buf[4]; fill(buf); return 0; }
+        """
+        tu, ipa = analyze(src)
+        main = tu.lookup_function("main")
+        call_stmt = main.body.stmts[1]
+        accs = ipa.resolve_node_accesses(call_stmt)
+        buf = [a for a in accs if a.name == "buf"]
+        assert buf and buf[0].kind.writes
+
+    def test_condition_scoped_resolution(self):
+        # calls in an if body must not leak into the if-condition node
+        src = """
+        int g;
+        void bump() { g += 1; }
+        int main() { int x = 1; if (x) { bump(); } return 0; }
+        """
+        tu, ipa = analyze(src)
+        main = tu.lookup_function("main")
+        if_stmt = next(main.walk_instances(A.IfStmt))
+        accs = ipa.resolve_node_accesses(if_stmt)
+        assert all(a.name != "g" for a in accs)

@@ -1,0 +1,238 @@
+"""Tests for liveness analysis and alias disambiguation."""
+
+import pytest
+
+from repro.analysis import (
+    InterproceduralAnalysis,
+    LivenessAnalysis,
+    analyze_function,
+    escaping_variables,
+    verify_disambiguation,
+)
+from repro.cfg import build_cfg
+from repro.diagnostics import AnalysisError
+from repro.frontend import ast_nodes as A
+from repro.frontend import parse_source
+
+
+def liveness_for(src, name="main", live_at_exit=None):
+    tu = parse_source(src, "t.c")
+    fn = tu.lookup_function(name)
+    cfg = build_cfg(fn)
+    effects = InterproceduralAnalysis(tu)
+    result = LivenessAnalysis(cfg, effects, live_at_exit=live_at_exit).run()
+    return tu, fn, cfg, result
+
+
+def node_of(cfg, pred):
+    return [n for n in cfg.nodes if n.ast is not None and pred(n.ast)][0]
+
+
+class TestLiveness:
+    def test_variable_live_before_use(self):
+        src = """
+        int main() {
+          int a = 1;
+          int b = a + 2;
+          return b;
+        }
+        """
+        tu, fn, cfg, res = liveness_for(src)
+        decl_a = node_of(cfg, lambda s: isinstance(s, A.DeclStmt)
+                         and s.decls[0].name == "a")
+        assert res.is_live_after(decl_a, "a")
+
+    def test_dead_after_last_use(self):
+        src = """
+        int main() {
+          int a = 1;
+          int b = a + 2;
+          a = 0;
+          return b;
+        }
+        """
+        tu, fn, cfg, res = liveness_for(src)
+        # after the read `b = a + 2`, the next event is a kill: `a` dead
+        decl_b = node_of(cfg, lambda s: isinstance(s, A.DeclStmt)
+                         and s.decls[0].name == "b")
+        assert not res.is_live_after(decl_b, "a")
+
+    def test_loop_keeps_variable_live(self):
+        src = """
+        int main() {
+          int acc = 0;
+          for (int i = 0; i < 4; i++) {
+            acc = acc + i;
+          }
+          return acc;
+        }
+        """
+        tu, fn, cfg, res = liveness_for(src)
+        body = node_of(cfg, lambda s: isinstance(s, A.ExprStmt))
+        assert res.is_live_after(body, "acc")  # live around the back edge
+
+    def test_branch_join_is_union(self):
+        src = """
+        int main() {
+          int a = 1, b = 2, c = 3;
+          if (c) {
+            c = a;
+          } else {
+            c = b;
+          }
+          return c;
+        }
+        """
+        tu, fn, cfg, res = liveness_for(src)
+        pred = [n for n in cfg.nodes if isinstance(n.ast, A.IfStmt)][0]
+        assert res.is_live_before(pred, "a")
+        assert res.is_live_before(pred, "b")
+
+    def test_array_element_write_does_not_kill(self):
+        src = """
+        int main() {
+          int a[4];
+          a[0] = 1;
+          a[1] = 2;
+          return a[0];
+        }
+        """
+        tu, fn, cfg, res = liveness_for(src)
+        first = node_of(cfg, lambda s: isinstance(s, A.ExprStmt))
+        assert res.is_live_after(first, "a")
+
+    def test_live_at_exit_propagates(self):
+        src = "int g;\nint main() { g = 1; return 0; }"
+        tu, fn, cfg, res = liveness_for(src, live_at_exit={"g"})
+        assign = node_of(cfg, lambda s: isinstance(s, A.ExprStmt))
+        assert res.is_live_after(assign, "g")
+
+    def test_escaping_variables(self):
+        src = "int g;\nvoid f(double *p, int n) { p[0] = g + n; }"
+        tu = parse_source(src, "t.c")
+        fn = tu.lookup_function("f")
+        esc = escaping_variables(fn, tu)
+        assert "g" in esc and "p" in esc and "n" not in esc
+
+
+class TestAlias:
+    def test_malloc_site_unambiguous(self):
+        src = """
+        int main() {
+          double *p = (double *)malloc(64);
+          p[0] = 1.0;
+          return 0;
+        }
+        """
+        tu = parse_source(src, "t.c")
+        result = analyze_function(tu.lookup_function("main"), tu)
+        assert result.unambiguous("p")
+
+    def test_array_decay(self):
+        src = """
+        int main() {
+          double buf[8];
+          double *p = buf;
+          p[0] = 1.0;
+          return 0;
+        }
+        """
+        tu = parse_source(src, "t.c")
+        result = analyze_function(tu.lookup_function("main"), tu)
+        (obj,) = result.of("p")
+        assert obj.name == "buf"
+
+    def test_two_targets_detected(self):
+        src = """
+        int main() {
+          double a[8]; double b[8];
+          double *p = a;
+          p = b;
+          p[0] = 1.0;
+          return 0;
+        }
+        """
+        tu = parse_source(src, "t.c")
+        result = analyze_function(tu.lookup_function("main"), tu)
+        assert not result.unambiguous("p")
+        assert result.may_alias("p", "p")
+
+    def test_conditional_assignment_unions(self):
+        src = """
+        int main() {
+          double a[8]; double b[8];
+          int c = 1;
+          double *p = c ? a : b;
+          p[0] = 1.0;
+          return 0;
+        }
+        """
+        tu = parse_source(src, "t.c")
+        result = analyze_function(tu.lookup_function("main"), tu)
+        assert len(result.of("p")) == 2
+
+    def test_pointer_copy_propagates(self):
+        src = """
+        int main() {
+          double a[8];
+          double *p = a;
+          double *q = p;
+          q[0] = 1.0;
+          return 0;
+        }
+        """
+        tu = parse_source(src, "t.c")
+        result = analyze_function(tu.lookup_function("main"), tu)
+        assert result.may_alias("p", "q")
+
+    def test_verify_disambiguation_raises_on_ambiguity(self):
+        src = """
+        int main() {
+          double a[8]; double b[8];
+          double *p = a;
+          p = b;
+          #pragma omp target
+          for (int i = 0; i < 8; i++) p[i] = i;
+          return 0;
+        }
+        """
+        tu = parse_source(src, "t.c")
+        with pytest.raises(AnalysisError, match="disambiguate"):
+            verify_disambiguation(tu.lookup_function("main"), tu, {"p"})
+
+    def test_tool_rejects_ambiguous_kernel_pointer(self):
+        from repro.core import transform_source
+
+        src = """
+        int main() {
+          double a[8]; double b[8];
+          double *p = a;
+          p = b;
+          #pragma omp target
+          for (int i = 0; i < 8; i++) p[i] = i;
+          return 0;
+        }
+        """
+        with pytest.raises(AnalysisError):
+            transform_source(src, "ambig.c")
+
+    def test_param_pointers_distinct(self):
+        src = "void f(double *p, double *q) { p[0] = q[0]; }"
+        tu = parse_source(src, "t.c")
+        result = analyze_function(tu.lookup_function("f"), tu)
+        assert not result.may_alias("p", "q")
+        assert result.unambiguous("p") and result.unambiguous("q")
+
+    def test_pointer_arithmetic_stays_in_object(self):
+        src = """
+        int main() {
+          double a[8];
+          double *p = a + 2;
+          p[0] = 1.0;
+          return 0;
+        }
+        """
+        tu = parse_source(src, "t.c")
+        result = analyze_function(tu.lookup_function("main"), tu)
+        (obj,) = result.of("p")
+        assert obj.name == "a"

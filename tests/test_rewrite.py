@@ -1,0 +1,115 @@
+"""Tests for the rewrite buffer and directive emission (section IV-F)."""
+
+import pytest
+
+from repro.core import transform_source
+from repro.rewrite.buffer import RewriteBuffer
+
+
+class TestRewriteBuffer:
+    def test_single_insert(self):
+        buf = RewriteBuffer("hello world")
+        buf.insert(5, ",")
+        assert buf.apply() == "hello, world"
+
+    def test_insert_at_start_and_end(self):
+        buf = RewriteBuffer("mid")
+        buf.insert(0, "<")
+        buf.insert(3, ">")
+        assert buf.apply() == "<mid>"
+
+    def test_offsets_are_original_coordinates(self):
+        buf = RewriteBuffer("abcdef")
+        buf.insert(2, "XXX")
+        buf.insert(4, "YY")  # original offset 4, unaffected by first edit
+        assert buf.apply() == "abXXXcdYYef"
+
+    def test_priority_orders_same_offset(self):
+        buf = RewriteBuffer("x")
+        buf.insert(0, "b", priority=1)
+        buf.insert(0, "a", priority=-1)
+        assert buf.apply() == "abx"
+
+    def test_out_of_range_raises(self):
+        buf = RewriteBuffer("ab")
+        with pytest.raises(ValueError):
+            buf.insert(5, "x")
+
+    def test_line_start_and_end(self):
+        buf = RewriteBuffer("one\ntwo\nthree")
+        assert buf.line_start(5) == 4
+        assert buf.line_end(5) == 7
+
+    def test_logical_line_end_follows_continuations(self):
+        text = "#pragma omp target \\\n  map(to: a)\nint x;"
+        buf = RewriteBuffer(text)
+        end = buf.logical_line_end(0)
+        assert text[end - 1] == ")"
+
+    def test_indentation_at(self):
+        buf = RewriteBuffer("  \tcode here")
+        assert buf.indentation_at(6) == "  \t"
+
+    def test_insert_before_line(self):
+        buf = RewriteBuffer("a\n  b\nc")
+        buf.insert_before_line(4, "X")
+        assert buf.apply() == "a\nX  b\nc"
+
+
+class TestEmittedSourceShape:
+    SRC = """int a[8];
+int b[8];
+int main() {
+  a[0] = 1;
+  #pragma omp target
+  for (int i = 0; i < 8; i++) a[i] += b[i];
+  b[0] = a[0];
+  #pragma omp target
+  for (int i = 0; i < 8; i++) a[i] += 1;
+  int out = a[0];
+  printf("%d", out);
+  return 0;
+}
+"""
+
+    def test_region_braces_balance(self):
+        res = transform_source(self.SRC, "shape.c")
+        out = res.output_source
+        assert out.count("{") == out.count("}")
+
+    def test_captured_block_reindented(self):
+        res = transform_source(self.SRC, "shape.c")
+        out = res.output_source
+        # the region body gains one indentation level
+        assert "\n    #pragma omp target\n" in out
+
+    def test_update_consolidation(self):
+        # two variables needing the same update point merge into one
+        # directive (paper: "condenses the constructs into a directive
+        # per insertion point").
+        src = """int a[8]; int b[8]; int c;
+int main() {
+  #pragma omp target
+  for (int i = 0; i < 8; i++) { a[i] = i; b[i] = 2 * i; }
+  c = a[0] + b[0];
+  #pragma omp target
+  for (int i = 0; i < 8; i++) { a[i] += b[i]; }
+  printf("%d", c + a[0]);
+  return 0;
+}
+"""
+        res = transform_source(src, "consol.c")
+        out = res.output_source
+        assert out.count("#pragma omp target update") == 1
+        upd_line = [l for l in out.splitlines() if "target update" in l][0]
+        assert "a" in upd_line and "b" in upd_line
+
+    def test_output_reparses_and_runs(self):
+        from repro.frontend import parse_source
+        from repro.runtime import run_simulation
+
+        res = transform_source(self.SRC, "shape.c")
+        parse_source(res.output_source, "out.c")
+        before = run_simulation(self.SRC)
+        after = run_simulation(res.output_source)
+        assert before.output == after.output

@@ -1,0 +1,136 @@
+"""Tests for the refcounted device data environment (OpenMP 5.2 rules)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.ctypes_ import DOUBLE, INT
+from repro.runtime import DeviceDataEnvironment, DeviceRuntimeError, Profiler
+from repro.runtime.values import ArrayObject, Cell
+
+
+@pytest.fixture()
+def env():
+    return DeviceDataEnvironment(Profiler())
+
+
+@pytest.fixture()
+def arr():
+    obj = ArrayObject("a", 16, DOUBLE)
+    obj.data[:] = np.arange(16)
+    return obj
+
+
+class TestRefcounting:
+    def test_enter_allocates_and_copies_to(self, env, arr):
+        env.map_enter(arr, "to")
+        assert env.present(arr)
+        assert env.refcount(arr) == 1
+        assert env.profiler.h2d_calls == 1
+        assert env.profiler.h2d_bytes == arr.byte_size
+
+    def test_alloc_does_not_copy(self, env, arr):
+        env.map_enter(arr, "alloc")
+        assert env.present(arr)
+        assert env.profiler.h2d_calls == 0
+
+    def test_nested_enter_only_bumps_refcount(self, env, arr):
+        env.map_enter(arr, "to")
+        env.map_enter(arr, "tofrom")
+        assert env.refcount(arr) == 2
+        assert env.profiler.h2d_calls == 1  # second enter: no copy
+
+    def test_from_copies_only_at_zero(self, env, arr):
+        env.map_enter(arr, "tofrom")
+        env.map_enter(arr, "tofrom")
+        env.device_storage(arr)[:] = 99.0
+        env.map_exit(arr, "from")
+        # refcount 2 -> 1: no copy yet (the Listing 3 pitfall)
+        assert env.profiler.d2h_calls == 0
+        assert arr.data[0] != 99.0
+        env.map_exit(arr, "from")
+        assert env.profiler.d2h_calls == 1
+        assert arr.data[0] == 99.0
+        assert not env.present(arr)
+
+    def test_release_never_copies(self, env, arr):
+        env.map_enter(arr, "to")
+        env.device_storage(arr)[:] = 5.0
+        env.map_exit(arr, "release")
+        assert env.profiler.d2h_calls == 0
+        assert not env.present(arr)
+
+    def test_delete_drops_immediately(self, env, arr):
+        env.map_enter(arr, "to")
+        env.map_enter(arr, "to")
+        env.map_exit(arr, "delete")
+        assert not env.present(arr)
+
+    def test_exit_of_absent_object_is_noop(self, env, arr):
+        env.map_exit(arr, "from")
+        assert env.profiler.d2h_calls == 0
+
+    def test_refcount_never_negative(self, env, arr):
+        env.map_enter(arr, "to")
+        env.map_exit(arr, "from")
+        env.map_exit(arr, "from")
+        assert env.refcount(arr) == 0
+
+
+class TestUpdates:
+    def test_update_from_copies_unconditionally(self, env, arr):
+        env.map_enter(arr, "tofrom")
+        env.map_enter(arr, "tofrom")
+        env.device_storage(arr)[:] = 7.0
+        env.update_from(arr)
+        assert env.profiler.d2h_calls == 1
+        assert arr.data[0] == 7.0
+        assert env.present(arr)  # update does not unmap
+
+    def test_update_to_refreshes_device(self, env, arr):
+        env.map_enter(arr, "to")
+        arr.data[:] = 3.0
+        env.update_to(arr)
+        assert env.profiler.h2d_calls == 2
+        assert env.device_storage(arr)[0] == 3.0
+
+    def test_update_on_absent_object_is_noop(self, env, arr):
+        env.update_to(arr)
+        env.update_from(arr)
+        assert env.profiler.h2d_calls == 0
+        assert env.profiler.d2h_calls == 0
+
+
+class TestStaleness:
+    def test_device_allocation_is_not_host_copy(self, env, arr):
+        # alloc leaves device contents zeroed, not mirroring the host —
+        # this is what exposes missing map(to:) in verification.
+        env.map_enter(arr, "alloc")
+        assert float(env.device_storage(arr)[5]) == 0.0
+        assert arr.data[5] == 5.0
+
+    def test_host_writes_do_not_leak_to_device(self, env, arr):
+        env.map_enter(arr, "to")
+        arr.data[:] = -1.0
+        assert float(env.device_storage(arr)[3]) == 3.0
+
+
+class TestScalars:
+    def test_scalar_cell_mapping(self, env):
+        cell = Cell("x", 42, 4)
+        env.map_enter(cell, "to")
+        assert env.profiler.h2d_bytes == 4
+        dev = env.device_storage(cell)
+        dev.value = 99
+        env.map_exit(cell, "from")
+        assert cell.value == 99
+        assert env.profiler.d2h_bytes == 4
+
+
+class TestErrors:
+    def test_invalid_map_type(self, env, arr):
+        with pytest.raises(DeviceRuntimeError):
+            env.map_enter(arr, "sideways")
+
+    def test_unmapped_access_raises(self, env, arr):
+        with pytest.raises(DeviceRuntimeError):
+            env.device_storage(arr)

@@ -1,0 +1,159 @@
+"""End-to-end tests of the nine-benchmark evaluation suite.
+
+These are the paper's section VI claims, checked per application:
+output equivalence of the three variants, transfer reductions in the
+right direction and rough magnitude, and the per-benchmark qualitative
+behaviours (firstprivate wins, update placements, lulesh's expert-beating
+mappings).
+"""
+
+import pytest
+
+from repro.suite import (
+    BENCHMARK_ORDER,
+    analyze_complexity,
+    get_benchmark,
+    run_benchmark,
+)
+
+# One shared run per benchmark (session-scoped: the simulator is the
+# expensive part).
+_runs = {}
+
+
+def run_of(name):
+    if name not in _runs:
+        _runs[name] = run_benchmark(name)
+    return _runs[name]
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+class TestAllBenchmarks:
+    def test_outputs_match(self, name):
+        run = run_of(name)
+        assert run.outputs_match, (
+            run.unoptimized.output, run.ompdart.output, run.expert.output
+        )
+
+    def test_output_nonempty(self, name):
+        assert run_of(name).unoptimized.output.strip()
+
+    def test_tool_reduces_transfer(self, name):
+        run = run_of(name)
+        assert run.ompdart.stats.total_bytes < run.unoptimized.stats.total_bytes
+        assert run.ompdart.stats.total_calls < run.unoptimized.stats.total_calls
+
+    def test_tool_not_slower_than_unoptimized(self, name):
+        run = run_of(name)
+        assert run.speedup_x >= 1.0
+
+    def test_tool_at_least_as_good_as_expert(self, name):
+        # Paper: "For each application, the mappings were always at
+        # least as good as the expert implementations."
+        run = run_of(name)
+        assert run.ompdart.stats.total_bytes <= run.expert.stats.total_bytes
+        assert run.ompdart.stats.total_calls <= run.expert.stats.total_calls
+
+    def test_transformed_source_contains_no_raw_kernels_without_region(self, name):
+        run = run_of(name)
+        assert run.transform.directive_count() >= 1
+
+
+class TestQualitativeResults:
+    def test_accuracy_identical_to_expert(self):
+        run = run_of("accuracy")
+        assert run.ompdart.stats == run.expert.stats
+
+    def test_ace_identical_to_expert(self):
+        run = run_of("ace")
+        assert run.ompdart.stats.total_bytes == run.expert.stats.total_bytes
+        assert run.ompdart.stats.total_calls == run.expert.stats.total_calls
+
+    def test_ace_order_of_magnitude(self):
+        run = run_of("ace")
+        assert run.transfer_reduction_x > 500  # paper: 1010x
+
+    def test_backprop_update_hoisted_before_host_loops(self):
+        run = run_of("backprop")
+        out = run.transform.output_source
+        upd = out.index("target update from(partial_sum)")
+        assert upd < out.index("for (int j = 1; j <= HID; j++)")
+
+    def test_backprop_factor_two(self):
+        run = run_of("backprop")
+        assert 1.5 < run.transfer_reduction_x < 3.0  # paper: 2x
+
+    def test_bfs_uses_updates_not_map(self):
+        run = run_of("bfs")
+        out = run.transform.output_source
+        assert "map(alloc: stop)" in out
+        assert "update to(stop)" in out
+        assert "update from(stop)" in out
+        # expert used a single map clause: equivalent outcome
+        assert run.ompdart.stats.total_calls == run.expert.stats.total_calls
+
+    def test_clenergy_maps_overlooked_struct(self):
+        run = run_of("clenergy")
+        assert "dim" in [m.var for m in run.transform.plans[0].maps]
+        assert run.call_reduction_vs_expert > 0.5  # paper: 66%
+        # small struct: byte delta stays small vs total
+        delta = run.expert.stats.total_bytes - run.ompdart.stats.total_bytes
+        assert delta < run.unoptimized.stats.total_bytes * 0.05
+
+    @pytest.mark.parametrize("name,floor", [
+        ("hotspot", 0.25), ("nw", 0.25), ("xsbench", 0.30),
+    ])
+    def test_firstprivate_call_reductions(self, name, floor):
+        run = run_of(name)
+        fp_vars = {
+            v for spec in run.transform.plans[0].firstprivates
+            for v in spec.variables
+        }
+        assert fp_vars, "tool should firstprivate read-only scalars"
+        assert run.call_reduction_vs_expert >= floor
+
+    def test_lulesh_beats_expert(self):
+        run = run_of("lulesh")
+        stats_t, stats_e = run.ompdart.stats, run.expert.stats
+        assert stats_e.h2d_bytes / stats_t.h2d_bytes > 4  # paper: 7.4x
+        assert stats_e.d2h_bytes / stats_t.d2h_bytes > 3  # paper: 5.1x
+        reduction = 1 - stats_t.total_bytes / stats_e.total_bytes
+        assert reduction > 0.7  # paper: ~85%
+        assert stats_t.speedup_over(stats_e) > 1.3  # paper: 1.6x
+
+    def test_lulesh_tool_inserts_no_in_loop_updates(self):
+        run = run_of("lulesh")
+        assert not run.transform.plans[0].updates
+
+    def test_xsbench_factor_twenty(self):
+        run = run_of("xsbench")
+        assert 15 < run.transfer_reduction_x < 30  # paper: 20x
+
+
+class TestComplexityMetrics:
+    def test_kernel_counts_match_paper(self):
+        # Paper Table IV kernel counts.
+        expected = {
+            "accuracy": 1, "ace": 6, "backprop": 2, "bfs": 2,
+            "clenergy": 2, "hotspot": 1, "lulesh": 15, "nw": 2, "xsbench": 1,
+        }
+        for name, kernels in expected.items():
+            bench = get_benchmark(name)
+            metrics = analyze_complexity(bench.unoptimized_source(), name)
+            assert metrics.kernels == kernels, name
+
+    def test_lulesh_has_most_variables(self):
+        counts = {}
+        for name in BENCHMARK_ORDER:
+            bench = get_benchmark(name)
+            counts[name] = analyze_complexity(
+                bench.unoptimized_source(), name
+            ).mapped_variables
+        assert max(counts, key=counts.get) == "lulesh"
+        assert counts["lulesh"] >= 40
+
+    def test_formula(self):
+        from repro.suite import possible_mappings
+
+        # Paper's accuracy row: 1 kernel, 37 lines, 5 vars -> 297.
+        assert possible_mappings(1, 5, 37) == 297
