@@ -1,4 +1,41 @@
-"""Shim so legacy `python setup.py develop` works where `wheel` is absent."""
-from setuptools import setup
+"""Packaging for the OMPDart reproduction.
 
-setup()
+Installs the ``repro`` package from ``src/`` with the nine-benchmark
+mini-C corpus as package data and exposes the ``ompdart`` console
+script (single-file and ``ompdart batch`` modes).
+"""
+
+import os
+
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    path = os.path.join(
+        os.path.dirname(__file__), "src", "repro", "_version.py"
+    )
+    namespace: dict = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        exec(fh.read(), namespace)
+    return namespace["__version__"]
+
+
+setup(
+    name="ompdart-repro",
+    version=_read_version(),
+    description=(
+        "Reproduction of 'Static Generation of Efficient OpenMP Offload "
+        "Data Mappings' (SC24)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.suite": ["programs/*.c"]},
+    include_package_data=True,
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "ompdart=repro.cli:main",
+        ],
+    },
+)

@@ -11,13 +11,28 @@ Usage::
     ompdart input.c --report        # also print the per-function plan
     ompdart input.c --dump-ast      # Clang-style AST dump (Listing 5)
     ompdart input.c --dump-cfg      # DOT of each function's AST-CFG
+    ompdart --version               # print the package version
+
+Batch mode drives many translation units through the staged pipeline
+concurrently (deterministic output ordering, shared artifact cache)::
+
+    ompdart batch a.c b.c c.c            # summary per input
+    ompdart batch src/*.c -j 8           # 8 worker processes
+    ompdart batch a.c b.c -o outdir      # write <outdir>/<name>
+    ompdart batch a.c --cache-dir .ompdart-cache   # on-disk artifacts
+
+Exit codes: 0 success, 1 tool/analysis error, 2 unreadable input,
+3 parse error in ``--dump-ast``/``--dump-cfg``.  Batch mode exits 0
+only when every input transformed cleanly.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from ._version import __version__
 from .diagnostics import ToolError
 from .core.tool import OMPDart, ToolOptions
 
@@ -29,6 +44,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "OMPDart: static generation of efficient OpenMP offload data "
             "mappings (SC24 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument("input", help="C source file with OpenMP offload kernels")
     parser.add_argument("-o", "--output", help="write transformed source here")
@@ -52,6 +70,51 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart batch",
+        description=(
+            "Transform many C translation units through the staged "
+            "pipeline with deterministic result ordering."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument("inputs", nargs="+", help="C source files to transform")
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial with a shared cache)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output-dir",
+        help="write each transformed source to this directory",
+    )
+    parser.add_argument(
+        "-D",
+        dest="defines",
+        action="append",
+        default=[],
+        metavar="NAME[=VALUE]",
+        help="predefine a macro (like the compiler's -D)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="persist per-pass artifacts here (shared across workers/runs)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print per-input pass timings and cache events",
+    )
+    return parser
+
+
 def _parse_defines(defines: list[str]) -> dict[str, object]:
     out: dict[str, object] = {}
     for item in defines:
@@ -60,7 +123,74 @@ def _parse_defines(defines: list[str]) -> dict[str, object]:
     return out
 
 
+def _run_batch(argv: list[str]) -> int:
+    args = build_batch_arg_parser().parse_args(argv)
+    from .pipeline.batch import transform_paths
+
+    options = ToolOptions(predefined_macros=_parse_defines(args.defines))
+    outcomes = transform_paths(
+        args.inputs, options, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+
+    dest_names = _unique_basenames([o.filename for o in outcomes])
+    failures = 0
+    for outcome in outcomes:
+        if not outcome.ok:
+            failures += 1
+            print(f"ompdart: {outcome.filename}: error: {outcome.error}",
+                  file=sys.stderr)
+            for diag in outcome.diagnostics:
+                print(diag, file=sys.stderr)
+            continue
+        hits = sum(1 for e in outcome.cache_events.values() if e == "hit")
+        print(
+            f"ompdart: {outcome.filename}: {outcome.directive_count} "
+            f"construct(s) in {outcome.elapsed_seconds * 1e3:.1f}ms "
+            f"({hits}/{len(outcome.cache_events)} passes cached)"
+        )
+        if args.report:
+            for name, seconds in outcome.timings.items():
+                event = outcome.cache_events.get(name, "uncached")
+                print(f"  {name:<11s} {seconds * 1e3:8.3f}ms  [{event}]")
+        if args.output_dir:
+            dest = os.path.join(args.output_dir, dest_names[outcome.filename])
+            with open(dest, "w", encoding="utf-8") as fh:
+                fh.write(outcome.output_source or "")
+    return 1 if failures else 0
+
+
+def _unique_basenames(paths: list[str]) -> dict[str, str]:
+    """Map each input path to a collision-free output file name.
+
+    Inputs from different directories may share a basename; later ones
+    get a numeric suffix (``foo.c``, ``foo.1.c``, ...) instead of
+    silently overwriting earlier results.
+    """
+    names: dict[str, str] = {}
+    used: set[str] = set()
+    for path in paths:
+        if path in names:
+            continue
+        base = os.path.basename(path)
+        candidate = base
+        serial = 0
+        while candidate in used:
+            serial += 1
+            stem, dot, ext = base.rpartition(".")
+            candidate = f"{stem}.{serial}.{ext}" if dot else f"{base}.{serial}"
+        names[path] = candidate
+        used.add(candidate)
+    return names
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "batch":
+        return _run_batch(argv[1:])
+
     args = build_arg_parser().parse_args(argv)
     try:
         with open(args.input, "r", encoding="utf-8") as fh:
@@ -74,7 +204,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.dump_ast or args.dump_cfg:
         from .frontend import dump_ast, parse_source
 
-        tu = parse_source(source, args.input, macros)
+        try:
+            tu = parse_source(source, args.input, macros)
+        except ToolError as exc:
+            print(f"ompdart: {args.input}: parse error: {exc}", file=sys.stderr)
+            for diag in exc.diagnostics:
+                print(diag.render(), file=sys.stderr)
+            return 3
         if args.dump_ast:
             print(dump_ast(tu))
         if args.dump_cfg:

@@ -150,3 +150,17 @@ class FunctionPlan:
                 "  reduction-managed (not mapped): " + ", ".join(self.reduction_vars)
             )
         return "\n".join(lines)
+
+
+def count_constructs(plans: "list[FunctionPlan]") -> int:
+    """Constructs a plan list inserts (maps count once per clause).
+
+    Shared by ``TransformResult.directive_count()`` and the batch
+    driver so both modes report the same number for the same input.
+    """
+    count = 0
+    for plan in plans:
+        count += len(plan.map_clause_texts())
+        count += len(plan.updates)
+        count += len(plan.firstprivates)
+    return count

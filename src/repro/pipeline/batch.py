@@ -1,0 +1,193 @@
+"""Concurrent batch driver: many translation units through the pipeline.
+
+``transform_batch`` fans a list of sources out over a
+:class:`concurrent.futures.ProcessPoolExecutor` (or runs them serially
+through one shared in-process cache when ``jobs <= 1``) and returns
+compact, picklable :class:`BatchOutcome` records in **submission
+order** — results are deterministic regardless of worker scheduling.
+
+Worker processes keep a process-global :class:`PassManager`, so
+repeated inputs inside one batch still hit the artifact cache; pass a
+``cache_dir`` to share artifacts across processes and across runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..core.directives import count_constructs
+from ..diagnostics import ToolError
+from .cache import ArtifactCache
+from .context import ToolOptions
+from .manager import PassManager
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Result of one translation unit's trip through the batch driver."""
+
+    filename: str
+    ok: bool
+    output_source: str | None = None
+    error: str | None = None
+    diagnostics: tuple[str, ...] = ()
+    directive_count: int = 0
+    elapsed_seconds: float = 0.0
+    timings: dict[str, float] = field(default_factory=dict)
+    cache_events: dict[str, str] = field(default_factory=dict)
+    #: Did the rewrite differ from the input source?  Mirrors
+    #: ``TransformResult.changed``.
+    changed: bool = False
+
+
+def _outcome_from_context(ctx: Any, elapsed: float) -> BatchOutcome:
+    plans, _, _ = ctx.artifact("plan")
+    output = ctx.artifact("rewrite")
+    return BatchOutcome(
+        filename=ctx.filename,
+        ok=True,
+        output_source=output,
+        diagnostics=tuple(d.render() for d in ctx.diagnostics),
+        directive_count=count_constructs(plans),
+        elapsed_seconds=elapsed,
+        timings=dict(ctx.timings),
+        cache_events=dict(ctx.cache_events),
+        changed=output != ctx.source,
+    )
+
+
+def _transform_one(
+    manager: PassManager, source: str, filename: str, options: ToolOptions
+) -> BatchOutcome:
+    import time
+
+    start = time.perf_counter()
+    try:
+        ctx = manager.run(source, filename, options)
+    except ToolError as exc:
+        return BatchOutcome(
+            filename=filename,
+            ok=False,
+            error=str(exc),
+            diagnostics=tuple(d.render() for d in exc.diagnostics),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    return _outcome_from_context(ctx, time.perf_counter() - start)
+
+
+# -- worker-process state ----------------------------------------------------
+
+#: Per-process manager, keyed by cache directory (None = memory only).
+_WORKER_MANAGERS: dict[str | None, PassManager] = {}
+
+
+def _worker_manager(cache_dir: str | None) -> PassManager:
+    manager = _WORKER_MANAGERS.get(cache_dir)
+    if manager is None:
+        cache = ArtifactCache(disk_dir=cache_dir) if cache_dir else ArtifactCache()
+        manager = PassManager(cache=cache)
+        _WORKER_MANAGERS[cache_dir] = manager
+    return manager
+
+
+def _worker_transform(
+    job: tuple[str, str, ToolOptions, str | None]
+) -> BatchOutcome:
+    source, filename, options, cache_dir = job
+    return _transform_one(_worker_manager(cache_dir), source, filename, options)
+
+
+# -- public API --------------------------------------------------------------
+
+
+def transform_batch(
+    items: Sequence[tuple[str, str]],
+    options: ToolOptions | None = None,
+    *,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    cache_dir: str | None = None,
+    manager: PassManager | None = None,
+) -> list[BatchOutcome]:
+    """Transform ``(source, filename)`` pairs; results in input order.
+
+    ``jobs <= 1`` runs serially through one shared manager (and shared
+    artifact cache); ``jobs > 1`` fans out over a process pool.  Either
+    way the k-th outcome corresponds to the k-th input.
+
+    In-process ``cache``/``manager`` objects cannot cross the process
+    boundary, so combining them with ``jobs > 1`` is an error — use
+    ``cache_dir`` to share artifacts between workers instead.
+    """
+    options = options or ToolOptions()
+    items = list(items)
+    if jobs > 1 and (cache is not None or manager is not None):
+        raise ValueError(
+            "cache/manager cannot be shared with worker processes; "
+            "pass cache_dir for cross-process artifact sharing"
+        )
+    if jobs <= 1 or len(items) <= 1:
+        mgr = manager or PassManager(
+            cache=cache
+            if cache is not None
+            else ArtifactCache(disk_dir=cache_dir)
+        )
+        return [
+            _transform_one(mgr, source, filename, options)
+            for source, filename in items
+        ]
+
+    jobs = min(jobs, len(items))
+    payload = [(src, fname, options, cache_dir) for src, fname in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_worker_transform, payload))
+
+
+def transform_paths(
+    paths: Sequence[str],
+    options: ToolOptions | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> list[BatchOutcome]:
+    """Read files and transform them as one batch (CLI entry point)."""
+    items: list[tuple[str, str]] = []
+    outcomes_by_index: dict[int, BatchOutcome] = {}
+    readable: list[int] = []
+    for i, path in enumerate(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                items.append((fh.read(), path))
+            readable.append(i)
+        except OSError as exc:
+            outcomes_by_index[i] = BatchOutcome(
+                filename=path, ok=False, error=f"cannot read {path}: {exc}"
+            )
+    results = transform_batch(
+        items, options, jobs=jobs, cache_dir=cache_dir
+    )
+    for i, outcome in zip(readable, results):
+        outcomes_by_index[i] = outcome
+    return [outcomes_by_index[i] for i in range(len(paths))]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    jobs: int = 1,
+) -> list[Any]:
+    """Order-preserving map used by the evaluation harness.
+
+    ``fn`` must be a picklable top-level callable when ``jobs > 1``.
+    Results always come back in input order (``ProcessPoolExecutor.map``
+    preserves ordering by construction), so parallel runs are
+    bit-identical to serial ones for deterministic workloads.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

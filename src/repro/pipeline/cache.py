@@ -1,0 +1,161 @@
+"""Per-pass artifact cache: content-hash keys, LRU memory, optional disk.
+
+Every pipeline pass is a deterministic function of ``(source, filename,
+options)``, so one fingerprint of those inputs keys every artifact the
+pass chain produces.  The cache keeps a bounded in-memory LRU (the hot
+path for repeated ``OMPDart.run`` calls and for the evaluation harness,
+which historically parsed every benchmark source twice) and can spill
+artifacts to a directory so separate worker processes of the batch
+driver share work across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Sentinel distinguishing "not cached" from a cached None.
+_MISS = object()
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable hex digest of arbitrary repr()-able inputs."""
+    h = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            h.update(part)
+        elif isinstance(part, str):
+            h.update(part.encode("utf-8", "surrogatepass"))
+        elif isinstance(part, dict):
+            h.update(repr(sorted(part.items())).encode())
+        else:
+            h.update(repr(part).encode())
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one pass name."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ArtifactCache:
+    """Bounded LRU of pipeline artifacts, optionally backed by a directory.
+
+    Keys are ``(pass_name, input_fingerprint)``.  Thread-safe: the
+    serial batch path may be driven from multiple threads, and the
+    evaluation harness shares one cache across all nine benchmarks.
+    """
+
+    max_entries: int = 256
+    disk_dir: str | Path | None = None
+    stats: dict[str, CacheStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- accounting ------------------------------------------------------
+
+    def _stat(self, pass_name: str) -> CacheStats:
+        return self.stats.setdefault(pass_name, CacheStats())
+
+    def hit_rates(self) -> dict[str, float]:
+        return {name: s.hit_rate for name, s in sorted(self.stats.items())}
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, pass_name: str, key: str) -> Any:
+        """Return the cached artifact or the module-level ``MISS``."""
+        with self._lock:
+            memory_key = (pass_name, key)
+            if memory_key in self._memory:
+                self._memory.move_to_end(memory_key)
+                self._stat(pass_name).hits += 1
+                return self._memory[memory_key]
+        value = self._disk_get(pass_name, key)
+        with self._lock:
+            if value is not _MISS:
+                self._stat(pass_name).hits += 1
+                self._remember(pass_name, key, value)
+            else:
+                self._stat(pass_name).misses += 1
+        return value
+
+    def put(self, pass_name: str, key: str, value: Any) -> None:
+        with self._lock:
+            self._remember(pass_name, key, value)
+        self._disk_put(pass_name, key, value)
+
+    def _remember(self, pass_name: str, key: str, value: Any) -> None:
+        memory_key = (pass_name, key)
+        self._memory[memory_key] = value
+        self._memory.move_to_end(memory_key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self.stats.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- disk spill ------------------------------------------------------
+
+    def _disk_path(self, pass_name: str, key: str) -> Path:
+        assert self.disk_dir is not None
+        return Path(self.disk_dir) / f"{pass_name}-{key}.pkl"
+
+    def _disk_get(self, pass_name: str, key: str) -> Any:
+        if self.disk_dir is None:
+            return _MISS
+        path = self._disk_path(pass_name, key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError):
+            # Unreadable or version-skewed spill files are misses, not
+            # crashes (e.g. a cached class moved between releases).
+            return _MISS
+
+    def _disk_put(self, pass_name: str, key: str, value: Any) -> None:
+        if self.disk_dir is None:
+            return
+        path = self._disk_path(pass_name, key)
+        # Unique tmp name per writer: concurrent batch workers missing on
+        # the same key must not truncate each other's half-written spill.
+        tmp = path.with_suffix(f".{os.getpid()}-{threading.get_ident()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh)
+            tmp.replace(path)
+        except (OSError, pickle.PickleError, TypeError):
+            tmp.unlink(missing_ok=True)
+
+
+#: Public miss sentinel (also importable for tests).
+MISS = _MISS

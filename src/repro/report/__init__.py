@@ -2,10 +2,17 @@
 
 from .ascii import format_bytes, render_barchart, render_table  # noqa: F401
 from .figures import figure3, figure4, figure5, figure6  # noqa: F401
-from .tables import table1, table2, table3, table4, table5  # noqa: F401
+from .tables import (  # noqa: F401
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table5_passes,
+)
 
 __all__ = [
     "format_bytes", "render_barchart", "render_table",
     "figure3", "figure4", "figure5", "figure6",
-    "table1", "table2", "table3", "table4", "table5",
+    "table1", "table2", "table3", "table4", "table5", "table5_passes",
 ]

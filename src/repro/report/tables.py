@@ -59,3 +59,33 @@ def table5(timings: dict[str, float]) -> str:
         avg = sum(timings.values()) / len(timings)
         rows.append(["(average)", f"{avg:.3f}s"])
     return render_table(["Benchmark", "Tool Execution Time"], rows)
+
+
+def table5_passes(pass_timings: dict[str, dict[str, float]]) -> str:
+    """Table V extension: per-pass overhead breakdown across benchmarks.
+
+    ``pass_timings`` maps benchmark name -> (pass name -> seconds), e.g.
+    ``{name: run.transform.pass_timings for name, run in runs.items()}``
+    after an evaluation sweep.  Emits one row per pipeline pass with the
+    total and mean wall time over all benchmarks, so the Table V story
+    ("the tool's overhead is negligible") is visible stage by stage.
+    """
+    totals: dict[str, float] = {}
+    order: list[str] = []
+    for per_pass in pass_timings.values():
+        for pass_name, seconds in per_pass.items():
+            if pass_name not in totals:
+                totals[pass_name] = 0.0
+                order.append(pass_name)
+            totals[pass_name] += seconds
+    count = max(len(pass_timings), 1)
+    rows = [
+        [pass_name, f"{totals[pass_name]:.3f}s",
+         f"{totals[pass_name] / count:.3f}s"]
+        for pass_name in order
+    ]
+    rows.append([
+        "(total)", f"{sum(totals.values()):.3f}s",
+        f"{sum(totals.values()) / count:.3f}s",
+    ])
+    return render_table(["Pipeline Pass", "Total", "Mean per Benchmark"], rows)

@@ -1313,8 +1313,16 @@ def run_simulation(
     cost_model: CostModel = A100_PCIE4,
     max_steps: int = 200_000_000,
     entry: str = "main",
+    tu: A.TranslationUnit | None = None,
 ) -> SimulationResult:
-    """Parse and execute a mini-C OpenMP program on the simulated machine."""
-    tu = parse_source(source, filename, predefined_macros)
+    """Parse and execute a mini-C OpenMP program on the simulated machine.
+
+    Pass a pre-parsed ``tu`` (e.g. the pipeline's cached parse artifact)
+    to skip the frontend entirely; the interpreter never mutates the
+    AST, so sharing one translation unit between the tool and the
+    simulator is safe.
+    """
+    if tu is None:
+        tu = parse_source(source, filename, predefined_macros)
     interp = Interpreter(tu, cost_model=cost_model, max_steps=max_steps)
     return interp.run(entry)

@@ -11,6 +11,7 @@ from repro.report import (
     table2,
     table3,
     table5,
+    table5_passes,
 )
 
 
@@ -78,6 +79,16 @@ class TestTables:
     def test_table5_average(self):
         text = table5({"a": 0.1, "b": 0.3})
         assert "0.200s" in text
+
+    def test_table5_passes_breakdown(self):
+        text = table5_passes({
+            "a": {"parse": 0.1, "plan": 0.2},
+            "b": {"parse": 0.3, "plan": 0.1},
+        })
+        assert "parse" in text and "plan" in text
+        assert "0.400s" in text  # parse total
+        assert "(total)" in text
+        assert "0.350s" in text  # mean per benchmark
 
 
 class TestCLI:
