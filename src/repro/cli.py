@@ -9,8 +9,10 @@ Usage::
     ompdart input.c                 # transformed source on stdout
     ompdart input.c -o output.c     # write to a file
     ompdart input.c --report        # also print the per-function plan
+    ompdart input.c --simulate      # modelled before/after speedup
     ompdart input.c --dump-ast      # Clang-style AST dump (Listing 5)
     ompdart input.c --dump-cfg      # DOT of each function's AST-CFG
+    ompdart --list-platforms        # registered simulation platforms
     ompdart --version               # print the package version
 
 Batch mode drives many translation units through the staged pipeline
@@ -20,10 +22,21 @@ concurrently (deterministic output ordering, shared artifact cache)::
     ompdart batch src/*.c -j 8           # 8 worker processes
     ompdart batch a.c b.c -o outdir      # write <outdir>/<name>
     ompdart batch a.c --cache-dir .ompdart-cache   # on-disk artifacts
+    ompdart batch a.c --simulate --platform h100-sxm5
 
-Exit codes: 0 success, 1 tool/analysis error, 2 unreadable input,
-3 parse error in ``--dump-ast``/``--dump-cfg``.  Batch mode exits 0
-only when every input transformed cleanly.
+Suite mode runs the paper's nine-benchmark evaluation, optionally as a
+cross-platform sweep, and can emit a machine-readable perf artifact::
+
+    ompdart suite                                   # default platform
+    ompdart suite --platform gh200-unified          # one platform
+    ompdart suite --platform a100-pcie4 --platform h100-sxm5
+    ompdart suite --json benchmarks/suite_a100-pcie4.json
+    ompdart suite -j 4 --report
+
+Exit codes: 0 success, 1 tool/analysis error, 2 unreadable input or
+bad usage, 3 parse error in ``--dump-ast``/``--dump-cfg``.  Batch mode
+exits 0 only when every input transformed cleanly; suite mode exits 1
+when any benchmark's variants diverge.
 """
 
 from __future__ import annotations
@@ -48,7 +61,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
-    parser.add_argument("input", help="C source file with OpenMP offload kernels")
+    parser.add_argument(
+        "input",
+        nargs="?",
+        help="C source file with OpenMP offload kernels",
+    )
     parser.add_argument("-o", "--output", help="write transformed source here")
     parser.add_argument(
         "-D",
@@ -67,7 +84,46 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--dump-cfg", action="store_true", help="print AST-CFG DOT graphs and exit"
     )
+    _add_platform_arguments(parser)
+    parser.add_argument(
+        "--simulate",
+        action="store_true",
+        help=(
+            "simulate the program before and after transformation on the "
+            "selected --platform and report the modelled speedup"
+        ),
+    )
     return parser
+
+
+def _add_platform_arguments(
+    parser: argparse.ArgumentParser, *, repeatable: bool = False
+) -> None:
+    from .runtime.platform import DEFAULT_PLATFORM
+
+    if repeatable:
+        parser.add_argument(
+            "--platform",
+            dest="platforms",
+            action="append",
+            metavar="NAME",
+            help=(
+                "simulation platform (repeatable for a cross-platform "
+                f"sweep; default {DEFAULT_PLATFORM})"
+            ),
+        )
+    else:
+        parser.add_argument(
+            "--platform",
+            default=DEFAULT_PLATFORM,
+            metavar="NAME",
+            help=f"simulation platform (default {DEFAULT_PLATFORM})",
+        )
+    parser.add_argument(
+        "--list-platforms",
+        action="store_true",
+        help="list registered simulation platforms and exit",
+    )
 
 
 def build_batch_arg_parser() -> argparse.ArgumentParser:
@@ -81,7 +137,7 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
-    parser.add_argument("inputs", nargs="+", help="C source files to transform")
+    parser.add_argument("inputs", nargs="*", help="C source files to transform")
     parser.add_argument(
         "-j",
         "--jobs",
@@ -112,6 +168,60 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-input pass timings and cache events",
     )
+    _add_platform_arguments(parser)
+    parser.add_argument(
+        "--simulate",
+        action="store_true",
+        help=(
+            "simulate each input before and after transformation on the "
+            "selected --platform and append the modelled speedup"
+        ),
+    )
+    return parser
+
+
+def build_suite_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart suite",
+        description=(
+            "Run the paper's nine-benchmark evaluation, optionally as a "
+            "cross-platform sweep with a machine-readable JSON artifact."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    _add_platform_arguments(parser, repeatable=True)
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        help="run only these benchmarks (default: all nine)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial with a shared cache)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the machine-readable perf artifact here",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the three-variant output-equivalence check",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print the full Figure 3-6 tables per platform",
+    )
     return parser
 
 
@@ -123,11 +233,65 @@ def _parse_defines(defines: list[str]) -> dict[str, object]:
     return out
 
 
+def _resolve_platform_arg(name: str):
+    """Look up a --platform value, printing a CLI-style error on failure."""
+    from .runtime.platform import get_platform
+
+    try:
+        return get_platform(name)
+    except KeyError as exc:
+        print(f"ompdart: {exc.args[0]}", file=sys.stderr)
+        return None
+
+
+def _simulate_pair(
+    original: str,
+    transformed: str,
+    filename: str,
+    platform,
+    macros: dict[str, object],
+) -> str:
+    """Modelled before/after comparison line for ``--simulate``."""
+    from .runtime.interp import run_simulation
+
+    try:
+        before = run_simulation(
+            original, filename, platform=platform, predefined_macros=macros
+        )
+        after = run_simulation(
+            transformed, filename, platform=platform, predefined_macros=macros
+        )
+    except Exception as exc:  # noqa: BLE001 - advisory estimate only
+        return f"simulation on {platform.name} failed: {exc}"
+    speedup = after.stats.speedup_over(before.stats)
+    return (
+        f"simulated on {platform.name} ({platform.interconnect}): "
+        f"{before.stats.total_time_s * 1e3:.3f}ms -> "
+        f"{after.stats.total_time_s * 1e3:.3f}ms "
+        f"({speedup:.2f}x, transfer "
+        f"{before.stats.transfer_time_s * 1e3:.3f}ms -> "
+        f"{after.stats.transfer_time_s * 1e3:.3f}ms, "
+        f"{before.stats.total_bytes} -> {after.stats.total_bytes} bytes)"
+    )
+
+
 def _run_batch(argv: list[str]) -> int:
     args = build_batch_arg_parser().parse_args(argv)
+    if args.list_platforms:
+        from .runtime.platform import platform_table
+
+        print(platform_table())
+        return 0
+    if not args.inputs:
+        print("ompdart batch: error: no input files", file=sys.stderr)
+        return 2
+    platform = _resolve_platform_arg(args.platform)
+    if platform is None:
+        return 2
     from .pipeline.batch import transform_paths
 
-    options = ToolOptions(predefined_macros=_parse_defines(args.defines))
+    macros = _parse_defines(args.defines)
+    options = ToolOptions(predefined_macros=macros)
     outcomes = transform_paths(
         args.inputs, options, jobs=args.jobs, cache_dir=args.cache_dir
     )
@@ -155,11 +319,125 @@ def _run_batch(argv: list[str]) -> int:
             for name, seconds in outcome.timings.items():
                 event = outcome.cache_events.get(name, "uncached")
                 print(f"  {name:<11s} {seconds * 1e3:8.3f}ms  [{event}]")
+        if args.simulate:
+            # Re-read for the before/after comparison; the file may have
+            # changed (or vanished) since the worker transformed it.
+            try:
+                with open(outcome.filename, "r", encoding="utf-8") as fh:
+                    original = fh.read()
+            except OSError as exc:
+                print(f"  simulation skipped: cannot re-read input: {exc}")
+            else:
+                print(
+                    "  "
+                    + _simulate_pair(
+                        original,
+                        outcome.output_source or original,
+                        outcome.filename,
+                        platform,
+                        macros,
+                    )
+                )
         if args.output_dir:
             dest = os.path.join(args.output_dir, dest_names[outcome.filename])
             with open(dest, "w", encoding="utf-8") as fh:
                 fh.write(outcome.output_source or "")
     return 1 if failures else 0
+
+
+def _run_suite(argv: list[str]) -> int:
+    args = build_suite_arg_parser().parse_args(argv)
+    if args.list_platforms:
+        from .runtime.platform import platform_table
+
+        print(platform_table())
+        return 0
+    from .runtime.platform import DEFAULT_PLATFORM
+    from .suite.registry import BENCHMARK_ORDER, BENCHMARKS
+    from .suite.runner import run_sweep
+
+    platform_names = list(dict.fromkeys(args.platforms or [DEFAULT_PLATFORM]))
+    platforms = []
+    for name in platform_names:
+        platform = _resolve_platform_arg(name)
+        if platform is None:
+            return 2
+        platforms.append(platform)
+    names = args.benchmarks or list(BENCHMARK_ORDER)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(
+            f"ompdart suite: unknown benchmark(s): {', '.join(unknown)}; "
+            f"available: {', '.join(BENCHMARK_ORDER)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.json_path:
+        # Fail on an unwritable artifact directory *before* paying for
+        # the sweep, not after.
+        parent = os.path.dirname(args.json_path)
+        if parent:
+            try:
+                os.makedirs(parent, exist_ok=True)
+            except OSError as exc:
+                print(
+                    f"ompdart suite: cannot create {parent}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+
+    from .pipeline.batch import BatchWorkerError
+
+    try:
+        sweep = run_sweep(
+            platforms,
+            verify=not args.no_verify,
+            jobs=args.jobs,
+            names=names,
+        )
+    except ToolError as exc:
+        print(f"ompdart suite: error: {exc}", file=sys.stderr)
+        return 1
+    except AssertionError as exc:
+        print(f"ompdart suite: verification failed: {exc}", file=sys.stderr)
+        return 1
+    except BatchWorkerError as exc:
+        # jobs > 1: worker exceptions (ToolError, verification failures)
+        # arrive pre-labelled with the failing benchmark's name.
+        print(f"ompdart suite: error: {exc}", file=sys.stderr)
+        return 1
+
+    from .report.figures import (
+        figure3,
+        figure4,
+        figure5,
+        figure6,
+        figure_cross_platform,
+    )
+
+    for platform_sweep in sweep:
+        p = platform_sweep.platform
+        geo = platform_sweep.geomeans()
+        print(
+            f"{p.name}: geomean speedup {geo['speedup_x']:.2f}x, "
+            f"transfer reduction {geo['transfer_reduction_x']:.1f}x, "
+            f"transfer-time improvement "
+            f"{geo['transfer_time_improvement_x']:.1f}x "
+            f"over {len(platform_sweep.runs)} benchmark(s)"
+        )
+        if args.report:
+            for figure in (figure3, figure4, figure5, figure6):
+                print(figure(platform_sweep.runs)[1])
+            print()
+    if len(platforms) > 1:
+        print(figure_cross_platform(sweep)[1])
+    if args.json_path:
+        from .report.perf import write_suite_json
+
+        write_suite_json(sweep, args.json_path)
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    return 0
 
 
 def _unique_basenames(paths: list[str]) -> dict[str, str]:
@@ -190,8 +468,25 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "batch":
         return _run_batch(argv[1:])
+    if argv and argv[0] == "suite":
+        return _run_suite(argv[1:])
 
-    args = build_arg_parser().parse_args(argv)
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.list_platforms:
+        from .runtime.platform import platform_table
+
+        print(platform_table())
+        return 0
+    if args.input is None:
+        print(
+            f"ompdart: error: an input file is required\n{parser.format_usage()}",
+            file=sys.stderr,
+        )
+        return 2
+    platform = _resolve_platform_arg(args.platform)
+    if platform is None:
+        return 2
     try:
         with open(args.input, "r", encoding="utf-8") as fh:
             source = fh.read()
@@ -236,6 +531,13 @@ def main(argv: list[str] | None = None) -> int:
         sys.stdout.write(result.output_source)
     if args.report:
         print(result.report(), file=sys.stderr)
+    if args.simulate:
+        print(
+            _simulate_pair(
+                source, result.output_source, args.input, platform, macros
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -24,6 +24,31 @@ from .context import ToolOptions
 from .manager import PassManager
 
 
+class BatchWorkerError(RuntimeError):
+    """A worker failure, labelled with the input that caused it.
+
+    Process pools re-raise worker exceptions as bare pickled tracebacks
+    with no hint of *which* submitted item failed; the batch driver
+    wraps them so the failing source filename (or benchmark name) is in
+    the message.  ``label`` and ``cause`` survive pickling.
+    """
+
+    def __init__(self, label: str, cause: str):
+        super().__init__(f"{label}: {cause}")
+        self.label = label
+        self.cause = cause
+
+    def __reduce__(self):
+        return (BatchWorkerError, (self.label, self.cause))
+
+
+def describe_exception(exc: BaseException) -> str:
+    """Compact one-line rendering of a worker exception."""
+    text = str(exc).strip()
+    name = type(exc).__name__
+    return f"{name}: {text}" if text else name
+
+
 @dataclass(frozen=True)
 class BatchOutcome:
     """Result of one translation unit's trip through the batch driver."""
@@ -72,6 +97,14 @@ def _transform_one(
             ok=False,
             error=str(exc),
             diagnostics=tuple(d.render() for d in exc.diagnostics),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 - workers must not leak bare
+        # tracebacks across the process boundary; report the input.
+        return BatchOutcome(
+            filename=filename,
+            ok=False,
+            error=f"internal error: {describe_exception(exc)}",
             elapsed_seconds=time.perf_counter() - start,
         )
     return _outcome_from_context(ctx, time.perf_counter() - start)
@@ -178,6 +211,7 @@ def parallel_map(
     items: Iterable[Any],
     *,
     jobs: int = 1,
+    label: Callable[[Any], str] | None = None,
 ) -> list[Any]:
     """Order-preserving map used by the evaluation harness.
 
@@ -185,9 +219,40 @@ def parallel_map(
     Results always come back in input order (``ProcessPoolExecutor.map``
     preserves ordering by construction), so parallel runs are
     bit-identical to serial ones for deterministic workloads.
+
+    ``label`` names each item for error reporting: when a worker
+    raises, the exception is re-raised as :class:`BatchWorkerError`
+    carrying ``label(item)`` — instead of a bare pickled traceback
+    that never says which input failed.  The labelling happens on the
+    driver side (result order identifies the faulty item), so ``label``
+    need not be picklable.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results: list[Any] = []
+        for item in items:
+            try:
+                results.append(fn(item))
+            except Exception as exc:
+                if label is None:
+                    raise
+                raise BatchWorkerError(
+                    label(item), describe_exception(exc)
+                ) from exc
+        return results
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+        results = []
+        result_iter = pool.map(fn, items)
+        while True:
+            try:
+                results.append(next(result_iter))
+            except StopIteration:
+                return results
+            except Exception as exc:
+                if label is None:
+                    raise
+                # pool.map yields in submission order, so the first
+                # failure corresponds to the next unfilled slot.
+                raise BatchWorkerError(
+                    label(items[len(results)]), describe_exception(exc)
+                ) from exc

@@ -1,7 +1,14 @@
 """Regenerators for every table and figure of the paper's evaluation."""
 
 from .ascii import format_bytes, render_barchart, render_table  # noqa: F401
-from .figures import figure3, figure4, figure5, figure6  # noqa: F401
+from .figures import (  # noqa: F401
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure_cross_platform,
+)
+from .perf import SCHEMA, sweep_to_dict, write_suite_json  # noqa: F401
 from .tables import (  # noqa: F401
     table1,
     table2,
@@ -13,6 +20,7 @@ from .tables import (  # noqa: F401
 
 __all__ = [
     "format_bytes", "render_barchart", "render_table",
-    "figure3", "figure4", "figure5", "figure6",
+    "figure3", "figure4", "figure5", "figure6", "figure_cross_platform",
+    "SCHEMA", "sweep_to_dict", "write_suite_json",
     "table1", "table2", "table3", "table4", "table5", "table5_passes",
 ]

@@ -8,7 +8,7 @@ plain-text figure.
 
 from __future__ import annotations
 
-from ..suite.runner import BenchmarkRun, geometric_mean
+from ..suite.runner import BenchmarkRun, SweepResult, geometric_mean
 from .ascii import format_bytes, render_table
 
 _VARIANTS = ("Unoptimized", "OMPDart", "Expert")
@@ -118,4 +118,68 @@ def figure6(runs: dict[str, BenchmarkRun]):
         f"\ngeomean transfer-time improvement: OMPDart {tool_geo:.1f}x"
         f" (paper: 5.1x), expert {exp_geo:.1f}x (paper: 4.2x)"
     )
+    return series, text
+
+
+def figure_cross_platform(sweep: SweepResult):
+    """Fig. 5/6-style cross-platform comparison of the mapping win.
+
+    One column per platform, one row per benchmark, two metric blocks:
+    the OMPDart end-to-end speedup over the unoptimized code (Fig. 5)
+    and the data-transfer wall-time improvement (Fig. 6).  The geomean
+    row is the headline: it shows the win shrinking as interconnect
+    bandwidth rises and collapsing to ~1.0x on coherent unified memory.
+    """
+    plat_names = [p.name for p in sweep.platforms]
+    series: dict[str, dict[str, dict[str, float]]] = {}
+    speed_rows = []
+    xfer_rows = []
+    for name in sweep.benchmark_names:
+        per = {}
+        for pn in plat_names:
+            run = sweep[pn].runs[name]
+            per[pn] = {
+                "speedup_x": run.speedup_x,
+                "transfer_time_improvement_x": run.transfer_time_improvement_x,
+            }
+        series[name] = per
+        speed_rows.append(
+            [name] + [f"{per[pn]['speedup_x']:.2f}x" for pn in plat_names]
+        )
+        xfer_rows.append(
+            [name]
+            + [
+                f"{per[pn]['transfer_time_improvement_x']:.1f}x"
+                for pn in plat_names
+            ]
+        )
+    speed_rows.append(
+        ["(geomean)"]
+        + [f"{sweep[pn].geomean_speedup_x:.2f}x" for pn in plat_names]
+    )
+    xfer_rows.append(
+        ["(geomean)"]
+        + [
+            f"{sweep[pn].geomean_transfer_time_improvement_x:.1f}x"
+            for pn in plat_names
+        ]
+    )
+    text = (
+        "Cross-platform sweep: OMPDart speedup over unoptimized "
+        "(Fig. 5 metric)\n"
+    )
+    text += render_table(["app"] + plat_names, speed_rows)
+    text += (
+        "\nCross-platform sweep: data-transfer wall-time improvement "
+        "(Fig. 6 metric)\n"
+    )
+    text += render_table(["app"] + plat_names, xfer_rows)
+    unified = [p.name for p in sweep.platforms if p.unified_memory]
+    if unified:
+        text += (
+            "\nunified-memory platform(s) "
+            + ", ".join(unified)
+            + ": explicit staging is free, so the mapping win is ~1.0x "
+            "by construction"
+        )
     return series, text

@@ -1,8 +1,18 @@
-"""Simulated OpenMP offload runtime (A100 + CUDA + nsys substitute)."""
+"""Simulated OpenMP offload runtime (GPU + CUDA + nsys substitute)."""
 
 from .builtins import LCG, c_printf  # noqa: F401
 from .costmodel import A100_PCIE4, CostModel  # noqa: F401
 from .device import DeviceDataEnvironment, DeviceRuntimeError  # noqa: F401
+from .platform import (  # noqa: F401
+    DEFAULT_PLATFORM,
+    PLATFORMS,
+    Platform,
+    get_platform,
+    list_platforms,
+    platform_table,
+    register_platform,
+    resolve_platform,
+)
 from .interp import (  # noqa: F401
     Interpreter,
     Machine,
@@ -18,6 +28,14 @@ __all__ = [
     "c_printf",
     "A100_PCIE4",
     "CostModel",
+    "DEFAULT_PLATFORM",
+    "PLATFORMS",
+    "Platform",
+    "get_platform",
+    "list_platforms",
+    "platform_table",
+    "register_platform",
+    "resolve_platform",
     "DeviceDataEnvironment",
     "DeviceRuntimeError",
     "Interpreter",

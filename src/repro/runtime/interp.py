@@ -41,8 +41,9 @@ from ..frontend import ast_nodes as A
 from ..frontend.ctypes_ import ArrayType, QualType, StructType
 from ..frontend.parser import EnumConstantDecl, fold_integer_constant, parse_source
 from .builtins import LCG, c_printf, make_math_builtins, mem_copy, mem_set
-from .costmodel import A100_PCIE4, CostModel
+from .costmodel import CostModel
 from .device import DeviceDataEnvironment
+from .platform import Platform, resolve_platform
 from .profiler import Profiler, TransferStats
 from .values import NULL, ArrayObject, Cell, Pointer, StructObject
 
@@ -201,9 +202,14 @@ class Interpreter:
         self,
         tu: A.TranslationUnit,
         *,
-        cost_model: CostModel = A100_PCIE4,
+        cost_model: CostModel | None = None,
+        platform: Platform | str | None = None,
         max_steps: int = 200_000_000,
     ):
+        if cost_model is None:
+            cost_model = resolve_platform(platform).effective_cost_model
+        elif platform is not None:
+            raise ValueError("pass either cost_model or platform, not both")
         self.tu = tu
         self.profiler = Profiler(cost_model)
         self.machine = Machine(self.profiler, max_steps)
@@ -1310,12 +1316,17 @@ def run_simulation(
     filename: str = "<input>",
     *,
     predefined_macros: dict[str, object] | None = None,
-    cost_model: CostModel = A100_PCIE4,
+    cost_model: CostModel | None = None,
+    platform: Platform | str | None = None,
     max_steps: int = 200_000_000,
     entry: str = "main",
     tu: A.TranslationUnit | None = None,
 ) -> SimulationResult:
     """Parse and execute a mini-C OpenMP program on the simulated machine.
+
+    The machine is selected by ``platform`` (a :class:`Platform`, a
+    registry name, or None for the default A100/PCIe4 testbed); a raw
+    ``cost_model`` may be passed instead for one-off experiments.
 
     Pass a pre-parsed ``tu`` (e.g. the pipeline's cached parse artifact)
     to skip the frontend entirely; the interpreter never mutates the
@@ -1324,5 +1335,7 @@ def run_simulation(
     """
     if tu is None:
         tu = parse_source(source, filename, predefined_macros)
-    interp = Interpreter(tu, cost_model=cost_model, max_steps=max_steps)
+    interp = Interpreter(
+        tu, cost_model=cost_model, platform=platform, max_steps=max_steps
+    )
     return interp.run(entry)

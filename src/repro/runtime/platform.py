@@ -1,0 +1,197 @@
+"""Pluggable registry of simulated offload platforms.
+
+The paper evaluates OMPDart on one testbed (A100 over PCIe 4.0), but
+its central claim — statically derived mappings cut transfer volume
+and end-to-end time — is platform-relative: the win shrinks as the
+host<->device interconnect gets faster, and vanishes on hardware with
+coherent unified memory where explicit staging copies cost nothing.
+This module makes the platform a first-class, swappable descriptor so
+the evaluation harness can sweep the same nine benchmarks across
+interconnect classes and quantify exactly that sensitivity.
+
+A :class:`Platform` bundles a display identity (name, interconnect)
+with the :class:`~repro.runtime.costmodel.CostModel` the simulator
+charges against.  Platforms with ``unified_memory=True`` zero the
+explicit memcpy *cost* (latency and per-byte time) while keeping the
+OpenMP present-table semantics intact: data still moves so mapping
+bugs stay observable, but staging is free — modelling address-space
+coherence over NVLink-C2C-class fabrics.
+
+Four platforms ship by default; :func:`register_platform` accepts
+additional ones (e.g. from downstream experiment drivers) without
+touching this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from .costmodel import A100_PCIE4, CostModel
+
+__all__ = [
+    "DEFAULT_PLATFORM",
+    "PLATFORMS",
+    "Platform",
+    "get_platform",
+    "list_platforms",
+    "platform_table",
+    "register_platform",
+    "resolve_platform",
+]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One simulated evaluation testbed."""
+
+    #: Registry key, e.g. ``"a100-pcie4"`` (lowercase, stable).
+    name: str
+    #: Human-readable accelerator, e.g. ``"NVIDIA A100 80GB"``.
+    device: str
+    #: Host<->device interconnect, e.g. ``"PCIe 4.0 x16"``.
+    interconnect: str
+    #: Raw time parameters of the platform.
+    cost_model: CostModel
+    #: Coherent host/device address space: explicit staging copies are
+    #: free (the hardware migrates pages over the cache-coherent
+    #: fabric), so mapping optimization buys ~no end-to-end time.
+    unified_memory: bool = False
+    notes: str = ""
+
+    @property
+    def effective_cost_model(self) -> CostModel:
+        """Cost model actually charged by the simulator.
+
+        Unified-memory platforms zero the explicit memcpy cost (zero
+        latency, infinite staging bandwidth) but leave kernel/host
+        parameters untouched — transfers still *happen* (and are still
+        counted), they just take no modelled wall time.
+        """
+        if not self.unified_memory:
+            return self.cost_model
+        return replace(
+            self.cost_model,
+            memcpy_latency_s=0.0,
+            memcpy_bandwidth_Bps=math.inf,
+        )
+
+
+#: The paper's testbed: ratio-identical to the historical default
+#: (``A100_PCIE4`` is reused verbatim, not re-derived).
+_A100 = Platform(
+    name="a100-pcie4",
+    device="NVIDIA A100 80GB",
+    interconnect="PCIe 4.0 x16 (~25 GB/s)",
+    cost_model=A100_PCIE4,
+    notes="paper testbed (CUDA 11.8, Clang 17); harness default",
+)
+
+_H100 = Platform(
+    name="h100-sxm5",
+    device="NVIDIA H100 SXM5",
+    interconnect="NVLink-class (~120 GB/s effective)",
+    cost_model=CostModel(
+        memcpy_latency_s=8e-6,
+        memcpy_bandwidth_Bps=120e9,
+        kernel_launch_s=6e-6,
+        device_op_s=0.7e-9,
+        host_op_s=12e-9,
+    ),
+    notes="high-bandwidth interconnect shrinks the mapping win",
+)
+
+_MI250 = Platform(
+    name="mi250-if",
+    device="AMD MI250X",
+    interconnect="Infinity Fabric (~36 GB/s effective)",
+    cost_model=CostModel(
+        memcpy_latency_s=12e-6,
+        memcpy_bandwidth_Bps=36e9,
+        kernel_launch_s=10e-6,
+        device_op_s=1.2e-9,
+        host_op_s=12e-9,
+    ),
+    notes="AMD backend shape; transfer-dominance comparable to PCIe",
+)
+
+_GH200 = Platform(
+    name="gh200-unified",
+    device="NVIDIA GH200 Grace Hopper",
+    interconnect="NVLink-C2C coherent (~450 GB/s)",
+    cost_model=CostModel(
+        memcpy_latency_s=2e-6,
+        memcpy_bandwidth_Bps=450e9,
+        kernel_launch_s=6e-6,
+        device_op_s=0.9e-9,
+        host_op_s=10e-9,
+    ),
+    unified_memory=True,
+    notes="coherent memory: mapping optimization yields ~1.0x speedup",
+)
+
+#: Registered platforms, keyed by :attr:`Platform.name`.
+PLATFORMS: dict[str, Platform] = {
+    p.name: p for p in (_A100, _H100, _MI250, _GH200)
+}
+
+#: Name of the platform used when none is requested.
+DEFAULT_PLATFORM = _A100.name
+
+
+def get_platform(name: str) -> Platform:
+    """Look a platform up by registry name."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise KeyError(
+            f"unknown platform {name!r}; registered: {known}"
+        ) from None
+
+
+def resolve_platform(platform: "Platform | str | None") -> Platform:
+    """Coerce a name / descriptor / None into a :class:`Platform`."""
+    if platform is None:
+        return PLATFORMS[DEFAULT_PLATFORM]
+    if isinstance(platform, Platform):
+        return platform
+    return get_platform(platform)
+
+
+def register_platform(platform: Platform, *, override: bool = False) -> Platform:
+    """Add a platform to the registry (pluggable experiment backends).
+
+    Refuses to shadow an existing name unless ``override=True`` — a
+    silently overwritten default would skew every sweep that follows.
+    """
+    if not override and platform.name in PLATFORMS:
+        raise ValueError(f"platform {platform.name!r} is already registered")
+    PLATFORMS[platform.name] = platform
+    return platform
+
+
+def list_platforms() -> list[Platform]:
+    """Registered platforms, default first, rest in registration order."""
+    default = PLATFORMS[DEFAULT_PLATFORM]
+    return [default] + [p for p in PLATFORMS.values() if p is not default]
+
+
+def platform_table() -> str:
+    """Plain-text registry listing (``--list-platforms`` output)."""
+    rows = [["name", "device", "interconnect", "unified", "default"]]
+    for p in list_platforms():
+        rows.append([
+            p.name,
+            p.device,
+            p.interconnect,
+            "yes" if p.unified_memory else "no",
+            "*" if p.name == DEFAULT_PLATFORM else "",
+        ])
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)

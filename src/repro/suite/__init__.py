@@ -8,7 +8,15 @@ from .registry import (  # noqa: F401
     PaperNumbers,
     get_benchmark,
 )
-from .runner import BenchmarkRun, geometric_mean, run_all, run_benchmark  # noqa: F401
+from .runner import (  # noqa: F401
+    BenchmarkRun,
+    PlatformSweep,
+    SweepResult,
+    geometric_mean,
+    run_all,
+    run_benchmark,
+    run_sweep,
+)
 
 __all__ = [
     "ComplexityMetrics",
@@ -20,7 +28,10 @@ __all__ = [
     "PaperNumbers",
     "get_benchmark",
     "BenchmarkRun",
+    "PlatformSweep",
+    "SweepResult",
     "geometric_mean",
     "run_all",
     "run_benchmark",
+    "run_sweep",
 ]

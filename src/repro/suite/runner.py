@@ -10,17 +10,38 @@ For each application the harness:
    criterion — the simulator executes kernels against device copies, so
    a wrong mapping yields observably different results);
 5. returns the per-variant transfer profiles for the Fig. 3-6 metrics.
+
+The three variant simulations of one benchmark run **concurrently** on
+a thread pool (each has its own interpreter, profiler and device
+environment; the shared translation units are read-only).  Results are
+bit-identical to the serial path — the workload is deterministic and
+the variants share no mutable state.  On CPython the interpreter loop
+is largely GIL-bound, so today the win is confined to the numpy bulk
+copies that release the GIL; the structure is what matters — variants
+are proven independent, so a free-threaded build or a process/
+subinterpreter pool can drop in without re-auditing the runner (see
+ROADMAP).
+
+Every entry point takes a ``platform`` (name or
+:class:`~repro.runtime.platform.Platform`); :func:`run_sweep` evaluates
+the whole suite across several platforms at once, reusing each
+benchmark's parse/transform artifacts through the shared
+:class:`~repro.pipeline.manager.PassManager` so the tool runs once per
+source, not once per platform.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 from ..core.tool import OMPDart, ToolOptions, TransformResult
 from ..pipeline.batch import parallel_map
 from ..pipeline.manager import PassManager
-from ..runtime.costmodel import A100_PCIE4, CostModel
+from ..runtime.costmodel import CostModel
 from ..runtime.interp import SimulationResult, run_simulation
+from ..runtime.platform import Platform, resolve_platform
 from .registry import BENCHMARK_ORDER, Benchmark, get_benchmark
 
 
@@ -33,6 +54,9 @@ class BenchmarkRun:
     ompdart: SimulationResult
     expert: SimulationResult
     transform: TransformResult
+    #: Platform the variants were simulated on (None when a raw
+    #: ``cost_model`` was supplied instead).
+    platform: Platform | None = None
 
     # -- correctness -----------------------------------------------------
 
@@ -96,17 +120,33 @@ class BenchmarkRun:
 def run_benchmark(
     name: str,
     *,
-    cost_model: CostModel = A100_PCIE4,
+    platform: Platform | str | None = None,
+    cost_model: CostModel | None = None,
     verify: bool = True,
     manager: PassManager | None = None,
+    concurrent_variants: bool = True,
 ) -> BenchmarkRun:
     """Run one application's three variants through the simulator.
 
     The tool and the simulator frontend share one pass manager: the
     unoptimized source — historically parsed twice, once by each — is
     parsed once and the cached artifact reused.  Pass a shared
-    ``manager`` to extend that reuse across benchmarks.
+    ``manager`` to extend that reuse across benchmarks (and across
+    platforms: the transform does not depend on the platform, only the
+    simulation does).
+
+    The three variant simulations run concurrently on a small thread
+    pool unless ``concurrent_variants=False`` (the process-pool paths
+    of :func:`run_all`/:func:`run_sweep` disable it: ``jobs > 1``
+    process workers would oversubscribe the host with nested pools).
     """
+    resolved: Platform | None = None
+    if cost_model is None:
+        resolved = resolve_platform(platform)
+        cost_model = resolved.effective_cost_model
+    elif platform is not None:
+        raise ValueError("pass either platform or cost_model, not both")
+
     bench = get_benchmark(name)
     unopt_src = bench.unoptimized_source()
     expert_src = bench.expert_source()
@@ -115,47 +155,73 @@ def run_benchmark(
     tool = OMPDart(ToolOptions(), pipeline=manager)
     unopt_name = f"{name}_unoptimized.c"
     transform = tool.run(unopt_src, unopt_name)
-    # The tool's parse artifact is the simulator's input: one parse total.
-    unopt_tu = transform.translation_unit
+    # The tool's parse artifact is the simulator's input: one parse per
+    # source total, shared through the manager's artifact cache.
+    variants = [
+        (unopt_src, unopt_name, transform.translation_unit),
+        (
+            transform.output_source,
+            f"{name}_ompdart.c",
+            manager.parse(transform.output_source, f"{name}_ompdart.c"),
+        ),
+        (expert_src, f"{name}_expert.c", manager.parse(expert_src, f"{name}_expert.c")),
+    ]
+
+    def simulate(variant: tuple) -> SimulationResult:
+        source, filename, tu = variant
+        return run_simulation(source, filename, cost_model=cost_model, tu=tu)
+
+    if concurrent_variants:
+        with ThreadPoolExecutor(max_workers=len(variants)) as pool:
+            unopt, ompdart, expert = list(pool.map(simulate, variants))
+    else:
+        unopt, ompdart, expert = (simulate(v) for v in variants)
 
     run = BenchmarkRun(
         benchmark=bench,
-        unoptimized=run_simulation(
-            unopt_src, unopt_name, cost_model=cost_model, tu=unopt_tu
-        ),
-        ompdart=run_simulation(
-            transform.output_source,
-            f"{name}_ompdart.c",
-            cost_model=cost_model,
-            tu=manager.parse(transform.output_source, f"{name}_ompdart.c"),
-        ),
-        expert=run_simulation(
-            expert_src,
-            f"{name}_expert.c",
-            cost_model=cost_model,
-            tu=manager.parse(expert_src, f"{name}_expert.c"),
-        ),
+        unoptimized=unopt,
+        ompdart=ompdart,
+        expert=expert,
         transform=transform,
+        platform=resolved,
     )
     if verify:
         run.verify()
     return run
 
 
-def _benchmark_job(job: tuple[str, CostModel, bool]) -> BenchmarkRun:
+def _benchmark_job(
+    job: tuple[str, Platform | CostModel | str | None, bool]
+) -> BenchmarkRun:
     """Top-level worker for the process-pool path of :func:`run_all`."""
-    name, cost_model, verify = job
-    return run_benchmark(name, cost_model=cost_model, verify=verify)
+    name, machine, verify = job
+    kwargs = (
+        {"cost_model": machine}
+        if isinstance(machine, CostModel)
+        else {"platform": machine}
+    )
+    return run_benchmark(
+        name, verify=verify, concurrent_variants=False, **kwargs
+    )
 
 
 def run_all(
     *,
-    cost_model: CostModel = A100_PCIE4,
+    platform: Platform | str | None = None,
+    platforms: "list[Platform | str] | None" = None,
+    cost_model: CostModel | None = None,
     verify: bool = True,
     jobs: int = 1,
     manager: PassManager | None = None,
-) -> dict[str, BenchmarkRun]:
+    names: "list[str] | None" = None,
+) -> "dict[str, BenchmarkRun] | SweepResult":
     """Run the full nine-application evaluation (paper section VI).
+
+    With ``platforms=[...]`` the evaluation becomes a cross-platform
+    sweep and returns a :class:`SweepResult` (see :func:`run_sweep`);
+    otherwise it returns the historical ``{name: BenchmarkRun}`` dict
+    for the single requested ``platform`` (default: the paper's
+    A100/PCIe4 testbed).
 
     ``jobs > 1`` fans the benchmarks out over the batch driver's
     process pool; ordering (and, for this deterministic workload, every
@@ -163,32 +229,206 @@ def run_all(
     one pass manager — and thus one artifact cache — across all nine
     applications.
     """
+    if platforms is not None:
+        if cost_model is not None or platform is not None:
+            raise ValueError(
+                "platforms=[...] cannot be combined with platform/cost_model"
+            )
+        return run_sweep(
+            platforms, verify=verify, jobs=jobs, manager=manager, names=names
+        )
+    names = list(names if names is not None else BENCHMARK_ORDER)
     if jobs <= 1:
         manager = manager or PassManager()
         return {
             name: run_benchmark(
-                name, cost_model=cost_model, verify=verify, manager=manager
+                name,
+                platform=platform,
+                cost_model=cost_model,
+                verify=verify,
+                manager=manager,
             )
-            for name in BENCHMARK_ORDER
+            for name in names
         }
     if manager is not None:
         raise ValueError(
             "a shared manager cannot cross worker processes; "
             "use jobs=1 to share one pass manager"
         )
+    machine = cost_model if cost_model is not None else resolve_platform(platform)
     runs = parallel_map(
         _benchmark_job,
-        [(name, cost_model, verify) for name in BENCHMARK_ORDER],
+        [(name, machine, verify) for name in names],
         jobs=jobs,
+        label=lambda job: f"benchmark {job[0]!r}",
     )
-    return dict(zip(BENCHMARK_ORDER, runs))
+    return dict(zip(names, runs))
 
 
-def geometric_mean(values: list[float]) -> float:
-    """Geomean used for the paper's summary statistics."""
+# ======================================================================
+# Cross-platform sweep
+# ======================================================================
+
+
+@dataclass
+class PlatformSweep:
+    """One platform's full evaluation inside a cross-platform sweep."""
+
+    platform: Platform
+    runs: dict[str, BenchmarkRun] = field(default_factory=dict)
+
+    @property
+    def geomean_speedup_x(self) -> float:
+        return geometric_mean([r.speedup_x for r in self.runs.values()])
+
+    @property
+    def geomean_expert_speedup_x(self) -> float:
+        return geometric_mean([r.expert_speedup_x for r in self.runs.values()])
+
+    @property
+    def geomean_transfer_reduction_x(self) -> float:
+        return geometric_mean(
+            [r.transfer_reduction_x for r in self.runs.values()]
+        )
+
+    @property
+    def geomean_transfer_time_improvement_x(self) -> float:
+        return geometric_mean(
+            [r.transfer_time_improvement_x for r in self.runs.values()]
+        )
+
+    def geomeans(self) -> dict[str, float]:
+        return {
+            "speedup_x": self.geomean_speedup_x,
+            "expert_speedup_x": self.geomean_expert_speedup_x,
+            "transfer_reduction_x": self.geomean_transfer_reduction_x,
+            "transfer_time_improvement_x": (
+                self.geomean_transfer_time_improvement_x
+            ),
+        }
+
+
+@dataclass
+class SweepResult:
+    """Per-platform sweeps plus the cross-platform geomean summary."""
+
+    sweeps: dict[str, PlatformSweep]
+
+    @property
+    def platforms(self) -> list[Platform]:
+        return [s.platform for s in self.sweeps.values()]
+
+    @property
+    def benchmark_names(self) -> list[str]:
+        first = next(iter(self.sweeps.values()), None)
+        return list(first.runs) if first is not None else []
+
+    def __getitem__(self, platform_name: str) -> PlatformSweep:
+        return self.sweeps[platform_name]
+
+    def __iter__(self):
+        return iter(self.sweeps.values())
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Cross-platform geomean summary, keyed by platform name."""
+        return {name: sweep.geomeans() for name, sweep in self.sweeps.items()}
+
+
+def _sweep_job(
+    job: tuple[str, tuple[Platform, ...], bool]
+) -> dict[str, BenchmarkRun]:
+    """Process-pool worker: one benchmark across every platform.
+
+    The worker-local manager means the benchmark is parsed and
+    transformed once, then simulated per platform — the same artifact
+    reuse the serial sweep gets from its shared manager.
+    """
+    name, platforms, verify = job
+    manager = PassManager()
+    return {
+        p.name: run_benchmark(
+            name,
+            platform=p,
+            verify=verify,
+            manager=manager,
+            concurrent_variants=False,
+        )
+        for p in platforms
+    }
+
+
+def run_sweep(
+    platforms: "list[Platform | str]",
+    *,
+    verify: bool = True,
+    jobs: int = 1,
+    manager: PassManager | None = None,
+    names: "list[str] | None" = None,
+) -> SweepResult:
+    """Evaluate the suite across several platforms (Fig. 5/6 sweep).
+
+    The transform is platform-independent, so each benchmark runs
+    through the tool exactly once regardless of how many platforms are
+    requested: all platforms share one :class:`PassManager` (per worker
+    when ``jobs > 1``) and every pass after the first platform answers
+    from the artifact cache — observable via
+    ``manager.cache.stats["parse"].misses``.
+    """
+    resolved = [resolve_platform(p) for p in platforms]
+    if not resolved:
+        raise ValueError("run_sweep needs at least one platform")
+    seen: set[str] = set()
+    for p in resolved:
+        if p.name in seen:
+            raise ValueError(f"duplicate platform {p.name!r} in sweep")
+        seen.add(p.name)
+    names = list(names if names is not None else BENCHMARK_ORDER)
+    sweeps = {p.name: PlatformSweep(platform=p) for p in resolved}
+
+    if jobs <= 1:
+        manager = manager or PassManager()
+        # Benchmark-outer order keeps each source's artifacts hot in
+        # the cache while every platform consumes them.
+        for name in names:
+            for p in resolved:
+                sweeps[p.name].runs[name] = run_benchmark(
+                    name, platform=p, verify=verify, manager=manager
+                )
+        return SweepResult(sweeps=sweeps)
+
+    if manager is not None:
+        raise ValueError(
+            "a shared manager cannot cross worker processes; "
+            "use jobs=1 to share one pass manager"
+        )
+    per_bench = parallel_map(
+        _sweep_job,
+        [(name, tuple(resolved), verify) for name in names],
+        jobs=jobs,
+        label=lambda job: f"benchmark {job[0]!r}",
+    )
+    for name, by_platform in zip(names, per_bench):
+        for p in resolved:
+            sweeps[p.name].runs[name] = by_platform[p.name]
+    return SweepResult(sweeps=sweeps)
+
+
+def geometric_mean(values: "list[float]") -> float:
+    """Geomean used for the paper's summary statistics.
+
+    Raises :class:`ValueError` on an empty sequence and on non-positive
+    values: both indicate a broken metric upstream (a speedup or byte
+    ratio can never legitimately be <= 0), and silently clamping them —
+    as an earlier revision did — masks the bug in every downstream
+    summary.
+    """
     if not values:
-        return 0.0
+        raise ValueError("geometric_mean of an empty sequence")
     product = 1.0
     for v in values:
-        product *= max(v, 1e-12)
+        if v <= 0 or math.isnan(v):
+            raise ValueError(
+                f"geometric_mean requires positive values, got {v!r}"
+            )
+        product *= v
     return product ** (1.0 / len(values))

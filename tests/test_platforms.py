@@ -1,0 +1,435 @@
+"""Platform-registry invariants, cross-platform sweep, and concurrency.
+
+The invariants the refactor must keep (ISSUE 2):
+
+* every *discrete* platform preserves transfer-dominance — unoptimized
+  transfer time >= compute time on transfer-bound benchmarks, the
+  premise behind the paper's Fig. 5/6 wins;
+* ``gh200-unified`` (coherent memory) yields speedup ~= 1.0 with no
+  divide-by-zero anywhere in the metric chain;
+* concurrent per-variant simulation is bit-identical to the serial
+  path;
+* a multi-platform sweep parses/transforms each benchmark exactly once
+  (observable via the shared cache's hit/miss counters).
+
+Fast, transfer-dominant benchmarks (bfs, backprop, xsbench) keep the
+suite quick; the full nine-benchmark behaviour is covered by
+``test_suite.py`` on the default platform.
+"""
+
+import json
+
+import pytest
+
+from repro.pipeline.batch import BatchWorkerError, parallel_map
+from repro.pipeline.manager import PassManager
+from repro.runtime import A100_PCIE4, CostModel
+from repro.runtime.platform import (
+    DEFAULT_PLATFORM,
+    PLATFORMS,
+    Platform,
+    get_platform,
+    list_platforms,
+    platform_table,
+    register_platform,
+    resolve_platform,
+)
+from repro.suite import geometric_mean, run_benchmark, run_sweep
+from repro.suite.runner import run_all
+
+DISCRETE = [p.name for p in PLATFORMS.values() if not p.unified_memory]
+UNIFIED = [p.name for p in PLATFORMS.values() if p.unified_memory]
+
+# Cache one run per (benchmark, platform): the simulator dominates
+# test wall time and every run is deterministic.
+_runs = {}
+
+
+def run_of(name, platform=DEFAULT_PLATFORM):
+    key = (name, platform)
+    if key not in _runs:
+        _runs[key] = run_benchmark(name, platform=platform)
+    return _runs[key]
+
+
+class TestRegistry:
+    def test_four_platforms_ship(self):
+        for name in ("a100-pcie4", "h100-sxm5", "mi250-if", "gh200-unified"):
+            assert name in PLATFORMS
+
+    def test_default_is_ratio_identical_to_historical_constant(self):
+        assert get_platform(DEFAULT_PLATFORM).effective_cost_model == A100_PCIE4
+
+    def test_unknown_platform_names_alternatives(self):
+        with pytest.raises(KeyError, match="a100-pcie4"):
+            get_platform("tpu-v9")
+
+    def test_resolve_accepts_name_descriptor_and_none(self):
+        p = get_platform("mi250-if")
+        assert resolve_platform("mi250-if") is p
+        assert resolve_platform(p) is p
+        assert resolve_platform(None).name == DEFAULT_PLATFORM
+
+    def test_list_platforms_default_first(self):
+        listed = list_platforms()
+        assert listed[0].name == DEFAULT_PLATFORM
+        assert {p.name for p in listed} == set(PLATFORMS)
+
+    def test_platform_table_mentions_every_platform(self):
+        text = platform_table()
+        for name in PLATFORMS:
+            assert name in text
+
+    def test_register_rejects_duplicates_unless_override(self):
+        custom = Platform(
+            name="test-custom", device="d", interconnect="i",
+            cost_model=CostModel(),
+        )
+        register_platform(custom)
+        try:
+            with pytest.raises(ValueError):
+                register_platform(custom)
+            register_platform(custom, override=True)  # explicit is fine
+            assert get_platform("test-custom") is custom
+        finally:
+            del PLATFORMS["test-custom"]
+
+    def test_unified_memory_zeroes_explicit_memcpy_cost(self):
+        cm = get_platform("gh200-unified").effective_cost_model
+        assert cm.memcpy_time(0) == 0.0
+        assert cm.memcpy_time(1 << 30) == 0.0
+        # compute is still charged
+        assert cm.kernel_time(1000) > 0.0
+
+    def test_discrete_platforms_keep_raw_cost_model(self):
+        for name in DISCRETE:
+            p = get_platform(name)
+            assert p.effective_cost_model is p.cost_model
+
+    def test_every_platform_premise_device_beats_host_per_op(self):
+        for p in PLATFORMS.values():
+            assert p.cost_model.device_op_s < p.cost_model.host_op_s, p.name
+
+
+class TestPlatformInvariants:
+    @pytest.mark.parametrize("platform", DISCRETE)
+    @pytest.mark.parametrize("bench", ["bfs", "xsbench"])
+    def test_transfer_dominates_unoptimized_on_discrete(self, platform, bench):
+        stats = run_of(bench, platform).unoptimized.stats
+        compute = stats.kernel_time_s + stats.host_time_s
+        assert stats.transfer_time_s >= compute, (platform, bench)
+
+    @pytest.mark.parametrize("platform", DISCRETE)
+    def test_tool_still_wins_on_every_discrete_platform(self, platform):
+        run = run_of("bfs", platform)
+        assert run.outputs_match
+        assert run.speedup_x > 1.0
+        assert run.transfer_reduction_x > 1.0
+
+    @pytest.mark.parametrize("platform", UNIFIED)
+    @pytest.mark.parametrize("bench", ["bfs", "backprop"])
+    def test_unified_memory_speedup_is_one(self, platform, bench):
+        run = run_of(bench, platform)
+        assert run.outputs_match
+        # explicit staging is free: the mapping win collapses exactly
+        assert run.speedup_x == pytest.approx(1.0)
+        assert run.expert_speedup_x == pytest.approx(1.0)
+        # 0/0 transfer-time guard: defined, not a ZeroDivisionError
+        assert run.transfer_time_improvement_x == 1.0
+        assert run.unoptimized.stats.transfer_time_s == 0.0
+        # data still moves (semantics intact), it just costs nothing
+        assert run.unoptimized.stats.total_bytes > 0
+
+    def test_platform_recorded_on_run(self):
+        assert run_of("bfs").platform.name == DEFAULT_PLATFORM
+
+    def test_raw_cost_model_still_accepted(self):
+        run = run_benchmark("bfs", cost_model=A100_PCIE4)
+        assert run.platform is None
+        assert run.ompdart.stats == run_of("bfs").ompdart.stats
+
+    def test_platform_and_cost_model_are_exclusive(self):
+        with pytest.raises(ValueError):
+            run_benchmark("bfs", platform="a100-pcie4", cost_model=A100_PCIE4)
+
+
+class TestConcurrentVariants:
+    def test_concurrent_bit_identical_to_serial(self):
+        serial = run_benchmark("backprop", concurrent_variants=False)
+        threaded = run_benchmark("backprop", concurrent_variants=True)
+        for variant in ("unoptimized", "ompdart", "expert"):
+            a, b = getattr(serial, variant), getattr(threaded, variant)
+            assert a.stats == b.stats, variant
+            assert a.output == b.output, variant
+            assert a.return_code == b.return_code, variant
+
+
+class TestSweep:
+    def test_sweep_reuses_parse_and_transform_across_platforms(self):
+        manager = PassManager()
+        names = ["bfs", "backprop"]
+        sweep = run_sweep(list(PLATFORMS), names=names, manager=manager)
+        stats = manager.cache.stats
+        # 3 sources per benchmark (unoptimized, ompdart output, expert),
+        # each parsed exactly once no matter how many platforms ran.
+        assert stats["parse"].misses == 3 * len(names)
+        # The tool's rewrite ran once per benchmark, not once per platform.
+        assert stats["rewrite"].misses == len(names)
+        # Every later platform answered from cache.
+        assert stats["parse"].hits >= 3 * len(names) * (len(PLATFORMS) - 1)
+        assert set(sweep.summary()) == set(PLATFORMS)
+
+    def test_sweep_default_platform_matches_standalone_run(self):
+        sweep = run_sweep([DEFAULT_PLATFORM, "h100-sxm5"], names=["bfs"])
+        assert (
+            sweep[DEFAULT_PLATFORM].runs["bfs"].ompdart.stats
+            == run_of("bfs").ompdart.stats
+        )
+
+    def test_sweep_parallel_identical_to_serial(self):
+        names = ["bfs", "backprop"]
+        platforms = [DEFAULT_PLATFORM, "gh200-unified"]
+        serial = run_sweep(platforms, names=names)
+        parallel = run_sweep(platforms, names=names, jobs=2)
+        for pn in platforms:
+            for name in names:
+                a, b = serial[pn].runs[name], parallel[pn].runs[name]
+                assert a.ompdart.stats == b.ompdart.stats
+                assert a.unoptimized.stats == b.unoptimized.stats
+
+    def test_sweep_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            run_sweep([])
+        with pytest.raises(ValueError):
+            run_sweep([DEFAULT_PLATFORM, DEFAULT_PLATFORM])
+
+    def test_run_all_platforms_returns_sweep(self):
+        result = run_all(platforms=[DEFAULT_PLATFORM], names=["bfs"])
+        assert result[DEFAULT_PLATFORM].runs["bfs"].outputs_match
+
+    def test_run_all_single_platform_keeps_dict_shape(self):
+        result = run_all(names=["bfs"])
+        assert set(result) == {"bfs"}
+        assert result["bfs"].ompdart.stats == run_of("bfs").ompdart.stats
+
+    def test_run_all_rejects_platforms_with_platform(self):
+        with pytest.raises(ValueError):
+            run_all(platforms=[DEFAULT_PLATFORM], platform="h100-sxm5")
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            geometric_mean([])
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -1e-15])
+    def test_non_positive_raises(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            geometric_mean([1.0, bad, 2.0])
+
+
+def _explode(item):
+    if item == "bad":
+        raise RuntimeError("kaboom")
+    return item.upper()
+
+
+class TestWorkerErrorLabels:
+    def test_serial_label(self):
+        with pytest.raises(BatchWorkerError) as exc:
+            parallel_map(
+                _explode, ["ok", "bad"], label=lambda i: f"input {i!r}"
+            )
+        assert "input 'bad'" in str(exc.value)
+        assert "kaboom" in str(exc.value)
+
+    def test_process_pool_label(self):
+        with pytest.raises(BatchWorkerError) as exc:
+            parallel_map(
+                _explode,
+                ["ok", "fine", "bad", "ok2"],
+                jobs=2,
+                label=lambda i: f"input {i!r}",
+            )
+        assert "input 'bad'" in str(exc.value)
+        assert "kaboom" in str(exc.value)
+
+    def test_error_survives_pickling(self):
+        import pickle
+
+        err = BatchWorkerError("a.c", "RuntimeError: x")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.label == "a.c"
+        assert "RuntimeError: x" in str(clone)
+
+    def test_without_label_original_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="kaboom"):
+            parallel_map(_explode, ["bad"])
+
+    def test_batch_outcome_reports_filename_for_internal_errors(self):
+        from repro.pipeline.batch import transform_batch
+        from repro.pipeline.passes import Pass
+
+        def boom(ctx):
+            raise RuntimeError("pass exploded")
+
+        manager = PassManager(
+            passes=[Pass(name="parse", build=boom, cacheable=False)]
+        )
+        (outcome,) = transform_batch(
+            [("int x;", "broken.c")], manager=manager
+        )
+        assert not outcome.ok
+        assert outcome.filename == "broken.c"
+        assert "internal error" in outcome.error
+        assert "pass exploded" in outcome.error
+
+
+class TestPerfArtifact:
+    def test_json_roundtrip(self, tmp_path):
+        from repro.report.perf import SCHEMA, write_suite_json
+
+        sweep = run_sweep(
+            [DEFAULT_PLATFORM, "gh200-unified"], names=["bfs"]
+        )
+        path = tmp_path / "suite.json"
+        write_suite_json(sweep, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA
+        assert [p["name"] for p in payload["platforms"]] == [
+            DEFAULT_PLATFORM, "gh200-unified",
+        ]
+        bfs = payload["results"][DEFAULT_PLATFORM]["benchmarks"]["bfs"]
+        assert bfs["outputs_match"] is True
+        assert bfs["speedup_x"] > 1.0
+        assert bfs["variants"]["unoptimized"]["h2d_bytes"] > 0
+        assert bfs["tool"]["pass_timings"]
+        geo = payload["results"]["gh200-unified"]["geomeans"]
+        assert geo["speedup_x"] == pytest.approx(1.0)
+
+    def test_cross_platform_figure(self):
+        from repro.report import figure_cross_platform
+
+        sweep = run_sweep(
+            [DEFAULT_PLATFORM, "gh200-unified"], names=["bfs"]
+        )
+        series, text = figure_cross_platform(sweep)
+        assert "bfs" in series
+        assert DEFAULT_PLATFORM in text and "gh200-unified" in text
+        assert "(geomean)" in text
+        assert "unified-memory" in text
+
+
+class TestCLI:
+    def test_list_platforms_all_entry_points(self, capsys):
+        from repro.cli import main
+
+        for argv in (
+            ["--list-platforms"],
+            ["batch", "--list-platforms"],
+            ["suite", "--list-platforms"],
+        ):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            for name in PLATFORMS:
+                assert name in out
+
+    def test_missing_input_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main([]) == 2
+        assert "input file is required" in capsys.readouterr().err
+
+    def test_unknown_platform_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "x.c"
+        src.write_text("int main() { return 0; }\n")
+        assert main([str(src), "--platform", "nope"]) == 2
+        assert "unknown platform" in capsys.readouterr().err
+
+    def test_run_simulate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "in.c"
+        src.write_text(
+            "int a[4];\nint main() {\n"
+            "  a[0] = 1;\n"
+            "  #pragma omp target\n"
+            "  for (int i = 0; i < 4; i++) a[i] += i;\n"
+            '  printf("%d\\n", a[0]);\n  return 0;\n}\n'
+        )
+        rc = main([str(src), "-o", str(tmp_path / "out.c"), "--simulate",
+                   "--platform", "h100-sxm5"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "simulated on h100-sxm5" in captured.err
+
+    def test_suite_json_and_sweep(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "suite.json"
+        rc = main([
+            "suite", "--benchmarks", "bfs",
+            "--platform", "a100-pcie4", "--platform", "gh200-unified",
+            "--json", str(path),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert path.exists()
+        assert "Cross-platform sweep" in captured.out
+        assert "geomean speedup" in captured.out
+
+    def test_suite_unknown_benchmark(self, capsys):
+        from repro.cli import main
+
+        assert main(["suite", "--benchmarks", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_suite_repeated_platform_deduped(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "suite", "--benchmarks", "bfs",
+            "--platform", "a100-pcie4", "--platform", "a100-pcie4",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        # deduped to a single-platform run: no cross-platform table
+        assert "Cross-platform sweep" not in captured.out
+
+    def test_suite_bad_json_dir_fails_before_sweep(self, tmp_path, capsys):
+        from repro.cli import main
+
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        rc = main([
+            "suite", "--benchmarks", "bfs",
+            "--json", str(blocker / "sub" / "out.json"),
+        ])
+        assert rc == 2
+        assert "cannot create" in capsys.readouterr().err
+
+    def test_suite_json_creates_parent_dir(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "artifacts" / "suite.json"
+        assert main(["suite", "--benchmarks", "bfs", "--json", str(path)]) == 0
+        assert path.exists()
+
+    def test_suite_parallel_worker_failure_is_clean(self, capsys, monkeypatch):
+        import repro.suite.runner as runner_mod
+        from repro.cli import main
+
+        def explode(job):
+            raise RuntimeError("worker blew up")
+
+        monkeypatch.setattr(runner_mod, "_sweep_job", explode)
+        rc = main(["suite", "--benchmarks", "bfs", "-j", "2"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "benchmark 'bfs'" in captured.err
+        assert "worker blew up" in captured.err
