@@ -92,6 +92,18 @@ def _strip(expr: A.Expr) -> A.Expr:
     return expr
 
 
+def step_of(inc: A.Expr | None, var: str) -> int:
+    """Constant step of the recognized increment forms; 0 when opaque.
+
+    Public companion to :func:`find_indexing_var` — the vectorizing
+    kernel executor (:mod:`repro.runtime.vectorize`) reuses the same
+    canonical-loop recognition the mapping analysis is built on.
+    """
+    if inc is None:
+        return 0
+    return _step_of(inc, var)
+
+
 def _step_of(inc: A.Expr, var: str) -> int:
     inc = _strip(inc)
     if isinstance(inc, A.UnaryOperator):

@@ -32,11 +32,19 @@ cross-platform sweep, and can emit a machine-readable perf artifact::
     ompdart suite --platform a100-pcie4 --platform h100-sxm5
     ompdart suite --json benchmarks/suite_a100-pcie4.json
     ompdart suite -j 4 --report
+    ompdart suite --no-vectorize                    # closure interpreter only
+
+Suite-diff mode gates two perf artifacts against each other (CI runs
+it against the committed baseline)::
+
+    ompdart suite-diff benchmarks/suite_a100-pcie4.json new.json
+    ompdart suite-diff baseline.json candidate.json --tolerance 0.05 -v
 
 Exit codes: 0 success, 1 tool/analysis error, 2 unreadable input or
 bad usage, 3 parse error in ``--dump-ast``/``--dump-cfg``.  Batch mode
 exits 0 only when every input transformed cleanly; suite mode exits 1
-when any benchmark's variants diverge.
+when any benchmark's variants diverge; suite-diff exits 1 when the
+candidate regresses beyond the tolerance.
 """
 
 from __future__ import annotations
@@ -123,6 +131,15 @@ def _add_platform_arguments(
         "--list-platforms",
         action="store_true",
         help="list registered simulation platforms and exit",
+    )
+    parser.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help=(
+            "force the closure interpreter for every kernel instead of "
+            "the NumPy vectorizing executor (results are identical; "
+            "this is the escape hatch and equality-testing knob)"
+        ),
     )
 
 
@@ -225,6 +242,62 @@ def build_suite_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_suite_diff_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart suite-diff",
+        description=(
+            "Compare two ompdart-suite-perf artifacts and fail on metric "
+            "regressions beyond the tolerance (CI regression gate)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument("baseline", help="baseline suite JSON artifact")
+    parser.add_argument("candidate", help="candidate suite JSON artifact")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        metavar="FRAC",
+        help=(
+            "relative change tolerated before a metric counts as a "
+            "regression (default 0.01 = 1%%)"
+        ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also list improved metrics",
+    )
+    return parser
+
+
+def _run_suite_diff(argv: list[str]) -> int:
+    args = build_suite_diff_arg_parser().parse_args(argv)
+    if args.tolerance < 0:
+        print("ompdart suite-diff: tolerance must be >= 0", file=sys.stderr)
+        return 2
+    import json
+
+    from .report.diff import diff_files, render_diff
+
+    try:
+        result = diff_files(
+            args.baseline, args.candidate, tolerance=args.tolerance
+        )
+    except (OSError, json.JSONDecodeError, ValueError, TypeError,
+            AttributeError, KeyError) as exc:
+        # ValueError covers schema/shape problems diff_payloads detects
+        # itself; the rest guard against artifacts malformed in ways it
+        # cannot anticipate — bad input is exit 2, never a traceback.
+        print(f"ompdart suite-diff: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def _parse_defines(defines: list[str]) -> dict[str, object]:
     out: dict[str, object] = {}
     for item in defines:
@@ -250,16 +323,20 @@ def _simulate_pair(
     filename: str,
     platform,
     macros: dict[str, object],
+    *,
+    vectorize: bool = True,
 ) -> str:
     """Modelled before/after comparison line for ``--simulate``."""
     from .runtime.interp import run_simulation
 
     try:
         before = run_simulation(
-            original, filename, platform=platform, predefined_macros=macros
+            original, filename, platform=platform, predefined_macros=macros,
+            vectorize=vectorize,
         )
         after = run_simulation(
-            transformed, filename, platform=platform, predefined_macros=macros
+            transformed, filename, platform=platform, predefined_macros=macros,
+            vectorize=vectorize,
         )
     except Exception as exc:  # noqa: BLE001 - advisory estimate only
         return f"simulation on {platform.name} failed: {exc}"
@@ -292,8 +369,19 @@ def _run_batch(argv: list[str]) -> int:
 
     macros = _parse_defines(args.defines)
     options = ToolOptions(predefined_macros=macros)
+    cache = None
+    if args.cache_dir and args.jobs <= 1:
+        # Serial runs keep a handle on the cache so --report can show
+        # per-pass disk traffic; worker processes own their caches.
+        from .pipeline.cache import ArtifactCache
+
+        cache = ArtifactCache(disk_dir=args.cache_dir)
     outcomes = transform_paths(
-        args.inputs, options, jobs=args.jobs, cache_dir=args.cache_dir
+        args.inputs,
+        options,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache=cache,
     )
 
     if args.output_dir:
@@ -336,12 +424,37 @@ def _run_batch(argv: list[str]) -> int:
                         outcome.filename,
                         platform,
                         macros,
+                        vectorize=not args.no_vectorize,
                     )
                 )
         if args.output_dir:
             dest = os.path.join(args.output_dir, dest_names[outcome.filename])
             with open(dest, "w", encoding="utf-8") as fh:
                 fh.write(outcome.output_source or "")
+    if args.report and args.cache_dir:
+        from .pipeline.cache import ArtifactCache
+
+        if cache is not None:
+            for name, stat in sorted(cache.stats.items()):
+                print(
+                    f"  cache {name:<11s} {stat.hits} hit(s) / "
+                    f"{stat.misses} miss(es), "
+                    f"{stat.disk_bytes_read}B read / "
+                    f"{stat.disk_bytes_written}B written"
+                )
+            report_cache = cache
+        else:
+            # Worker processes own their hit/miss/byte counters; only
+            # the shared on-disk total is observable from here.
+            print(
+                "ompdart: per-pass cache counters live in the worker "
+                "processes under -j; showing disk totals only"
+            )
+            report_cache = ArtifactCache(disk_dir=args.cache_dir)
+        print(
+            f"ompdart: disk cache {args.cache_dir}: "
+            f"{report_cache.disk_usage()} byte(s) in spill files"
+        )
     return 1 if failures else 0
 
 
@@ -395,6 +508,7 @@ def _run_suite(argv: list[str]) -> int:
             verify=not args.no_verify,
             jobs=args.jobs,
             names=names,
+            vectorize=not args.no_vectorize,
         )
     except ToolError as exc:
         print(f"ompdart suite: error: {exc}", file=sys.stderr)
@@ -470,6 +584,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_batch(argv[1:])
     if argv and argv[0] == "suite":
         return _run_suite(argv[1:])
+    if argv and argv[0] == "suite-diff":
+        return _run_suite_diff(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -534,7 +650,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.simulate:
         print(
             _simulate_pair(
-                source, result.output_source, args.input, platform, macros
+                source, result.output_source, args.input, platform, macros,
+                vectorize=not args.no_vectorize,
             ),
             file=sys.stderr,
         )

@@ -184,8 +184,14 @@ def transform_paths(
     *,
     jobs: int = 1,
     cache_dir: str | None = None,
+    cache: ArtifactCache | None = None,
 ) -> list[BatchOutcome]:
-    """Read files and transform them as one batch (CLI entry point)."""
+    """Read files and transform them as one batch (CLI entry point).
+
+    Pass an in-process ``cache`` (serial runs only) to observe its
+    hit/miss and disk-byte counters after the batch — the CLI's
+    ``--report`` uses this to surface on-disk cache traffic.
+    """
     items: list[tuple[str, str]] = []
     outcomes_by_index: dict[int, BatchOutcome] = {}
     readable: list[int] = []
@@ -199,7 +205,7 @@ def transform_paths(
                 filename=path, ok=False, error=f"cannot read {path}: {exc}"
             )
     results = transform_batch(
-        items, options, jobs=jobs, cache_dir=cache_dir
+        items, options, jobs=jobs, cache_dir=cache_dir, cache=cache
     )
     for i, outcome in zip(readable, results):
         outcomes_by_index[i] = outcome

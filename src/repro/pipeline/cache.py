@@ -7,6 +7,14 @@ path for repeated ``OMPDart.run`` calls and for the evaluation harness,
 which historically parsed every benchmark source twice) and can spill
 artifacts to a directory so separate worker processes of the batch
 driver share work across runs.
+
+Disk spills are pickled with protocol 5 and zlib-compressed (AST
+artifacts are highly redundant — the compressed spill is typically a
+small fraction of the raw pickle), the first step toward the roadmap's
+compact serialized IR.  Spill files written by older revisions (plain
+pickle) are still readable.  :class:`CacheStats` counts the compressed
+bytes read and written per pass alongside hit/miss counts, so the batch
+driver's per-pass instrumentation can surface on-disk cache traffic.
 """
 
 from __future__ import annotations
@@ -15,10 +23,15 @@ import hashlib
 import os
 import pickle
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+#: zlib level 6 halves parse artifacts at negligible CPU cost; spills
+#: are written once and read by many workers.
+_COMPRESS_LEVEL = 6
 
 #: Sentinel distinguishing "not cached" from a cached None.
 _MISS = object()
@@ -42,10 +55,14 @@ def fingerprint(*parts: Any) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one pass name."""
+    """Hit/miss and disk-byte counters for one pass name."""
 
     hits: int = 0
     misses: int = 0
+    #: Compressed bytes read from disk spills on hits.
+    disk_bytes_read: int = 0
+    #: Compressed bytes written to disk spills on misses.
+    disk_bytes_written: int = 0
 
     @property
     def lookups(self) -> int:
@@ -84,6 +101,18 @@ class ArtifactCache:
     def hit_rates(self) -> dict[str, float]:
         return {name: s.hit_rate for name, s in sorted(self.stats.items())}
 
+    def disk_usage(self) -> int:
+        """Total bytes of spill files on disk (0 for a memory-only cache)."""
+        if self.disk_dir is None:
+            return 0
+        total = 0
+        for path in Path(self.disk_dir).glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # racing writer/cleaner; size is best-effort
+        return total
+
     # -- lookup ----------------------------------------------------------
 
     def get(self, pass_name: str, key: str) -> Any:
@@ -94,19 +123,24 @@ class ArtifactCache:
                 self._memory.move_to_end(memory_key)
                 self._stat(pass_name).hits += 1
                 return self._memory[memory_key]
-        value = self._disk_get(pass_name, key)
+        value, nbytes = self._disk_get(pass_name, key)
         with self._lock:
+            stat = self._stat(pass_name)
             if value is not _MISS:
-                self._stat(pass_name).hits += 1
+                stat.hits += 1
+                stat.disk_bytes_read += nbytes
                 self._remember(pass_name, key, value)
             else:
-                self._stat(pass_name).misses += 1
+                stat.misses += 1
         return value
 
     def put(self, pass_name: str, key: str, value: Any) -> None:
         with self._lock:
             self._remember(pass_name, key, value)
-        self._disk_put(pass_name, key, value)
+        nbytes = self._disk_put(pass_name, key, value)
+        if nbytes:
+            with self._lock:
+                self._stat(pass_name).disk_bytes_written += nbytes
 
     def _remember(self, pass_name: str, key: str, value: Any) -> None:
         memory_key = (pass_name, key)
@@ -129,32 +163,48 @@ class ArtifactCache:
         assert self.disk_dir is not None
         return Path(self.disk_dir) / f"{pass_name}-{key}.pkl"
 
-    def _disk_get(self, pass_name: str, key: str) -> Any:
+    @staticmethod
+    def _decode(raw: bytes) -> Any:
+        # New spills are zlib-compressed pickles; pre-compression files
+        # start with the pickle protocol-2+ magic (0x80) and load as-is.
+        if raw[:1] == b"\x80":
+            return pickle.loads(raw)
+        return pickle.loads(zlib.decompress(raw))
+
+    def _disk_get(self, pass_name: str, key: str) -> tuple[Any, int]:
+        """(artifact, compressed bytes read) — or (MISS, 0)."""
         if self.disk_dir is None:
-            return _MISS
+            return _MISS, 0
         path = self._disk_path(pass_name, key)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                raw = fh.read()
+            return self._decode(raw), len(raw)
         except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError):
+                ImportError, zlib.error):
             # Unreadable or version-skewed spill files are misses, not
             # crashes (e.g. a cached class moved between releases).
-            return _MISS
+            return _MISS, 0
 
-    def _disk_put(self, pass_name: str, key: str, value: Any) -> None:
+    def _disk_put(self, pass_name: str, key: str, value: Any) -> int:
+        """Spill the artifact; returns compressed bytes written (0 = none)."""
         if self.disk_dir is None:
-            return
+            return 0
         path = self._disk_path(pass_name, key)
         # Unique tmp name per writer: concurrent batch workers missing on
         # the same key must not truncate each other's half-written spill.
         tmp = path.with_suffix(f".{os.getpid()}-{threading.get_ident()}.tmp")
         try:
+            raw = zlib.compress(
+                pickle.dumps(value, protocol=5), _COMPRESS_LEVEL
+            )
             with open(tmp, "wb") as fh:
-                pickle.dump(value, fh)
+                fh.write(raw)
             tmp.replace(path)
+            return len(raw)
         except (OSError, pickle.PickleError, TypeError):
             tmp.unlink(missing_ok=True)
+            return 0
 
 
 #: Public miss sentinel (also importable for tests).

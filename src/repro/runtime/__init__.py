@@ -22,6 +22,7 @@ from .interp import (  # noqa: F401
 )
 from .profiler import MemcpyRecord, Profiler, TransferStats  # noqa: F401
 from .values import NULL, ArrayObject, Cell, Pointer, StructObject  # noqa: F401
+from .vectorize import try_vectorize  # noqa: F401
 
 __all__ = [
     "LCG",
@@ -51,4 +52,5 @@ __all__ = [
     "Pointer",
     "StructObject",
     "NULL",
+    "try_vectorize",
 ]

@@ -82,6 +82,14 @@ class SimulationResult:
     return_code: int
     stats: TransferStats
     profiler: Profiler
+    #: Host wall-clock seconds the simulation itself took (filled in by
+    #: the suite runner; 0.0 when nobody timed the run).  Unlike every
+    #: field above this is *not* deterministic.
+    wall_time_s: float = 0.0
+    #: Kernel launches executed through the vectorizing executor
+    #: (:mod:`repro.runtime.vectorize`); the remaining
+    #: ``stats.kernel_launches - vectorized_launches`` ran interpreted.
+    vectorized_launches: int = 0
 
     @property
     def total_time_s(self) -> float:
@@ -102,6 +110,7 @@ class Machine:
         self.stdout: list[str] = []
         self.steps = 0
         self.max_steps = max_steps
+        self.vectorized_launches = 0
 
     def tick(self) -> None:
         self.steps += 1
@@ -205,6 +214,7 @@ class Interpreter:
         cost_model: CostModel | None = None,
         platform: Platform | str | None = None,
         max_steps: int = 200_000_000,
+        vectorize: bool = True,
     ):
         if cost_model is None:
             cost_model = resolve_platform(platform).effective_cost_model
@@ -213,6 +223,10 @@ class Interpreter:
         self.tu = tu
         self.profiler = Profiler(cost_model)
         self.machine = Machine(self.profiler, max_steps)
+        self.vectorize = vectorize
+        #: Fallback reasons per ineligible kernel, keyed by directive
+        #: node id (populated only when ``vectorize`` is on).
+        self.vector_notes: dict[int, str] = {}
         self._functions: dict[str, Callable[[list[Any]], Any]] = {}
         self._math = make_math_builtins()
         self._alloc_counter = 0
@@ -236,6 +250,7 @@ class Interpreter:
             return_code=rc,
             stats=self.profiler.snapshot(),
             profiler=self.profiler,
+            vectorized_launches=self.machine.vectorized_launches,
         )
 
     def _init_globals(self) -> None:
@@ -655,6 +670,13 @@ class Interpreter:
 
     def _compile_kernel(self, stmt: A.OMPExecutableDirective) -> Callable[[Machine], None]:
         body = self._compile_stmt(stmt.associated_stmt)
+        vector_body: Callable[[Machine], bool] | None = None
+        if self.vectorize:
+            from .vectorize import try_vectorize
+
+            vector_body, note = try_vectorize(self, stmt)
+            if note is not None:
+                self.vector_notes[stmt.node_id] = note
         refs = self._referenced_decls(stmt)
         explicit_map = {name: (mt, alw) for name, mt, alw in self._map_items(stmt)}
         firstprivate = self._clause_names(stmt, A.OMPFirstprivateClause)
@@ -719,7 +741,14 @@ class Interpreter:
             m.on_device = True
             m.kernel_overrides = overrides
             try:
-                body(m)
+                # The vectorized nest is bit-identical to the interpreted
+                # body (values, transfers, step accounting); its runtime
+                # preflight returns False to decline — e.g. a pointer
+                # bound to a struct array — and the closure body runs.
+                if vector_body is not None and vector_body(m):
+                    m.vectorized_launches += 1
+                else:
+                    body(m)
             finally:
                 m.on_device = prev_device
                 m.kernel_overrides = prev_overrides
@@ -1321,6 +1350,7 @@ def run_simulation(
     max_steps: int = 200_000_000,
     entry: str = "main",
     tu: A.TranslationUnit | None = None,
+    vectorize: bool = True,
 ) -> SimulationResult:
     """Parse and execute a mini-C OpenMP program on the simulated machine.
 
@@ -1332,10 +1362,20 @@ def run_simulation(
     to skip the frontend entirely; the interpreter never mutates the
     AST, so sharing one translation unit between the tool and the
     simulator is safe.
+
+    ``vectorize`` (default on) routes eligible offload loop nests
+    through the NumPy executor of :mod:`repro.runtime.vectorize` —
+    bit-identical results and profiler accounting, orders of magnitude
+    faster on large kernels.  ``vectorize=False`` (CLI
+    ``--no-vectorize``) forces the closure interpreter everywhere.
     """
     if tu is None:
         tu = parse_source(source, filename, predefined_macros)
     interp = Interpreter(
-        tu, cost_model=cost_model, platform=platform, max_steps=max_steps
+        tu,
+        cost_model=cost_model,
+        platform=platform,
+        max_steps=max_steps,
+        vectorize=vectorize,
     )
     return interp.run(entry)

@@ -1,0 +1,1330 @@
+"""Vectorizing kernel executor: NumPy evaluation of offload loop nests.
+
+The closure interpreter executes every kernel one loop iteration at a
+time — for the paper's O(N^2) kernels (clenergy's lattice x atom sweep)
+this dominates suite wall time.  This module lowers eligible
+``target ... for`` loop nests to NumPy array expressions evaluated
+directly against device storage, the standard escape hatch for
+data-parallel loops in Python tree interpreters (compare Devito's
+lowering of stencil loop nests to array expressions).
+
+Eligibility (checked once, at closure-compile time)
+---------------------------------------------------
+
+A kernel's associated loop nest vectorizes when:
+
+* the outer loop has a canonical header: ``for (int i = e0; i <op> e1;
+  i += c)`` with a constant step (recognized through the same
+  :mod:`repro.analysis.bounds` machinery the mapping analysis uses) and
+  loop-invariant bound expressions;
+* the body contains only declarations of scalar locals, assignments,
+  and nested canonical ``for`` loops — no ``if``/``while``/``switch``,
+  no ``break``/``continue``/``return``, no calls (``printf`` included),
+  no pointer arithmetic or address-taking beyond array subscripts;
+* every array that is *written* uses a single subscript shape that is
+  affine in the parallel index with a nonzero coefficient (each
+  iteration owns a private element) and every read of that same array
+  uses the identical subscript — arrays that are only read may be
+  gathered with arbitrary (even data-dependent) subscripts;
+* scalars shared with the host (mapped or ``reduction`` clause
+  variables) are updated at most once, at nest top level, through a
+  recognized reduction shape: ``s += e`` / ``s -= e``, ``s = fmin(s,
+  e)`` / ``fmax``, or the equivalent conditional ``s = e < s ? e : s``
+  — and are not otherwise read inside the nest.
+
+Anything else falls back to the closure interpreter; correctness never
+depends on the vectorizer.  ``Interpreter(vectorize=False)`` (CLI:
+``--no-vectorize``) disables it outright.
+
+Exactness
+---------
+
+The vectorized path is bit-identical to the interpreted path, not just
+close: element updates run per-lane-private (same IEEE operations in
+the same order), integer ``/`` and ``%`` use C truncating semantics,
+``+``/``-`` reductions replay the loop's sequential rounding through a
+``cumsum`` prefix scan, and ``min``/``max`` reductions are
+order-independent.  The step/tick ledger is charged *synthetically*:
+each vector-executed statement charges the exact number of
+``Machine.tick`` calls the interpreted loop would have made, so
+``kernel_time_s``, ``omp_get_wtime`` and the Fig. 5/6 metrics are
+unchanged.  Charges land *before* the corresponding array expression is
+evaluated, so the ``Machine.max_steps`` runaway-loop guard still trips
+— without first allocating a runaway-sized index vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..frontend import ast_nodes as A
+from ..frontend.ctypes_ import ArrayType, QualType, StructType
+from ..frontend.parser import EnumConstantDecl, fold_integer_constant
+from ..analysis.bounds import find_indexing_var, step_of
+from .interp import SimulationError, _c_div, _c_mod
+from .values import ArrayObject, Cell, Pointer, StructObject
+
+__all__ = ["try_vectorize"]
+
+
+class _Ineligible(Exception):
+    """Internal: the nest cannot be vectorized; fall back (with reason)."""
+
+
+# ===========================================================================
+# Small helpers
+# ===========================================================================
+
+
+def _strip(expr: A.Expr) -> A.Expr:
+    while isinstance(expr, A.ParenExpr):
+        expr = expr.inner
+    return expr
+
+
+def _stmts_of(body: A.Stmt | None) -> list[A.Stmt]:
+    if body is None:
+        return []
+    if isinstance(body, A.CompoundStmt):
+        return list(body.stmts)
+    return [body]
+
+
+def _unwrap_for(stmt: A.Stmt | None) -> A.Stmt | None:
+    """Peel single-statement compounds down to the loop they wrap."""
+    while isinstance(stmt, A.CompoundStmt) and len(stmt.stmts) == 1:
+        stmt = stmt.stmts[0]
+    return stmt
+
+
+def _ref_names(expr: A.Expr | None) -> set[str]:
+    if expr is None:
+        return set()
+    return {r.name for r in expr.walk_instances(A.DeclRefExpr)}
+
+
+def _expr_equal(x: A.Expr, y: A.Expr) -> bool:
+    """Structural equality of the restricted (side-effect-free) grammar."""
+    x, y = _strip(x), _strip(y)
+    fx = fold_integer_constant(x)
+    if fx is not None:
+        return fx == fold_integer_constant(y)
+    if type(x) is not type(y):
+        return False
+    if isinstance(x, A.IntegerLiteral) or isinstance(x, A.FloatingLiteral) \
+            or isinstance(x, A.CharacterLiteral):
+        return x.value == y.value
+    if isinstance(x, A.DeclRefExpr):
+        if x.decl is not None and y.decl is not None:
+            return x.decl.node_id == y.decl.node_id
+        return x.name == y.name
+    if isinstance(x, A.UnaryOperator):
+        return x.op == y.op and _expr_equal(x.operand, y.operand)
+    if isinstance(x, A.BinaryOperator):
+        return (x.op == y.op and _expr_equal(x.lhs, y.lhs)
+                and _expr_equal(x.rhs, y.rhs))
+    if isinstance(x, A.ConditionalOperator):
+        return (_expr_equal(x.cond, y.cond)
+                and _expr_equal(x.true_expr, y.true_expr)
+                and _expr_equal(x.false_expr, y.false_expr))
+    if isinstance(x, A.ArraySubscriptExpr):
+        return _expr_equal(x.base, y.base) and _expr_equal(x.index, y.index)
+    if isinstance(x, A.MemberExpr):
+        return (x.member == y.member and x.is_arrow == y.is_arrow
+                and _expr_equal(x.base, y.base))
+    return False
+
+
+def _chain_equal(a: list[A.Expr], b: list[A.Expr]) -> bool:
+    return len(a) == len(b) and all(_expr_equal(x, y) for x, y in zip(a, b))
+
+
+def _affine(expr: A.Expr) -> tuple[dict[str, int], int] | None:
+    """``expr`` as ``sum(coeff[name] * name) + const``, or None."""
+    expr = _strip(expr)
+    folded = fold_integer_constant(expr)
+    if folded is not None:
+        return {}, folded
+    if isinstance(expr, A.DeclRefExpr):
+        if isinstance(expr.decl, EnumConstantDecl):
+            return {}, expr.decl.value
+        return {expr.name: 1}, 0
+    if isinstance(expr, A.UnaryOperator) and expr.op in ("-", "+"):
+        inner = _affine(expr.operand)
+        if inner is None:
+            return None
+        if expr.op == "+":
+            return inner
+        coeffs, const = inner
+        return {n: -c for n, c in coeffs.items()}, -const
+    if isinstance(expr, A.BinaryOperator) and expr.op in ("+", "-"):
+        left = _affine(expr.lhs)
+        right = _affine(expr.rhs)
+        if left is None or right is None:
+            return None
+        sign = 1 if expr.op == "+" else -1
+        coeffs = dict(left[0])
+        for name, c in right[0].items():
+            coeffs[name] = coeffs.get(name, 0) + sign * c
+        return coeffs, left[1] + sign * right[1]
+    if isinstance(expr, A.BinaryOperator) and expr.op == "*":
+        left = _affine(expr.lhs)
+        right = _affine(expr.rhs)
+        if left is None or right is None:
+            return None
+        for (ca, ka), (cb, kb) in ((left, right), (right, left)):
+            if not ca:  # one side folds to a pure constant
+                return {n: c * ka for n, c in cb.items()}, kb * ka
+        return None
+    return None
+
+
+# ===========================================================================
+# Vector numeric semantics (mirroring the closure interpreter exactly)
+# ===========================================================================
+
+
+def _int_like(v: Any) -> bool:
+    if isinstance(v, np.ndarray):
+        # Object arrays only arise from the exact-integer escalation in
+        # _grow_op, so they always hold Python ints.
+        return v.dtype.kind in "buiO"
+    return isinstance(v, (bool, int, np.integer))
+
+
+#: Magnitude above which an int64 float approximation may have wrapped;
+#: half of 2**63 leaves a 2x margin over float64 rounding error.
+_INT_GUARD = float(2 ** 62)
+
+
+def _grow_op(py_op: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """``+``/``-``/``*`` with exact integer semantics.
+
+    The interpreter computes every lane in unbounded Python ints; int64
+    lanes would silently wrap past 2**63.  A float64 shadow of the
+    result flags potential wraparound, and flagged ops are redone in
+    object dtype (element-wise Python ints) — exact, like the
+    interpreter, at object-array speed only in the rare kernels that
+    actually overflow.
+    """
+
+    def fn(a: Any, b: Any) -> Any:
+        result = py_op(a, b)
+        if (
+            _int_like(a)
+            and _int_like(b)
+            and (isinstance(a, np.ndarray) or isinstance(b, np.ndarray))
+            and not (
+                isinstance(result, np.ndarray) and result.dtype.kind == "O"
+            )
+        ):
+            approx = py_op(
+                np.asarray(a, dtype=np.float64),
+                np.asarray(b, dtype=np.float64),
+            )
+            if np.any(np.abs(approx) > _INT_GUARD):
+                return py_op(
+                    np.asarray(a, dtype=object), np.asarray(b, dtype=object)
+                )
+        return result
+
+    return fn
+
+
+def _vec_div(a: Any, b: Any) -> Any:
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        return _c_div(a, b)
+    if _int_like(a) and _int_like(b):
+        if np.any(np.equal(b, 0)):
+            raise SimulationError("integer division by zero")
+        q = np.floor_divide(np.abs(a), np.abs(b))
+        neg = np.not_equal(np.greater_equal(a, 0), np.greater_equal(b, 0))
+        return np.where(neg, -q, q)
+    if np.any(np.equal(b, 0)):
+        # The interpreter computes per-lane in Python, where float
+        # division by zero raises; matching that beats a silent inf.
+        raise ZeroDivisionError("float division by zero")
+    return a / b
+
+
+def _vec_mod(a: Any, b: Any) -> Any:
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        return _c_mod(a, b)
+    if _int_like(a) and _int_like(b):
+        if np.any(np.equal(b, 0)):
+            raise SimulationError("integer modulo by zero")
+        return a - _vec_div(a, b) * b
+    if np.any(np.equal(b, 0)):
+        raise ValueError("math domain error")  # math.fmod(x, 0.0)
+    return np.fmod(a, b)
+
+
+def _cmp_fn(op: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    def fn(a: Any, b: Any) -> Any:
+        r = op(a, b)
+        if isinstance(r, np.ndarray):
+            return r.astype(np.int64)
+        return int(r)
+
+    return fn
+
+
+def _as_int(v: Any) -> Any:
+    if isinstance(v, np.ndarray):
+        if v.dtype.kind == "f":
+            return np.trunc(v).astype(np.int64)
+        if v.dtype != np.int64:
+            return v.astype(np.int64)
+        return v
+    return int(v)
+
+
+def _widen(v: Any) -> Any:
+    """Array-load widening, mirroring the interpreter's ``.item()``.
+
+    The closure interpreter converts every loaded element to a Python
+    float (= float64) or unbounded int before computing, narrowing only
+    when the value is stored back into array storage.  Vector loads
+    must widen the same way, or float32 kernels would double-round
+    (float32 ops lane-side vs float64-compute + one narrowing store
+    interpreter-side) and diverge bitwise.
+    """
+    if isinstance(v, np.ndarray):
+        if v.dtype.kind == "f" and v.dtype != np.float64:
+            return v.astype(np.float64)
+        if v.dtype.kind in "bui" and v.dtype != np.int64:
+            return v.astype(np.int64)
+        return v
+    if isinstance(v, np.generic):
+        return v.item()
+    return v
+
+
+def _int_op(op: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    return lambda a, b: op(_as_int(a), _as_int(b))
+
+
+_VEC_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": _grow_op(lambda a, b: a + b),
+    "-": _grow_op(lambda a, b: a - b),
+    "*": _grow_op(lambda a, b: a * b),
+    "/": _vec_div,
+    "%": _vec_mod,
+    "<": _cmp_fn(lambda a, b: a < b),
+    ">": _cmp_fn(lambda a, b: a > b),
+    "<=": _cmp_fn(lambda a, b: a <= b),
+    ">=": _cmp_fn(lambda a, b: a >= b),
+    "==": _cmp_fn(lambda a, b: np.equal(a, b)),
+    "!=": _cmp_fn(lambda a, b: np.not_equal(a, b)),
+    "&": _int_op(lambda a, b: a & b),
+    "|": _int_op(lambda a, b: a | b),
+    "^": _int_op(lambda a, b: a ^ b),
+    "<<": _int_op(lambda a, b: a << b),
+    ">>": _int_op(lambda a, b: a >> b),
+}
+
+_COMPOUND = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+_CMPS: dict[str, Callable[[int, int], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "!=": lambda a, b: a != b,
+}
+
+_COND_FLIP = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "!=": "!="}
+
+_MINMAX_CALLS = {"fmin": "min", "fminf": "min", "fmax": "max", "fmaxf": "max"}
+
+
+def _coercer(qt: QualType | None) -> Callable[[Any], Any]:
+    """Store-side coercion matching the interpreter's ``_coerce_for``."""
+    if qt is not None and qt.is_integer:
+        return _as_int
+    if qt is not None and qt.is_floating:
+        def to_float(v: Any) -> Any:
+            # Always float64, whatever the declared width: the
+            # interpreter's ``float(v)`` coercion computes C-float
+            # locals in double precision too.
+            if isinstance(v, np.ndarray):
+                return v if v.dtype == np.float64 else v.astype(np.float64)
+            return float(v)
+
+        return to_float
+    return lambda v: v
+
+
+def _broadcast(value: Any, lanes: int) -> np.ndarray:
+    if isinstance(value, np.ndarray) and value.ndim == 1:
+        return value
+    return np.full(lanes, value)
+
+
+def _seq_sum(init: float, vec: np.ndarray) -> float:
+    """Sequential-order float accumulation: ``((init+v0)+v1)+...``.
+
+    ``cumsum`` computes every prefix, so each partial sum is rounded in
+    loop order — bit-identical to the interpreted accumulation, unlike
+    pairwise ``np.sum``.
+    """
+    buf = np.empty(vec.size + 1, dtype=np.float64)
+    buf[0] = init
+    buf[1:] = vec
+    return float(buf.cumsum()[-1])
+
+
+def _flat_index(vals: list[Any], shape: tuple[int, ...]) -> Any:
+    """Row-major flattening, mirroring ``ArrayObject.flat_index``."""
+    if len(vals) == 1:
+        return vals[0]
+    flat: Any = 0
+    for k, v in enumerate(vals):
+        stride = 1
+        for d in shape[k + 1:]:
+            stride *= d
+        flat = flat + v * stride
+    return flat
+
+
+# ===========================================================================
+# Runtime context + preflight
+# ===========================================================================
+
+
+class _Ctx:
+    """Mutable state threaded through the compiled vector closures."""
+
+    __slots__ = ("machine", "env", "slots", "lanes", "charge")
+
+    def __init__(self, machine: Any):
+        self.machine = machine
+        self.env: dict[str, Any] = {}
+        self.slots: list[Any] = []
+        self.lanes = 0
+        self.charge: Callable[[int], None] = lambda n: None
+
+
+_SCALAR_TYPES = (bool, int, float, np.integer, np.floating)
+
+
+def _preflight(machine: Any, specs: list[dict[str, Any]]) -> list[Any] | None:
+    """Resolve every referenced binding; None declines the launch.
+
+    Runs before any step is charged or any storage touched, so a
+    declined launch falls back to the interpreter with zero observable
+    effect.  Checks the *runtime* shapes eligibility could not see
+    statically: pointers hiding behind scalars, struct-element arrays,
+    and two names aliasing one written array.
+    """
+    slots: list[Any] = []
+    seen_arrays: dict[int, bool] = {}
+    for spec in specs:
+        binding = spec["getter"](machine)
+        kind = spec["kind"]
+        if kind == "scalar":
+            if not isinstance(binding, Cell):
+                return None
+            if not isinstance(binding.value, _SCALAR_TYPES):
+                return None
+            slots.append(binding)
+        elif kind == "array":
+            offset = 0
+            obj = binding
+            if isinstance(binding, Cell):
+                value = binding.value
+                if not isinstance(value, Pointer):
+                    return None
+                obj, offset = value.obj, value.offset
+            if not isinstance(obj, ArrayObject) or obj.is_struct:
+                return None
+            storage = machine.storage_of(obj)
+            if not isinstance(storage, np.ndarray):
+                return None
+            written_before = seen_arrays.get(obj.object_id)
+            if written_before is not None and (written_before or spec["written"]):
+                return None  # two names alias a written array
+            seen_arrays[obj.object_id] = bool(written_before) or spec["written"]
+            slots.append((storage, offset, obj.shape))
+        else:  # struct
+            if not isinstance(binding, StructObject):
+                return None
+            for member in spec["members"]:
+                if not isinstance(binding.fields.get(member), _SCALAR_TYPES):
+                    return None
+            slots.append(binding)
+    return slots
+
+
+@dataclass(frozen=True)
+class _Header:
+    """Canonical for-loop header: ``for (int var = init; var op bound; var += step)``."""
+
+    var: str
+    init_expr: A.Expr
+    op: str
+    bound_expr: A.Expr
+    step: int
+
+
+def _trip_count(lo: int, bound: int, op: str, step: int) -> int | None:
+    """Iterations of the canonical loop; None when not statically finite."""
+    if op == "!=":
+        delta = bound - lo
+        if step != 0 and delta % step == 0 and delta // step >= 0:
+            return delta // step
+        return None  # interpreted path would run away; let it
+    if op == "<":
+        span = bound - lo
+    elif op == "<=":
+        span = bound - lo + 1
+    elif op == ">":
+        span = lo - bound
+    else:  # ">="
+        span = lo - bound + 1
+    if span <= 0:
+        return 0
+    mag = abs(step)
+    return (span + mag - 1) // mag
+
+
+# ===========================================================================
+# The nest compiler
+# ===========================================================================
+
+
+class _NestCompiler:
+    """Compiles one offload kernel's loop nest into a vector closure.
+
+    Raises :class:`_Ineligible` (caught by :func:`try_vectorize`) the
+    moment an unsupported construct appears; on success returns
+    ``run(machine) -> bool`` where False means the runtime preflight
+    declined and the caller must execute the interpreted body instead.
+    """
+
+    def __init__(self, interp: Any, directive: A.OMPExecutableDirective):
+        self.interp = interp
+        self.directive = directive
+        self.pvar = ""
+        self._depth = 0
+        self._tainted: set[str] = set()
+        self._assigned: set[str] = set()
+        self._local_ids: set[int] = set()
+        self._local_names: set[str] = set()
+        self._nonlocal_names: set[str] = set()
+        self._scalar_loads: set[str] = set()
+        self._shared_written: set[str] = set()
+        self._specs: list[dict[str, Any]] = []
+        self._slot_map: dict[Any, dict[str, Any]] = {}
+        self._array_reads: dict[int, list[list[A.Expr]]] = {}
+        self._array_writes: dict[int, list[list[A.Expr]]] = {}
+        #: Lane-invariance decisions taken mid-compile (loop bounds,
+        #: lazy ternary/short-circuit guards).  Taint only grows, and a
+        #: local can become lane-varying *after* the decision (assigned
+        #: from a vector later in the same loop body — loop-carried),
+        #: so every decision is re-checked against the final taint set
+        #: in :meth:`_validate`.
+        self._taint_checks: list[tuple[set[str], str]] = []
+        #: Constant value ranges of in-scope sequential loop indices,
+        #: for the store lane-disjointness check.
+        self._loop_env: dict[str, tuple[int, int]] = {}
+        #: Per-store disjointness obligations, checked against the real
+        #: array shape at launch time (strides are runtime knowledge).
+        self._store_checks: list[dict[str, Any]] = []
+
+    # -- entry ----------------------------------------------------------
+
+    def compile(self) -> Callable[[Any], bool]:
+        for_stmt = _unwrap_for(self.directive.associated_stmt)
+        if not isinstance(for_stmt, A.ForStmt):
+            raise _Ineligible("kernel body is not a for loop")
+        header = self._loop_header(for_stmt, parallel=True)
+        self.pvar = header.var
+        self._tainted = {header.var}
+        self._local_ids = {
+            d.node_id for d in for_stmt.walk_instances(A.VarDecl)
+        }
+        init_cl = self._compile_expr(header.init_expr, bound=True)
+        bound_cl = self._compile_expr(header.bound_expr, bound=True)
+        body = [self._compile_stmt(s) for s in _stmts_of(for_stmt.body)]
+        self._validate()
+        return self._build_runner(header, init_cl, bound_cl, body)
+
+    def _validate(self) -> None:
+        for refs, what in self._taint_checks:
+            if refs & self._tainted:
+                # The decision was taken before a later statement made
+                # one of these names lane-varying (loop-carried value).
+                raise _Ineligible(
+                    f"{what} depends on a vectorized value"
+                )
+        for sidx, chains in self._array_writes.items():
+            first = chains[0]
+            for chain in chains[1:]:
+                if not _chain_equal(first, chain):
+                    raise _Ineligible("conflicting store subscripts")
+            for chain in self._array_reads.get(sidx, []):
+                if not _chain_equal(first, chain):
+                    raise _Ineligible(
+                        "array read/write subscript mismatch "
+                        "(cross-iteration dependence)"
+                    )
+        clause_names: set[str] = set()
+        for cls in (A.OMPFirstprivateClause, A.OMPPrivateClause,
+                    A.OMPReductionClause):
+            for clause in self.directive.clauses_of(cls):
+                clause_names.update(clause.var_names())  # type: ignore[attr-defined]
+        for clause in self.directive.map_clauses():
+            clause_names.update(item.name for item in clause.items)
+        shadowed = self._local_names & (self._nonlocal_names | clause_names)
+        if shadowed:
+            raise _Ineligible(
+                f"kernel-local name shadows a mapped variable: "
+                f"{sorted(shadowed)[0]!r}"
+            )
+        clash = self._shared_written & self._scalar_loads
+        if clash:
+            raise _Ineligible(
+                f"shared scalar {sorted(clash)[0]!r} is both read and updated"
+            )
+
+    def _build_runner(
+        self,
+        header: _Header,
+        init_cl: Callable[[_Ctx], Any],
+        bound_cl: Callable[[_Ctx], Any],
+        body: list[Callable[[_Ctx], None]],
+    ) -> Callable[[Any], bool]:
+        pvar, op, step = header.var, header.op, header.step
+        specs = self._specs
+        store_checks = self._store_checks
+
+        def stores_disjoint(slots: list[Any]) -> bool:
+            """Lane-disjointness of every store, against real strides.
+
+            Two lanes i1 != i2 can hit the same flat element only when
+            |pvar_coeff * stride * (i1 - i2)| <= span of the non-parallel
+            subscript part; with |i1 - i2| >= |step| it suffices that the
+            span stays strictly below |pvar_coeff * stride * step|.
+            This is what makes ``b*HID + h`` (h < HID) and ``m[i][j]``
+            (j within the row) safe while ``a[i + j]`` is not.
+            """
+            for check in store_checks:
+                _, _, shape = slots[check["slot"]]
+                ndims = check["ndims"]
+
+                def stride_of(k: int) -> int:
+                    if ndims == 1:
+                        return 1  # _flat_index uses the raw index
+                    stride = 1
+                    for d in shape[k + 1:]:
+                        stride *= d
+                    return stride
+
+                gap = check["pvar_coeff"] * stride_of(check["pvar_dim"])
+                span = sum(
+                    coeff * stride_of(k) * width
+                    for k, coeff, width in check["spread_terms"]
+                )
+                if span >= gap * abs(step):
+                    return False
+            return True
+
+        def run(machine: Any) -> bool:
+            slots = _preflight(machine, specs)
+            if slots is None:
+                return False
+            if not stores_disjoint(slots):
+                return False
+            ctx = _Ctx(machine)
+            ctx.slots = slots
+            lo = int(init_cl(ctx))
+            bound = int(bound_cl(ctx))
+            trips = _trip_count(lo, bound, op, step)
+            if trips is None:
+                return False
+
+            profiler = machine.profiler
+
+            def charge(n: int) -> None:
+                machine.steps += n
+                if machine.steps > machine.max_steps:
+                    raise SimulationError(
+                        f"simulation exceeded {machine.max_steps} steps "
+                        f"(runaway loop?)"
+                    )
+                profiler.tick_device(n)
+
+            ctx.charge = charge
+            # Interpreted cost of the outer header: one tick for the
+            # init DeclStmt plus trips+1 condition-check ticks.  Charged
+            # before the index vector is even allocated, so max_steps
+            # trips on runaway bounds without a giant arange.
+            charge(1 + trips + 1)
+            if trips:
+                ctx.lanes = trips
+                ctx.env[pvar] = lo + step * np.arange(trips, dtype=np.int64)
+                for part in body:
+                    part(ctx)
+            return True
+
+        return run
+
+    # -- loop headers ---------------------------------------------------
+
+    def _loop_header(self, stmt: A.ForStmt, *, parallel: bool) -> _Header:
+        var = find_indexing_var(stmt)
+        if var is None:
+            raise _Ineligible("unrecognized loop increment")
+        init = stmt.init
+        if not isinstance(init, A.DeclStmt) or len(init.decls) != 1:
+            raise _Ineligible("loop init must declare its index variable")
+        decl = init.decls[0]
+        if decl.name != var or decl.init is None:
+            raise _Ineligible("loop init must initialize its index variable")
+        qt = decl.qual_type
+        if qt is None or not qt.is_integer:
+            raise _Ineligible("loop index is not an integer")
+        step = step_of(stmt.inc, var)
+        if step == 0:
+            raise _Ineligible("non-constant loop step")
+        cond = _strip(stmt.cond) if stmt.cond is not None else None
+        if not isinstance(cond, A.BinaryOperator):
+            raise _Ineligible("unrecognized loop condition")
+        lhs, rhs, op = _strip(cond.lhs), _strip(cond.rhs), cond.op
+        if isinstance(rhs, A.DeclRefExpr) and rhs.name == var:
+            lhs, rhs = rhs, lhs
+            op = _COND_FLIP.get(op, op)
+        if not (isinstance(lhs, A.DeclRefExpr) and lhs.name == var):
+            raise _Ineligible("loop condition does not test the index")
+        if op not in _CMPS:
+            raise _Ineligible(f"unsupported loop condition {op!r}")
+        if op != "!=" and (step > 0) != (op in ("<", "<=")):
+            raise _Ineligible("loop step runs away from its bound")
+        bound_refs = _ref_names(decl.init) | _ref_names(rhs)
+        if bound_refs & self._tainted:
+            raise _Ineligible("loop bound depends on a vectorized value")
+        self._taint_checks.append((bound_refs, "loop bound"))
+        self._local_names.add(var)
+        self._assigned.add(var)
+        return _Header(var, decl.init, op, rhs, step)
+
+    # -- statements -----------------------------------------------------
+
+    def _compile_stmt(self, stmt: A.Stmt) -> Callable[[_Ctx], None]:
+        if isinstance(stmt, A.NullStmt):
+            return lambda ctx: None
+        if isinstance(stmt, A.CompoundStmt):
+            parts = [self._compile_stmt(s) for s in stmt.stmts]
+
+            def run_block(ctx: _Ctx) -> None:
+                for part in parts:
+                    part(ctx)
+
+            return run_block
+        if isinstance(stmt, A.DeclStmt):
+            return self._compile_decl(stmt)
+        if isinstance(stmt, A.ExprStmt):
+            return self._compile_expr_stmt(stmt)
+        if isinstance(stmt, A.ForStmt):
+            return self._compile_for(stmt)
+        raise _Ineligible(f"unsupported kernel statement {stmt.class_name}")
+
+    def _compile_decl(self, stmt: A.DeclStmt) -> Callable[[_Ctx], None]:
+        entries = []
+        for decl in stmt.decls:
+            qt = decl.qual_type
+            if qt is None or qt.is_pointer or isinstance(
+                qt.type, (ArrayType, StructType)
+            ):
+                raise _Ineligible("kernel-local aggregate or pointer")
+            init_cl = (
+                self._compile_expr(decl.init) if decl.init is not None else None
+            )
+            if decl.init is not None and _ref_names(decl.init) & self._tainted:
+                self._tainted.add(decl.name)
+            self._local_names.add(decl.name)
+            self._assigned.add(decl.name)
+            default = 0.0 if qt.is_floating else 0
+            entries.append((decl.name, init_cl, _coercer(qt), default))
+
+        def run(ctx: _Ctx) -> None:
+            ctx.charge(ctx.lanes)
+            for name, init_cl, coerce, default in entries:
+                ctx.env[name] = (
+                    coerce(init_cl(ctx)) if init_cl is not None else default
+                )
+
+        return run
+
+    @staticmethod
+    def _header_interval(header: _Header) -> tuple[int, int] | None:
+        """Inclusive range the loop index can take, when fully constant."""
+        lo = fold_integer_constant(header.init_expr)
+        bound = fold_integer_constant(header.bound_expr)
+        if lo is None or bound is None:
+            return None
+        if header.op == "<":
+            ends = (lo, bound - 1)
+        elif header.op == "<=":
+            ends = (lo, bound)
+        elif header.op == ">":
+            ends = (bound + 1, lo)
+        elif header.op == ">=":
+            ends = (bound, lo)
+        else:  # "!=" — endpoints still bound the walk
+            ends = (lo, bound - header.step)
+        return min(ends), max(ends)
+
+    def _compile_for(self, stmt: A.ForStmt) -> Callable[[_Ctx], None]:
+        header = self._loop_header(stmt, parallel=False)
+        bound_refs = _ref_names(header.init_expr) | _ref_names(header.bound_expr)
+        init_cl = self._compile_expr(header.init_expr, bound=True)
+        bound_cl = self._compile_expr(header.bound_expr, bound=True)
+        assigned_before = set(self._assigned)
+        interval = self._header_interval(header)
+        shadowed = self._loop_env.get(header.var)
+        if interval is not None:
+            self._loop_env[header.var] = interval
+        self._depth += 1
+        body = [self._compile_stmt(s) for s in _stmts_of(stmt.body)]
+        self._depth -= 1
+        if interval is not None:
+            if shadowed is None:
+                del self._loop_env[header.var]
+            else:
+                self._loop_env[header.var] = shadowed
+        assigned_inside = self._assigned - assigned_before
+        if assigned_inside & bound_refs:
+            raise _Ineligible("loop bound mutated inside the loop body")
+        if header.var in assigned_inside:
+            raise _Ineligible("loop index reassigned inside the loop body")
+        cmp = _CMPS[header.op]
+        var, step = header.var, header.step
+
+        def run(ctx: _Ctx) -> None:
+            ctx.charge(ctx.lanes)  # the init DeclStmt, once per lane
+            v = int(init_cl(ctx))
+            bound = int(bound_cl(ctx))
+            while True:
+                ctx.charge(ctx.lanes)  # the condition-check tick per lane
+                if not cmp(v, bound):
+                    break
+                ctx.env[var] = v
+                for part in body:
+                    part(ctx)
+                v += step
+
+        return run
+
+    def _compile_expr_stmt(self, stmt: A.ExprStmt) -> Callable[[_Ctx], None]:
+        expr = _strip(stmt.expr)
+        if not isinstance(expr, A.BinaryOperator) or not expr.is_assignment:
+            raise _Ineligible(
+                f"unsupported kernel statement {expr.class_name}"
+            )
+        target = _strip(expr.lhs)
+        if isinstance(target, A.DeclRefExpr):
+            if self._is_local(target):
+                return self._compile_local_assign(expr, target)
+            return self._compile_shared_assign(expr, target)
+        if isinstance(target, A.ArraySubscriptExpr):
+            return self._compile_array_store(expr, target)
+        raise _Ineligible(f"unsupported assignment target {target.class_name}")
+
+    def _is_local(self, ref: A.DeclRefExpr) -> bool:
+        return ref.decl is not None and ref.decl.node_id in self._local_ids
+
+    # -- scalar assignments ---------------------------------------------
+
+    def _compile_local_assign(
+        self, expr: A.BinaryOperator, target: A.DeclRefExpr
+    ) -> Callable[[_Ctx], None]:
+        name = target.name
+        if name == self.pvar:
+            raise _Ineligible("assignment to the parallel index")
+        rhs_cl = self._compile_expr(expr.rhs)
+        coerce = _coercer(target.qual_type)
+        if _ref_names(expr.rhs) & self._tainted or name in self._tainted:
+            self._tainted.add(name)
+        self._assigned.add(name)
+        if expr.op == "=":
+            def run_assign(ctx: _Ctx) -> None:
+                ctx.charge(ctx.lanes)
+                ctx.env[name] = coerce(rhs_cl(ctx))
+
+            return run_assign
+        fn = _VEC_BINOPS[_COMPOUND[expr.op]]
+
+        def run_compound(ctx: _Ctx) -> None:
+            ctx.charge(ctx.lanes)
+            try:
+                old = ctx.env[name]
+            except KeyError:
+                raise SimulationError(
+                    f"use of uninitialized variable {name!r}"
+                ) from None
+            ctx.env[name] = coerce(fn(old, rhs_cl(ctx)))
+
+        return run_compound
+
+    def _compile_shared_assign(
+        self, expr: A.BinaryOperator, target: A.DeclRefExpr
+    ) -> Callable[[_Ctx], None]:
+        name = target.name
+        if self._depth != 0:
+            raise _Ineligible("shared scalar updated inside an inner loop")
+        if name in self._shared_written:
+            raise _Ineligible(f"shared scalar {name!r} updated twice")
+        self._shared_written.add(name)
+        self._assigned.add(name)
+        sidx = self._slot(target, "scalar")
+        qt = target.qual_type
+        coerce = _coercer(qt)
+
+        if expr.op in ("+=", "-="):
+            # Integer accumulation would need per-step truncation; floats
+            # replay the exact sequential rounding through cumsum.
+            if qt is None or not qt.is_floating:
+                raise _Ineligible("non-float shared accumulation")
+            if name in _ref_names(expr.rhs):
+                raise _Ineligible("accumulation reads its own target")
+            rhs_cl = self._compile_expr(expr.rhs)
+            negate = expr.op == "-="
+
+            def run_acc(ctx: _Ctx) -> None:
+                ctx.charge(ctx.lanes)
+                cell = ctx.slots[sidx]
+                vec = _broadcast(rhs_cl(ctx), ctx.lanes)
+                cell.value = _seq_sum(
+                    float(cell.value), -vec if negate else vec
+                )
+
+            return run_acc
+
+        if expr.op != "=":
+            raise _Ineligible(
+                f"unsupported shared-scalar update {expr.op!r}"
+            )
+
+        mode, other = self._match_minmax(expr.rhs, target)
+        if mode is not None:
+            if qt is None or not qt.is_floating:
+                raise _Ineligible("non-float min/max reduction")
+            if name in _ref_names(other):
+                raise _Ineligible("min/max reduction reads its own target")
+            other_cl = self._compile_expr(other)
+            reduce_fn = (
+                np.minimum.reduce if mode == "min" else np.maximum.reduce
+            )
+            pick = min if mode == "min" else max
+
+            def run_minmax(ctx: _Ctx) -> None:
+                ctx.charge(ctx.lanes)
+                cell = ctx.slots[sidx]
+                vec = _broadcast(other_cl(ctx), ctx.lanes)
+                cell.value = float(pick(cell.value, float(reduce_fn(vec))))
+
+            return run_minmax
+
+        if name in _ref_names(expr.rhs):
+            raise _Ineligible("shared scalar reads its own update")
+        rhs_cl = self._compile_expr(expr.rhs)
+
+        def run_last(ctx: _Ctx) -> None:
+            ctx.charge(ctx.lanes)
+            value = rhs_cl(ctx)
+            if isinstance(value, np.ndarray):
+                value = value[-1].item() if value.ndim else value.item()
+            ctx.slots[sidx].value = coerce(value)
+
+        return run_last
+
+    def _match_minmax(
+        self, rhs: A.Expr, target: A.DeclRefExpr
+    ) -> tuple[str | None, A.Expr | None]:
+        """Recognize ``t = fmin(t, e)`` and ``t = e < t ? e : t`` shapes."""
+        rhs = _strip(rhs)
+        if isinstance(rhs, A.CallExpr):
+            mode = _MINMAX_CALLS.get(rhs.callee_name or "")
+            if mode is not None and len(rhs.args) == 2:
+                a, b = _strip(rhs.args[0]), _strip(rhs.args[1])
+                a_is_t = _expr_equal(a, target)
+                b_is_t = _expr_equal(b, target)
+                if a_is_t != b_is_t:
+                    return mode, b if a_is_t else a
+            return None, None
+        if not isinstance(rhs, A.ConditionalOperator):
+            return None, None
+        cond = _strip(rhs.cond)
+        if not isinstance(cond, A.BinaryOperator) or cond.op not in (
+            "<", "<=", ">", ">="
+        ):
+            return None, None
+        a, b = _strip(cond.lhs), _strip(cond.rhs)
+        t, f = _strip(rhs.true_expr), _strip(rhs.false_expr)
+        if _expr_equal(t, a) and _expr_equal(f, b):
+            true_is_lhs = True
+        elif _expr_equal(t, b) and _expr_equal(f, a):
+            true_is_lhs = False
+        else:
+            return None, None
+        is_less = cond.op in ("<", "<=")
+        mode = "min" if (true_is_lhs == is_less) else "max"
+        a_is_t = _expr_equal(a, target)
+        b_is_t = _expr_equal(b, target)
+        if a_is_t == b_is_t:
+            return None, None
+        return mode, b if a_is_t else a
+
+    # -- array stores ---------------------------------------------------
+
+    def _subscript_chain(
+        self, expr: A.ArraySubscriptExpr
+    ) -> tuple[A.DeclRefExpr, list[A.Expr]]:
+        indices: list[A.Expr] = []
+        node: A.Expr = expr
+        while isinstance(node, A.ArraySubscriptExpr):
+            indices.append(node.index)
+            node = _strip(node.base)
+        indices.reverse()
+        if not isinstance(node, A.DeclRefExpr):
+            raise _Ineligible("unsupported subscript base")
+        if self._is_local(node):
+            raise _Ineligible("subscript of a kernel-local value")
+        return node, indices
+
+    def _compile_array_store(
+        self, expr: A.BinaryOperator, target: A.ArraySubscriptExpr
+    ) -> Callable[[_Ctx], None]:
+        base, indices = self._subscript_chain(target)
+        pvar_dim: int | None = None
+        pvar_coeff = 0
+        #: (dimension, |coeff|, value-range width) per non-parallel
+        #: symbol — the ingredients of the lane-disjointness check.
+        spread_terms: list[tuple[int, int, int]] = []
+        for k, index in enumerate(indices):
+            aff = _affine(index)
+            if aff is None:
+                raise _Ineligible("non-affine store subscript")
+            for sym, coeff in aff[0].items():
+                if coeff == 0:
+                    continue
+                if sym == self.pvar:
+                    if pvar_dim is not None:
+                        raise _Ineligible(
+                            "parallel index in several store dimensions"
+                        )
+                    pvar_dim, pvar_coeff = k, coeff
+                    continue
+                if sym in self._tainted:
+                    raise _Ineligible(
+                        "store subscript depends on a vectorized local"
+                    )
+                interval = self._loop_env.get(sym)
+                if interval is None:
+                    # Only symbols with statically known ranges (inner
+                    # loop indices with constant bounds) can be proven
+                    # lane-disjoint.
+                    raise _Ineligible(
+                        "store subscript symbol with unknown range"
+                    )
+                spread_terms.append(
+                    (k, abs(coeff), interval[1] - interval[0])
+                )
+        if pvar_dim is None:
+            raise _Ineligible(
+                "store subscript is not injective in the parallel index"
+            )
+        subscript_syms: set[str] = set()
+        for index in indices:
+            subscript_syms |= _ref_names(index)
+        subscript_syms.discard(self.pvar)
+        self._taint_checks.append((subscript_syms, "store subscript"))
+        sidx = self._slot(base, "array", written=True)
+        self._store_checks.append({
+            "slot": sidx,
+            "ndims": len(indices),
+            "pvar_dim": pvar_dim,
+            "pvar_coeff": abs(pvar_coeff),
+            "spread_terms": spread_terms,
+        })
+        self._array_writes.setdefault(sidx, []).append(indices)
+        idx_cls = [self._compile_expr(ix) for ix in indices]
+        rhs_cl = self._compile_expr(expr.rhs)
+        fn = None if expr.op == "=" else _VEC_BINOPS[_COMPOUND[expr.op]]
+
+        def run(ctx: _Ctx) -> None:
+            ctx.charge(ctx.lanes)
+            storage, offset, shape = ctx.slots[sidx]
+            pos = offset + _flat_index([c(ctx) for c in idx_cls], shape)
+            if fn is None:
+                storage[pos] = rhs_cl(ctx)
+            else:
+                storage[pos] = fn(_widen(storage[pos]), rhs_cl(ctx))
+
+        return run
+
+    # -- slots ----------------------------------------------------------
+
+    def _slot(
+        self, ref: A.DeclRefExpr, kind: str, *, written: bool = False
+    ) -> int:
+        key = (
+            kind,
+            ref.decl.node_id if ref.decl is not None else f"name:{ref.name}",
+        )
+        spec = self._slot_map.get(key)
+        if spec is None:
+            spec = {
+                "kind": kind,
+                "getter": self.interp._binding_getter(ref),
+                "name": ref.name,
+                "written": False,
+                "members": set(),
+                "index": len(self._specs),
+            }
+            self._slot_map[key] = spec
+            self._specs.append(spec)
+        spec["written"] = spec["written"] or written
+        self._nonlocal_names.add(ref.name)
+        return spec["index"]
+
+    # -- expressions ----------------------------------------------------
+
+    def _compile_expr(
+        self, expr: A.Expr, *, bound: bool = False, guarded: bool = False
+    ) -> Callable[[_Ctx], Any]:
+        expr = _strip(expr)
+        folded = fold_integer_constant(expr)
+        if folded is not None:
+            return lambda ctx: folded
+        if isinstance(expr, A.IntegerLiteral) or isinstance(
+            expr, A.FloatingLiteral
+        ) or isinstance(expr, A.CharacterLiteral):
+            value = expr.value
+            return lambda ctx: value
+        if isinstance(expr, A.DeclRefExpr):
+            return self._compile_ref(expr, bound=bound)
+        if isinstance(expr, A.ArraySubscriptExpr):
+            if bound:
+                raise _Ineligible("array access in a loop bound")
+            if guarded:
+                # The interpreter would only index the selected lanes;
+                # an out-of-range index on a discarded lane must not
+                # fault here where it would not fault there.
+                raise _Ineligible(
+                    "array access under a lane-varying condition"
+                )
+            return self._compile_array_load(expr)
+        if isinstance(expr, A.MemberExpr):
+            return self._compile_member(expr)
+        if isinstance(expr, A.BinaryOperator):
+            return self._compile_binop(expr, bound=bound, guarded=guarded)
+        if isinstance(expr, A.UnaryOperator):
+            return self._compile_unop(expr, bound=bound, guarded=guarded)
+        if isinstance(expr, A.ConditionalOperator):
+            # A lane-invariant condition keeps the interpreter's lazy
+            # branch selection at runtime; a lane-varying one means both
+            # branches evaluate for every lane, so anything that could
+            # fault on a discarded lane (division, indexing) is out.
+            cond_refs = _ref_names(expr.cond)
+            branch_guarded = guarded or bool(cond_refs & self._tainted)
+            if not branch_guarded:
+                self._taint_checks.append((cond_refs, "branch condition"))
+            cond = self._compile_expr(expr.cond, bound=bound, guarded=guarded)
+            true_cl = self._compile_expr(
+                expr.true_expr, bound=bound, guarded=branch_guarded
+            )
+            false_cl = self._compile_expr(
+                expr.false_expr, bound=bound, guarded=branch_guarded
+            )
+
+            def run_cond(ctx: _Ctx) -> Any:
+                c = cond(ctx)
+                if not isinstance(c, np.ndarray):
+                    return true_cl(ctx) if c else false_cl(ctx)
+                return np.where(c != 0, true_cl(ctx), false_cl(ctx))
+
+            return run_cond
+        if isinstance(expr, A.CStyleCastExpr):
+            if expr.target_type.is_pointer:
+                raise _Ineligible("pointer cast in kernel")
+            operand = self._compile_expr(
+                expr.operand, bound=bound, guarded=guarded
+            )
+            coerce = _coercer(expr.target_type)
+            return lambda ctx: coerce(operand(ctx))
+        if isinstance(expr, A.CallExpr):
+            raise _Ineligible(
+                f"call to {expr.callee_name or '<indirect>'!r} in kernel"
+            )
+        raise _Ineligible(f"unsupported kernel expression {expr.class_name}")
+
+    def _compile_ref(
+        self, ref: A.DeclRefExpr, *, bound: bool
+    ) -> Callable[[_Ctx], Any]:
+        if isinstance(ref.decl, EnumConstantDecl):
+            value = ref.decl.value
+            return lambda ctx: value
+        if isinstance(ref.decl, A.FunctionDecl):
+            raise _Ineligible("function reference in kernel")
+        name = ref.name
+        if self._is_local(ref):
+            if bound and name in self._tainted:
+                raise _Ineligible("loop bound depends on a vectorized value")
+
+            def load_local(ctx: _Ctx) -> Any:
+                try:
+                    return ctx.env[name]
+                except KeyError:
+                    raise SimulationError(
+                        f"use of uninitialized variable {name!r}"
+                    ) from None
+
+            return load_local
+        qt = ref.qual_type
+        if qt is not None and (
+            qt.is_pointer or isinstance(qt.type, (ArrayType, StructType))
+        ):
+            raise _Ineligible(f"non-scalar value {name!r} used as a scalar")
+        sidx = self._slot(ref, "scalar")
+        self._scalar_loads.add(name)
+        return lambda ctx: ctx.slots[sidx].value
+
+    def _compile_array_load(
+        self, expr: A.ArraySubscriptExpr
+    ) -> Callable[[_Ctx], Any]:
+        base, indices = self._subscript_chain(expr)
+        sidx = self._slot(base, "array")
+        self._array_reads.setdefault(sidx, []).append(indices)
+        idx_cls = [self._compile_expr(ix) for ix in indices]
+
+        def load(ctx: _Ctx) -> Any:
+            storage, offset, shape = ctx.slots[sidx]
+            return _widen(
+                storage[offset + _flat_index([c(ctx) for c in idx_cls], shape)]
+            )
+
+        return load
+
+    def _compile_member(self, expr: A.MemberExpr) -> Callable[[_Ctx], Any]:
+        base = _strip(expr.base)
+        if expr.is_arrow:
+            raise _Ineligible("pointer member access in kernel")
+        if not isinstance(base, A.DeclRefExpr) or self._is_local(base):
+            raise _Ineligible("unsupported member access base")
+        member = expr.member
+        sidx = self._slot(base, "struct")
+        self._specs[sidx]["members"].add(member)
+        return lambda ctx: ctx.slots[sidx].fields[member]
+
+    def _compile_binop(
+        self, expr: A.BinaryOperator, *, bound: bool, guarded: bool = False
+    ) -> Callable[[_Ctx], Any]:
+        op = expr.op
+        if expr.is_assignment:
+            raise _Ineligible("assignment inside a kernel expression")
+        if op == ",":
+            raise _Ineligible("comma expression in kernel")
+        if guarded and op in ("/", "%"):
+            # Under a lane-varying guard the interpreter would skip the
+            # division on discarded lanes; evaluating all lanes could
+            # fault (zero divisor) where the interpreted run succeeds.
+            raise _Ineligible("division under a lane-varying condition")
+        lhs = self._compile_expr(expr.lhs, bound=bound, guarded=guarded)
+        # A lane-varying left side of &&/|| defeats short-circuiting, so
+        # the right side becomes guarded like a ternary branch.
+        rhs_guarded = guarded
+        if op in ("&&", "||"):
+            lhs_refs = _ref_names(expr.lhs)
+            if lhs_refs & self._tainted:
+                rhs_guarded = True
+            elif not guarded:
+                self._taint_checks.append((lhs_refs, "short-circuit guard"))
+        rhs = self._compile_expr(expr.rhs, bound=bound, guarded=rhs_guarded)
+        if op in ("&&", "||"):
+            is_and = op == "&&"
+
+            def run_logical(ctx: _Ctx) -> Any:
+                a = lhs(ctx)
+                if not isinstance(a, np.ndarray):
+                    # Lane-invariant left side keeps the interpreter's
+                    # short-circuit (guards div-by-zero on the right).
+                    if bool(a) != is_and:
+                        return int(not is_and)
+                    b = rhs(ctx)
+                    if not isinstance(b, np.ndarray):
+                        return int(bool(b))
+                    return (b != 0).astype(np.int64)
+                b = rhs(ctx)
+                mask_a = a != 0
+                mask_b = (b != 0) if isinstance(b, np.ndarray) else bool(b)
+                mask = (mask_a & mask_b) if is_and else (mask_a | mask_b)
+                return mask.astype(np.int64)
+
+            return run_logical
+        fn = _VEC_BINOPS.get(op)
+        if fn is None:
+            raise _Ineligible(f"unsupported operator {op!r} in kernel")
+        return lambda ctx: fn(lhs(ctx), rhs(ctx))
+
+    def _compile_unop(
+        self, expr: A.UnaryOperator, *, bound: bool, guarded: bool = False
+    ) -> Callable[[_Ctx], Any]:
+        op = expr.op
+        if op in ("++", "--", "&", "*"):
+            raise _Ineligible(f"unsupported unary operator {op!r} in kernel")
+        operand = self._compile_expr(expr.operand, bound=bound, guarded=guarded)
+        if op == "-":
+            return lambda ctx: -operand(ctx)
+        if op == "+":
+            return operand
+        if op == "!":
+            def run_not(ctx: _Ctx) -> Any:
+                v = operand(ctx)
+                if isinstance(v, np.ndarray):
+                    return (v == 0).astype(np.int64)
+                return int(not v)
+
+            return run_not
+        if op == "~":
+            def run_inv(ctx: _Ctx) -> Any:
+                v = operand(ctx)
+                if isinstance(v, np.ndarray):
+                    return ~_as_int(v)
+                return ~int(v)
+
+            return run_inv
+        raise _Ineligible(f"unsupported unary operator {op!r} in kernel")
+
+
+# ===========================================================================
+# Public entry point
+# ===========================================================================
+
+
+def try_vectorize(
+    interp: Any, stmt: A.OMPExecutableDirective
+) -> tuple[Callable[[Any], bool] | None, str | None]:
+    """Compile ``stmt``'s loop nest into a vector closure, if eligible.
+
+    Returns ``(runner, None)`` on success — ``runner(machine)`` executes
+    the nest and returns True, or returns False when the runtime
+    preflight declines (the caller then runs the interpreted body) —
+    or ``(None, reason)`` when the nest is statically ineligible.
+    """
+    try:
+        return _NestCompiler(interp, stmt).compile(), None
+    except _Ineligible as exc:
+        return None, str(exc)
+    except Exception as exc:  # noqa: BLE001 - fallback is always correct;
+        # a vectorizer bug must never take down a simulation the
+        # interpreter could finish.
+        return None, f"vectorizer error: {exc!r}"

@@ -11,16 +11,19 @@ For each application the harness:
    a wrong mapping yields observably different results);
 5. returns the per-variant transfer profiles for the Fig. 3-6 metrics.
 
-The three variant simulations of one benchmark run **concurrently** on
-a thread pool (each has its own interpreter, profiler and device
-environment; the shared translation units are read-only).  Results are
-bit-identical to the serial path — the workload is deterministic and
-the variants share no mutable state.  On CPython the interpreter loop
-is largely GIL-bound, so today the win is confined to the numpy bulk
-copies that release the GIL; the structure is what matters — variants
-are proven independent, so a free-threaded build or a process/
-subinterpreter pool can drop in without re-auditing the runner (see
-ROADMAP).
+The three variant simulations of one benchmark run **concurrently on a
+process pool** (each worker has its own interpreter, profiler and
+device environment; workers receive only the picklable source text and
+cost model).  Results are bit-identical to the serial path — the
+workload is deterministic and the variants share no state — but unlike
+the GIL-bound thread pool an earlier revision used, the variants now
+simulate on real cores.  The pool is created lazily, reused across
+benchmarks, and degrades to the serial path when process creation is
+unavailable (sandboxes) or when ``jobs > 1`` benchmark-level process
+workers are already saturating the host.  Each
+:class:`~repro.runtime.interp.SimulationResult` comes back stamped with
+its ``wall_time_s`` so the suite JSON artifact records real per-variant
+simulation time alongside the modelled metrics.
 
 Every entry point takes a ``platform`` (name or
 :class:`~repro.runtime.platform.Platform`); :func:`run_sweep` evaluates
@@ -33,7 +36,11 @@ source, not once per platform.
 from __future__ import annotations
 
 import math
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..core.tool import OMPDart, ToolOptions, TransformResult
@@ -117,6 +124,76 @@ class BenchmarkRun:
         )
 
 
+# -- process-based variant pool ---------------------------------------------
+
+#: Lazily created, reused across benchmarks.  None until first use;
+#: False once process creation failed (serial fallback from then on).
+_VARIANT_POOL: "ProcessPoolExecutor | None | bool" = None
+
+_VARIANT_COUNT = 3  # unoptimized / ompdart / expert
+
+
+#: Per-worker-process parse pipeline.  The pool workers are long-lived
+#: (the pool is shared across benchmarks), so a cross-platform sweep
+#: parses each variant source once per *worker*, not once per platform
+#: — the same artifact reuse the serial path gets from its shared
+#: manager, relocated to where the simulation now runs.
+_WORKER_PARSER: PassManager | None = None
+
+
+def _simulate_variant(job: tuple) -> SimulationResult:
+    """Top-level worker: simulate one variant from picklable inputs.
+
+    Workers re-parse the source themselves (through a process-global
+    cached pipeline) — shipping the translation unit would mean
+    pickling the whole AST per variant, which costs more than the
+    cached parse.  The returned result is stamped with the real
+    wall-clock seconds the simulation took.
+    """
+    global _WORKER_PARSER
+    source, filename, cost_model, vectorize = job
+    if _WORKER_PARSER is None:
+        _WORKER_PARSER = PassManager()
+    # Parse outside the timed section: the serial path times only the
+    # simulation, and sim_wall_s must mean the same thing on both.
+    tu = _WORKER_PARSER.parse(source, filename)
+    start = time.perf_counter()
+    result = run_simulation(
+        source, filename, cost_model=cost_model, vectorize=vectorize, tu=tu
+    )
+    result.wall_time_s = time.perf_counter() - start
+    return result
+
+
+def _variant_pool() -> "ProcessPoolExecutor | None":
+    """The shared 3-worker process pool, or None when unavailable."""
+    global _VARIANT_POOL
+    if _VARIANT_POOL is False:
+        return None
+    if _VARIANT_POOL is None:
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            _VARIANT_POOL = ProcessPoolExecutor(
+                max_workers=_VARIANT_COUNT, mp_context=ctx
+            )
+        except (OSError, ValueError, PermissionError):
+            _VARIANT_POOL = False
+            return None
+    return _VARIANT_POOL
+
+
+def _discard_variant_pool() -> None:
+    """Drop a broken pool so later runs fall back to the serial path."""
+    global _VARIANT_POOL
+    pool = _VARIANT_POOL
+    _VARIANT_POOL = False
+    if isinstance(pool, ProcessPoolExecutor):
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_benchmark(
     name: str,
     *,
@@ -125,6 +202,7 @@ def run_benchmark(
     verify: bool = True,
     manager: PassManager | None = None,
     concurrent_variants: bool = True,
+    vectorize: bool = True,
 ) -> BenchmarkRun:
     """Run one application's three variants through the simulator.
 
@@ -135,10 +213,15 @@ def run_benchmark(
     platforms: the transform does not depend on the platform, only the
     simulation does).
 
-    The three variant simulations run concurrently on a small thread
-    pool unless ``concurrent_variants=False`` (the process-pool paths
-    of :func:`run_all`/:func:`run_sweep` disable it: ``jobs > 1``
-    process workers would oversubscribe the host with nested pools).
+    The three variant simulations run concurrently on a shared
+    3-worker **process pool** unless ``concurrent_variants=False`` (the
+    process-pool paths of :func:`run_all`/:func:`run_sweep` disable it:
+    ``jobs > 1`` process workers would oversubscribe the host with
+    nested pools).  If the pool cannot be created or dies, the serial
+    path runs instead — results are identical either way.
+
+    ``vectorize=False`` forces every kernel through the closure
+    interpreter (CLI ``--no-vectorize``).
     """
     resolved: Platform | None = None
     if cost_model is None:
@@ -155,27 +238,66 @@ def run_benchmark(
     tool = OMPDart(ToolOptions(), pipeline=manager)
     unopt_name = f"{name}_unoptimized.c"
     transform = tool.run(unopt_src, unopt_name)
-    # The tool's parse artifact is the simulator's input: one parse per
-    # source total, shared through the manager's artifact cache.
-    variants = [
-        (unopt_src, unopt_name, transform.translation_unit),
-        (
-            transform.output_source,
-            f"{name}_ompdart.c",
-            manager.parse(transform.output_source, f"{name}_ompdart.c"),
-        ),
-        (expert_src, f"{name}_expert.c", manager.parse(expert_src, f"{name}_expert.c")),
+    sources = [
+        (unopt_src, unopt_name),
+        (transform.output_source, f"{name}_ompdart.c"),
+        (expert_src, f"{name}_expert.c"),
     ]
 
-    def simulate(variant: tuple) -> SimulationResult:
-        source, filename, tu = variant
-        return run_simulation(source, filename, cost_model=cost_model, tu=tu)
+    def simulate_serial() -> list[SimulationResult]:
+        # The tool's parse artifact is the simulator's input: one parse
+        # per source total, shared through the manager's artifact cache.
+        tus = [
+            transform.translation_unit,
+            manager.parse(sources[1][0], sources[1][1]),
+            manager.parse(sources[2][0], sources[2][1]),
+        ]
+        results = []
+        for (source, filename), tu in zip(sources, tus):
+            start = time.perf_counter()
+            result = run_simulation(
+                source,
+                filename,
+                cost_model=cost_model,
+                tu=tu,
+                vectorize=vectorize,
+            )
+            result.wall_time_s = time.perf_counter() - start
+            results.append(result)
+        return results
 
+    results: list[SimulationResult] | None = None
     if concurrent_variants:
-        with ThreadPoolExecutor(max_workers=len(variants)) as pool:
-            unopt, ompdart, expert = list(pool.map(simulate, variants))
-    else:
-        unopt, ompdart, expert = (simulate(v) for v in variants)
+        pool = _variant_pool()
+        if pool is not None:
+            # An unpicklable cost model (e.g. a subclass defined in
+            # __main__) can't cross the process boundary; checking up
+            # front keeps the except clause below narrow enough that
+            # genuine worker-side simulation errors propagate once
+            # instead of triggering a redundant serial re-run.
+            try:
+                pickle.dumps(cost_model)
+            except Exception:  # noqa: BLE001 - any pickling failure
+                pool = None
+        if pool is not None:
+            jobs = [
+                (source, filename, cost_model, vectorize)
+                for source, filename in sources
+            ]
+            try:
+                results = list(pool.map(_simulate_variant, jobs))
+            except (BrokenProcessPool, OSError):
+                # ProcessPoolExecutor spawns workers lazily at submit
+                # time, so a sandbox that blocks process creation fails
+                # *here* (OSError/PermissionError), not in the
+                # constructor _variant_pool guards.  Genuine simulation
+                # errors raised inside a worker (SimulationError and
+                # friends) are not OSErrors and propagate untouched.
+                _discard_variant_pool()
+                results = None
+    if results is None:
+        results = simulate_serial()
+    unopt, ompdart, expert = results
 
     run = BenchmarkRun(
         benchmark=bench,
@@ -191,17 +313,21 @@ def run_benchmark(
 
 
 def _benchmark_job(
-    job: tuple[str, Platform | CostModel | str | None, bool]
+    job: tuple[str, Platform | CostModel | str | None, bool, bool]
 ) -> BenchmarkRun:
     """Top-level worker for the process-pool path of :func:`run_all`."""
-    name, machine, verify = job
+    name, machine, verify, vectorize = job
     kwargs = (
         {"cost_model": machine}
         if isinstance(machine, CostModel)
         else {"platform": machine}
     )
     return run_benchmark(
-        name, verify=verify, concurrent_variants=False, **kwargs
+        name,
+        verify=verify,
+        concurrent_variants=False,
+        vectorize=vectorize,
+        **kwargs,
     )
 
 
@@ -214,6 +340,8 @@ def run_all(
     jobs: int = 1,
     manager: PassManager | None = None,
     names: "list[str] | None" = None,
+    concurrent_variants: bool = True,
+    vectorize: bool = True,
 ) -> "dict[str, BenchmarkRun] | SweepResult":
     """Run the full nine-application evaluation (paper section VI).
 
@@ -235,7 +363,13 @@ def run_all(
                 "platforms=[...] cannot be combined with platform/cost_model"
             )
         return run_sweep(
-            platforms, verify=verify, jobs=jobs, manager=manager, names=names
+            platforms,
+            verify=verify,
+            jobs=jobs,
+            manager=manager,
+            names=names,
+            concurrent_variants=concurrent_variants,
+            vectorize=vectorize,
         )
     names = list(names if names is not None else BENCHMARK_ORDER)
     if jobs <= 1:
@@ -247,6 +381,8 @@ def run_all(
                 cost_model=cost_model,
                 verify=verify,
                 manager=manager,
+                concurrent_variants=concurrent_variants,
+                vectorize=vectorize,
             )
             for name in names
         }
@@ -258,7 +394,7 @@ def run_all(
     machine = cost_model if cost_model is not None else resolve_platform(platform)
     runs = parallel_map(
         _benchmark_job,
-        [(name, machine, verify) for name in names],
+        [(name, machine, verify, vectorize) for name in names],
         jobs=jobs,
         label=lambda job: f"benchmark {job[0]!r}",
     )
@@ -335,7 +471,7 @@ class SweepResult:
 
 
 def _sweep_job(
-    job: tuple[str, tuple[Platform, ...], bool]
+    job: tuple[str, tuple[Platform, ...], bool, bool]
 ) -> dict[str, BenchmarkRun]:
     """Process-pool worker: one benchmark across every platform.
 
@@ -343,7 +479,7 @@ def _sweep_job(
     transformed once, then simulated per platform — the same artifact
     reuse the serial sweep gets from its shared manager.
     """
-    name, platforms, verify = job
+    name, platforms, verify, vectorize = job
     manager = PassManager()
     return {
         p.name: run_benchmark(
@@ -352,6 +488,7 @@ def _sweep_job(
             verify=verify,
             manager=manager,
             concurrent_variants=False,
+            vectorize=vectorize,
         )
         for p in platforms
     }
@@ -364,6 +501,8 @@ def run_sweep(
     jobs: int = 1,
     manager: PassManager | None = None,
     names: "list[str] | None" = None,
+    concurrent_variants: bool = True,
+    vectorize: bool = True,
 ) -> SweepResult:
     """Evaluate the suite across several platforms (Fig. 5/6 sweep).
 
@@ -392,7 +531,12 @@ def run_sweep(
         for name in names:
             for p in resolved:
                 sweeps[p.name].runs[name] = run_benchmark(
-                    name, platform=p, verify=verify, manager=manager
+                    name,
+                    platform=p,
+                    verify=verify,
+                    manager=manager,
+                    concurrent_variants=concurrent_variants,
+                    vectorize=vectorize,
                 )
         return SweepResult(sweeps=sweeps)
 
@@ -403,7 +547,7 @@ def run_sweep(
         )
     per_bench = parallel_map(
         _sweep_job,
-        [(name, tuple(resolved), verify) for name in names],
+        [(name, tuple(resolved), verify, vectorize) for name in names],
         jobs=jobs,
         label=lambda job: f"benchmark {job[0]!r}",
     )

@@ -232,7 +232,9 @@ class TestRunAllBatch:
         names = ["accuracy", "nw"]
         serial = [run_benchmark(n) for n in names]
         parallel = parallel_map(
-            _benchmark_job, [(n, A100_PCIE4, True) for n in names], jobs=2
+            _benchmark_job,
+            [(n, A100_PCIE4, True, True) for n in names],
+            jobs=2,
         )
         for s, p in zip(serial, parallel):
             assert s.benchmark.name == p.benchmark.name

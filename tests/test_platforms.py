@@ -168,7 +168,16 @@ class TestSweep:
     def test_sweep_reuses_parse_and_transform_across_platforms(self):
         manager = PassManager()
         names = ["bfs", "backprop"]
-        sweep = run_sweep(list(PLATFORMS), names=names, manager=manager)
+        # concurrent_variants=False keeps every simulation in-process so
+        # the shared manager observes all parse traffic; the process-pool
+        # path moves the variant parses into long-lived workers with
+        # their own cached pipeline (same reuse, different process).
+        sweep = run_sweep(
+            list(PLATFORMS),
+            names=names,
+            manager=manager,
+            concurrent_variants=False,
+        )
         stats = manager.cache.stats
         # 3 sources per benchmark (unoptimized, ompdart output, expert),
         # each parsed exactly once no matter how many platforms ran.
