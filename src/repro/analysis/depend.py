@@ -1,0 +1,180 @@
+"""Loop-carried dependence classifier for the wavefront executor.
+
+The vectorizing executor (:mod:`repro.runtime.vectorize`) refuses to
+run a loop nest in parallel when a store's subscript does not match the
+reads of the same array — nw's anti-diagonal sweep and similar
+dynamic-programming kernels carry values between iterations.  Those
+nests can still execute as a *wavefront*: the outer loop replays
+sequentially (slice by slice, in source order) while each slice's inner
+iterations evaluate as one vector.  That replay is exactly the
+sequential execution order as long as **no dependence connects two
+cells of the same slice**.
+
+This module provides the classification.  Subscripts are reduced to
+affine forms over the loop variables (``coeffs`` maps variable name to
+integer coefficient, plus a constant).  A pair of accesses has a
+*uniform distance* when both forms use identical coefficients — then
+the gap between the touched elements is a compile-time constant and
+the intra-slice question becomes a divisibility test:
+
+    W(t, i)  = C_t*t + C_i*i + c_w        (write)
+    R(t, i') = C_t*t + C_i*i' + c_r       (read, same slice t)
+
+    W == R  <=>  C_i * (i - i') == c_r - c_w
+
+With ``C_i != 0`` a same-slice collision exists only when ``C_i``
+divides ``c_r - c_w``; a zero delta means the *same cell* (lane-local,
+safe — the vector executor preserves statement order within a lane).
+Non-uniform pairs (different coefficient vectors) are unclassifiable
+and the caller must decline.
+
+Cross-slice dependences need no test at all: slices execute in source
+order, so a value written in slice ``t1 < t2`` is visible to slice
+``t2`` (flow), a read in ``t2`` can never observe a write from a later
+slice (anti), and colliding writes land in slice order (output) — all
+three match the sequential interleaving by construction.
+
+The flattening step folds a multi-dimensional subscript chain into one
+linear form over the *flat* element index, which requires the array's
+strides — runtime knowledge.  Classification therefore happens at
+kernel-launch time, on symbolic chains the compiler extracted once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "AffineForm",
+    "AffineChain",
+    "flatten_chain",
+    "uniform_distance",
+    "intra_slice_dependence",
+    "classify_wavefront_pair",
+]
+
+#: One affine subscript: ({variable: coefficient}, constant).
+AffineForm = tuple[dict[str, int], int]
+
+#: One subscript chain, outermost dimension first.
+AffineChain = list[AffineForm]
+
+
+def flatten_chain(chain: AffineChain, shape: tuple[int, ...]) -> AffineForm:
+    """Fold a per-dimension chain into one linear form over the flat index.
+
+    Row-major strides, mirroring ``ArrayObject.flat_index``: a
+    one-element chain indexes the flat storage directly, longer chains
+    multiply each dimension by the product of the trailing extents.
+    """
+    coeffs: dict[str, int] = {}
+    const = 0
+    for k, (dim_coeffs, dim_const) in enumerate(chain):
+        stride = 1
+        if len(chain) > 1:
+            for d in shape[k + 1:]:
+                stride *= d
+        for name, c in dim_coeffs.items():
+            if c:
+                coeffs[name] = coeffs.get(name, 0) + c * stride
+        const += dim_const * stride
+    return {n: c for n, c in coeffs.items() if c}, const
+
+
+def uniform_distance(a: AffineForm, b: AffineForm) -> int | None:
+    """Constant element gap ``const(b) - const(a)``, or None.
+
+    Defined only when both forms carry identical coefficient vectors —
+    the "uniform dependence distance" case.  ``None`` means the pair's
+    gap varies across the iteration space and cannot be classified.
+    """
+    ca, ka = a
+    cb, kb = b
+    names = set(ca) | set(cb)
+    for name in names:
+        if ca.get(name, 0) != cb.get(name, 0):
+            return None
+    return kb - ka
+
+
+def intra_slice_dependence(
+    write: AffineForm, other: AffineForm, slice_var: str
+) -> bool | None:
+    """Can the two accesses touch one element within a single slice?
+
+    Returns ``False`` when provably not (or only lane-locally — the
+    zero-delta same-cell case), ``True`` when a same-slice collision is
+    arithmetically possible, and ``None`` when the pair cannot be
+    classified (non-uniform distance, several lane symbols, or no lane
+    symbol to disambiguate by).
+    """
+    delta = uniform_distance(write, other)
+    if delta is None:
+        return None
+    coeffs = write[0]
+    lane_syms = [n for n, c in coeffs.items() if n != slice_var and c != 0]
+    if delta == 0:
+        # Same linear form: within a slice the accesses coincide only
+        # at the same lane (lane-local), which the executor preserves.
+        return False if len(lane_syms) == 1 else None
+    if len(lane_syms) != 1:
+        # No lane symbol (every lane hits one element — a guaranteed
+        # collision) or several (the divisibility test has no single
+        # modulus); both must be declined.
+        return None
+    gap = coeffs[lane_syms[0]]
+    return delta % gap == 0
+
+
+@dataclass(frozen=True)
+class WavefrontObligation:
+    """One (write, other-access) pair awaiting launch-time classification.
+
+    ``slot`` indexes the executor's binding table — the array's runtime
+    shape (hence strides) is only known once the launch resolves it.
+    """
+
+    slot: int
+    write: tuple[tuple[tuple[tuple[str, int], ...], int], ...]
+    other: tuple[tuple[tuple[tuple[str, int], ...], int], ...]
+
+    @staticmethod
+    def _freeze(chain: AffineChain):
+        return tuple(
+            (tuple(sorted(coeffs.items())), const) for coeffs, const in chain
+        )
+
+    @classmethod
+    def make(
+        cls, slot: int, write: AffineChain, other: AffineChain
+    ) -> "WavefrontObligation":
+        return cls(slot, cls._freeze(write), cls._freeze(other))
+
+    @staticmethod
+    def _thaw(frozen) -> AffineChain:
+        return [(dict(coeffs), const) for coeffs, const in frozen]
+
+    def holds(self, shape: tuple[int, ...], slice_var: str) -> bool:
+        """True when slice-ordered replay is provably safe for this pair."""
+        return classify_wavefront_pair(
+            self._thaw(self.write), self._thaw(self.other), shape, slice_var
+        )
+
+
+def classify_wavefront_pair(
+    write: AffineChain,
+    other: AffineChain,
+    shape: tuple[int, ...],
+    slice_var: str,
+) -> bool:
+    """Launch-time verdict for one access pair on one array.
+
+    ``True`` = no intra-slice dependence (wavefront replay is exact);
+    ``False`` = possible or unclassifiable — the caller must fall back.
+    """
+    if len(write) != len(other):
+        return False
+    verdict = intra_slice_dependence(
+        flatten_chain(write, shape), flatten_chain(other, shape), slice_var
+    )
+    return verdict is False

@@ -35,16 +35,24 @@ cross-platform sweep, and can emit a machine-readable perf artifact::
     ompdart suite --no-vectorize                    # closure interpreter only
 
 Suite-diff mode gates two perf artifacts against each other (CI runs
-it against the committed baseline)::
+it against the committed baseline; vectorizer-coverage downgrades fail
+regardless of tolerance)::
 
     ompdart suite-diff benchmarks/suite_a100-pcie4.json new.json
     ompdart suite-diff baseline.json candidate.json --tolerance 0.05 -v
+
+Bench-history mode folds accumulated suite artifacts into the BENCH
+trajectory table (per-variant sim wall time with sparklines)::
+
+    ompdart bench-history benchmarks/suite_a100-pcie4.json run1.json run2.json
+    ompdart bench-history *.json --platform a100-pcie4 --benchmarks nw bfs
 
 Exit codes: 0 success, 1 tool/analysis error, 2 unreadable input or
 bad usage, 3 parse error in ``--dump-ast``/``--dump-cfg``.  Batch mode
 exits 0 only when every input transformed cleanly; suite mode exits 1
 when any benchmark's variants diverge; suite-diff exits 1 when the
-candidate regresses beyond the tolerance.
+candidate regresses beyond the tolerance; bench-history exits 2 on a
+non-artifact input.
 """
 
 from __future__ import annotations
@@ -272,6 +280,58 @@ def build_suite_diff_arg_parser() -> argparse.ArgumentParser:
         help="also list improved metrics",
     )
     return parser
+
+
+def build_bench_history_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart bench-history",
+        description=(
+            "Fold accumulated suite perf artifacts (oldest first) into an "
+            "ASCII per-variant sim-wall trend table with sparklines."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "artifacts", nargs="+", help="suite JSON artifacts, oldest first"
+    )
+    parser.add_argument(
+        "--platform",
+        metavar="NAME",
+        help="restrict the table to one platform",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        help="restrict the table to these benchmarks",
+    )
+    return parser
+
+
+def _run_bench_history(argv: list[str]) -> int:
+    args = build_bench_history_arg_parser().parse_args(argv)
+    import json
+    import os
+
+    from .report.history import load_artifact, render_history
+
+    payloads = []
+    for path in args.artifacts:
+        try:
+            payloads.append(load_artifact(path))
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"ompdart bench-history: {exc}", file=sys.stderr)
+            return 2
+    labels = _unique_basenames(list(args.artifacts))
+    print(render_history(
+        payloads,
+        [os.path.splitext(labels[p])[0] for p in args.artifacts],
+        platform=args.platform,
+        benchmarks=args.benchmarks,
+    ))
+    return 0
 
 
 def _run_suite_diff(argv: list[str]) -> int:
@@ -527,21 +587,33 @@ def _run_suite(argv: list[str]) -> int:
         figure4,
         figure5,
         figure6,
+        figure_coverage,
         figure_cross_platform,
     )
 
     for platform_sweep in sweep:
         p = platform_sweep.platform
         geo = platform_sweep.geomeans()
+        variants = [
+            result
+            for run in platform_sweep.runs.values()
+            for result in (run.unoptimized, run.ompdart, run.expert)
+        ]
+        covered = sum(
+            1 for r in variants
+            if r.vectorized_launches == r.stats.kernel_launches
+        )
         print(
             f"{p.name}: geomean speedup {geo['speedup_x']:.2f}x, "
             f"transfer reduction {geo['transfer_reduction_x']:.1f}x, "
             f"transfer-time improvement "
             f"{geo['transfer_time_improvement_x']:.1f}x "
-            f"over {len(platform_sweep.runs)} benchmark(s)"
+            f"over {len(platform_sweep.runs)} benchmark(s); "
+            f"vectorizer coverage {covered}/{len(variants)} variant(s)"
         )
         if args.report:
-            for figure in (figure3, figure4, figure5, figure6):
+            for figure in (figure3, figure4, figure5, figure6,
+                           figure_coverage):
                 print(figure(platform_sweep.runs)[1])
             print()
     if len(platforms) > 1:
@@ -586,6 +658,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_suite(argv[1:])
     if argv and argv[0] == "suite-diff":
         return _run_suite_diff(argv[1:])
+    if argv and argv[0] == "bench-history":
+        return _run_bench_history(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

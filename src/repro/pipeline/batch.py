@@ -132,6 +132,21 @@ def _worker_transform(
     return _transform_one(_worker_manager(cache_dir), source, filename, options)
 
 
+def _worker_init(cache_dir: str | None) -> None:
+    """Pool initializer: build the worker's manager eagerly and pre-warm
+    its private in-memory cache from the shared ``--cache-dir``.
+
+    Without this, every forked worker started cold: duplicate inputs
+    whose artifacts a previous run (or another worker) had already
+    spilled were re-fetched from disk per lookup — or, before the disk
+    check, re-parsed outright.  Priming at pool startup moves that work
+    to one batched sweep per worker.
+    """
+    manager = _worker_manager(cache_dir)
+    if cache_dir:
+        manager.cache.prewarm()
+
+
 # -- public API --------------------------------------------------------------
 
 
@@ -174,7 +189,9 @@ def transform_batch(
 
     jobs = min(jobs, len(items))
     payload = [(src, fname, options, cache_dir) for src, fname in items]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_worker_init, initargs=(cache_dir,)
+    ) as pool:
         return list(pool.map(_worker_transform, payload))
 
 

@@ -149,6 +149,51 @@ class ArtifactCache:
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
 
+    def prewarm(self, limit: int | None = None) -> int:
+        """Load the newest disk spills into the in-memory LRU.
+
+        Batch worker processes each keep a private in-memory cache, so
+        before this existed every forked worker started cold and
+        re-parsed inputs whose artifacts were already sitting in
+        ``--cache-dir``.  Called from the pool initializer, this primes
+        each worker with up to ``limit`` (default: ``max_entries``)
+        most-recently-written spills — duplicate inputs then hit memory
+        immediately instead of racing the disk per lookup.
+
+        Returns the number of artifacts loaded.  Hit/miss counters are
+        untouched (pre-warming is not a lookup), and unreadable or
+        version-skewed spills are skipped exactly like ``get`` misses.
+        """
+        if self.disk_dir is None:
+            return 0
+        budget = self.max_entries if limit is None else limit
+        try:
+            paths = sorted(
+                Path(self.disk_dir).glob("*.pkl"),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:
+            return 0
+        loaded = 0
+        # Insert oldest-first so LRU recency matches on-disk recency —
+        # the newest artifacts must be the last the LRU would evict.
+        for path in reversed(paths[:budget]):
+            stem = path.stem
+            pass_name, sep, key = stem.partition("-")
+            if not sep:
+                continue
+            try:
+                with open(path, "rb") as fh:
+                    value = self._decode(fh.read())
+            except (OSError, pickle.PickleError, EOFError, AttributeError,
+                    ImportError, zlib.error):
+                continue
+            with self._lock:
+                self._remember(pass_name, key, value)
+            loaded += 1
+        return loaded
+
     def clear(self) -> None:
         with self._lock:
             self._memory.clear()

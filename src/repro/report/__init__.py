@@ -6,6 +6,7 @@ from .figures import (  # noqa: F401
     figure4,
     figure5,
     figure6,
+    figure_coverage,
     figure_cross_platform,
 )
 from .perf import SCHEMA, sweep_to_dict, write_suite_json  # noqa: F401
@@ -20,7 +21,8 @@ from .tables import (  # noqa: F401
 
 __all__ = [
     "format_bytes", "render_barchart", "render_table",
-    "figure3", "figure4", "figure5", "figure6", "figure_cross_platform",
+    "figure3", "figure4", "figure5", "figure6", "figure_coverage",
+    "figure_cross_platform",
     "SCHEMA", "sweep_to_dict", "write_suite_json",
     "table1", "table2", "table3", "table4", "table5", "table5_passes",
 ]

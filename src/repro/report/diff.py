@@ -19,9 +19,16 @@ What is compared, per platform / benchmark:
 * a platform or benchmark present in the baseline but missing from the
   candidate is a coverage regression.
 
-Deliberately ignored: ``sim_wall_s`` and ``vectorized_launches`` (real
-wall time and executor choice are machine-dependent observability
-fields, not modelled metrics) and the ``tool`` timing block.
+* a per-variant ``vector_strategy`` whose coverage rank drops below the
+  baseline's — a previously vectorized variant regressing to the
+  interpreter, or a stronger lowering (``straight``/``collapse``)
+  degrading to a weaker one (``masked``/``wavefront``) — is a coverage
+  regression regardless of tolerance.
+
+Deliberately ignored: ``sim_wall_s``, ``vectorized_launches`` and
+``strategy_launches`` (real wall time and executor choice are
+machine-dependent observability fields, not modelled metrics) and the
+``tool`` timing block.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import Any
+
+from ..runtime.vectorize import STRATEGY_RANK
 
 __all__ = ["DiffResult", "MetricDelta", "diff_payloads", "diff_files", "render_diff"]
 
@@ -178,6 +187,46 @@ class _Differ:
         elif not worse:
             self.result.improvements.append(delta)
 
+    def strategy(self, where: str, baseline: Any, candidate: Any) -> None:
+        """Vectorizer-coverage gate: the candidate's strategy rank must
+        not drop below the baseline's.
+
+        Rank order (see ``repro.runtime.vectorize.STRATEGY_RANK``):
+        interpreter < wavefront < masked < collapse < ufunc < straight.
+        A baseline without the field (pre-phase-2 artifact) or with an
+        unknown label offers nothing to gate on.
+        """
+        base_rank = STRATEGY_RANK.get(baseline) if isinstance(
+            baseline, str
+        ) else None
+        if base_rank is None:
+            return
+        if candidate is _ABSENT:
+            self.result.missing.append(
+                f"{where}: metric 'vector_strategy' missing"
+            )
+            return
+        cand_rank = STRATEGY_RANK.get(candidate) if isinstance(
+            candidate, str
+        ) else None
+        if cand_rank is None:
+            self.result.missing.append(
+                f"{where}: vectorization coverage lost "
+                f"({baseline!r} -> {candidate!r})"
+            )
+            return
+        self.result.compared += 1
+        if cand_rank < base_rank:
+            self.result.missing.append(
+                f"{where}: vectorization strategy downgrade "
+                f"({baseline!r} -> {candidate!r})"
+            )
+        elif cand_rank > base_rank:
+            self.result.improvements.append(MetricDelta(
+                where, "vector_strategy", float(base_rank),
+                float(cand_rank), float("inf"),
+            ))
+
     def benchmark(self, where: str, base: dict, cand: dict) -> None:
         base_variants = _as_dict(base.get("variants"), f"{where} variants")
         cand_variants = _as_dict(cand.get("variants"), f"{where} variants")
@@ -197,6 +246,11 @@ class _Differ:
                     cand_profile.get(key, _ABSENT),
                     higher_is_worse=True,
                 )
+            self.strategy(
+                f"{where}/{variant}",
+                profile.get("vector_strategy"),
+                cand_profile.get("vector_strategy", _ABSENT),
+            )
         for key in LOWER_IS_WORSE:
             self.number(
                 where, key,

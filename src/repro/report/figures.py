@@ -121,6 +121,54 @@ def figure6(runs: dict[str, BenchmarkRun]):
     return series, text
 
 
+def figure_coverage(runs: dict[str, BenchmarkRun]):
+    """Vectorizer coverage: lowering strategy and residual fallbacks.
+
+    One row per benchmark with the per-variant strategy label (the
+    weakest-ranked strategy any launch used), the vectorized/total
+    launch counts, and the fallback reason when any launch ran
+    interpreted.  Since the phase-2 executor the expected steady state
+    is a full column of strategies and an empty reason column.
+    """
+    series: dict[str, dict[str, dict[str, object]]] = {}
+    rows = []
+    results_of = {
+        "Unoptimized": lambda r: r.unoptimized,
+        "OMPDart": lambda r: r.ompdart,
+        "Expert": lambda r: r.expert,
+    }
+    for name, run in runs.items():
+        per: dict[str, dict[str, object]] = {}
+        cells = []
+        reasons = []
+        for variant in _VARIANTS:
+            result = results_of[variant](run)
+            strategy = result.vector_strategy or "-"
+            per[variant] = {
+                "vector_strategy": strategy,
+                "vectorized_launches": result.vectorized_launches,
+                "kernel_launches": result.stats.kernel_launches,
+                "fallback_reason": result.fallback_reason,
+            }
+            cells.append(
+                f"{strategy} {result.vectorized_launches}"
+                f"/{result.stats.kernel_launches}"
+            )
+            if result.fallback_reason:
+                reasons.append(result.fallback_reason)
+        series[name] = per
+        rows.append([name] + cells + [reasons[0] if reasons else ""])
+    text = (
+        "Vectorizer coverage: strategy + vectorized/total launches "
+        "per variant\n"
+    )
+    text += render_table(
+        ["app", "unoptimized", "OMPDart", "expert", "fallback reason"],
+        rows,
+    )
+    return series, text
+
+
 def figure_cross_platform(sweep: SweepResult):
     """Fig. 5/6-style cross-platform comparison of the mapping win.
 

@@ -22,18 +22,26 @@ from ..suite.runner import BenchmarkRun, SweepResult
 __all__ = ["SCHEMA", "sweep_to_dict", "write_suite_json"]
 
 #: Artifact schema identifier; bump on incompatible layout changes.
-SCHEMA = "ompdart-suite-perf/1"
+#: /2 adds the vectorizer-coverage fields (``vector_strategy``,
+#: ``fallback_reason``, ``strategy_launches``) per variant; readers
+#: accept any ``ompdart-suite-perf/`` prefix.
+SCHEMA = "ompdart-suite-perf/2"
 
 
 def _stats_dict(result: Any) -> dict[str, Any]:
     """One variant's profile: modelled metrics + real simulation time.
 
-    ``sim_wall_s`` (host wall-clock seconds the simulation took) and
-    ``vectorized_launches`` are *observability* fields: they are the
-    only non-deterministic / executor-dependent entries, and the
-    ``suite-diff`` comparator deliberately ignores them.  They exist so
-    BENCH trajectories capture real speedups (e.g. the vectorizing
-    kernel executor) that the modelled metrics, by design, cannot show.
+    ``sim_wall_s`` (host wall-clock seconds the simulation took),
+    ``vectorized_launches`` and ``strategy_launches`` are
+    *observability* fields: they are the only non-deterministic /
+    executor-dependent entries, and the ``suite-diff`` comparator's
+    numeric gates deliberately ignore them.  They exist so BENCH
+    trajectories capture real speedups (e.g. the vectorizing kernel
+    executor) that the modelled metrics, by design, cannot show.
+    ``vector_strategy`` *is* gated: suite-diff fails when a variant's
+    strategy rank regresses (a previously vectorized variant falling
+    back to the interpreter, or a straight kernel degrading to a
+    weaker lowering).
     """
     stats: TransferStats = result.stats
     return {
@@ -48,6 +56,9 @@ def _stats_dict(result: Any) -> dict[str, Any]:
         "kernel_launches": stats.kernel_launches,
         "sim_wall_s": result.wall_time_s,
         "vectorized_launches": result.vectorized_launches,
+        "vector_strategy": result.vector_strategy,
+        "fallback_reason": result.fallback_reason,
+        "strategy_launches": dict(result.strategy_launches),
     }
 
 

@@ -31,7 +31,7 @@ substitution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Callable
 
 import numpy as np
@@ -90,10 +90,33 @@ class SimulationResult:
     #: (:mod:`repro.runtime.vectorize`); the remaining
     #: ``stats.kernel_launches - vectorized_launches`` ran interpreted.
     vectorized_launches: int = 0
+    #: Launch counts per lowering strategy ("straight", "collapse",
+    #: "masked", "ufunc", "wavefront") plus "interpreter" for launches
+    #: no strategy accepted.
+    strategy_launches: dict[str, int] = dataclass_field(default_factory=dict)
+    #: Why any launch ran interpreted (first static ineligibility note
+    #: or runtime-decline note); None when every launch vectorized.
+    fallback_reason: str | None = None
 
     @property
     def total_time_s(self) -> float:
         return self.stats.total_time_s
+
+    @property
+    def vector_strategy(self) -> str | None:
+        """The weakest-ranked strategy any launch used (coverage label).
+
+        ``interpreter`` when at least one launch fell back, None when
+        the run launched no kernels at all.
+        """
+        if not self.strategy_launches:
+            return None
+        from .vectorize import STRATEGY_RANK
+
+        return min(
+            self.strategy_launches,
+            key=lambda s: STRATEGY_RANK.get(s, -1),
+        )
 
 
 class Machine:
@@ -111,6 +134,8 @@ class Machine:
         self.steps = 0
         self.max_steps = max_steps
         self.vectorized_launches = 0
+        #: Launch counts per lowering strategy (+ "interpreter").
+        self.strategy_launches: dict[str, int] = {}
 
     def tick(self) -> None:
         self.steps += 1
@@ -230,6 +255,10 @@ class Interpreter:
         self._functions: dict[str, Callable[[list[Any]], Any]] = {}
         self._math = make_math_builtins()
         self._alloc_counter = 0
+        #: True while compiling an offload kernel's body — suppresses
+        #: the host-loop vectorization hook (the kernel-level
+        #: candidates own those loops).
+        self._compiling_kernel = False
 
     # ==================================================================
     # Program entry
@@ -245,12 +274,24 @@ class Interpreter:
         except _Return as ret:  # pragma: no cover - defensive
             rc = ret.value
         rc = int(rc) if isinstance(rc, (int, float, np.integer)) else 0
+        stats = self.profiler.snapshot()
+        fallback_reason = None
+        if stats.kernel_launches > self.machine.vectorized_launches:
+            if not self.vectorize:
+                fallback_reason = "vectorization disabled (--no-vectorize)"
+            else:
+                fallback_reason = next(
+                    iter(self.vector_notes.values()),
+                    "kernel declined vectorization",
+                )
         return SimulationResult(
             output="".join(self.machine.stdout),
             return_code=rc,
-            stats=self.profiler.snapshot(),
+            stats=stats,
             profiler=self.profiler,
             vectorized_launches=self.machine.vectorized_launches,
+            strategy_launches=dict(self.machine.strategy_launches),
+            fallback_reason=fallback_reason,
         )
 
     def _init_globals(self) -> None:
@@ -490,8 +531,26 @@ class Interpreter:
         cond = self._compile_expr(stmt.cond) if stmt.cond is not None else None
         inc = self._compile_expr(stmt.inc) if stmt.inc is not None else None
         body = self._compile_stmt(stmt.body)
+        candidates: list[Any] = []
+        if self.vectorize and not self._compiling_kernel:
+            from .vectorize import compile_host_loop_candidates
+
+            candidates = compile_host_loop_candidates(self, stmt)
 
         def run(m: Machine) -> None:
+            # Host-side loops route through the same vector executor as
+            # kernels (bit-identical values and tick charges); inside an
+            # interpreted kernel body (on_device) the loop stays
+            # interpreted — kernel-level candidates own that case.
+            if candidates and not m.on_device:
+                if any(c.declines for c in candidates):
+                    ordered = sorted(candidates, key=lambda c: c.declines)
+                else:
+                    ordered = candidates
+                for cand in ordered:
+                    if cand.runner(m):
+                        return
+                    cand.declines += 1
             if init is not None:
                 init(m)
             while True:
@@ -669,14 +728,20 @@ class Interpreter:
     # -- kernels ------------------------------------------------------------
 
     def _compile_kernel(self, stmt: A.OMPExecutableDirective) -> Callable[[Machine], None]:
-        body = self._compile_stmt(stmt.associated_stmt)
-        vector_body: Callable[[Machine], bool] | None = None
+        self._compiling_kernel = True
+        try:
+            body = self._compile_stmt(stmt.associated_stmt)
+        finally:
+            self._compiling_kernel = False
+        candidates: list[Any] = []
         if self.vectorize:
-            from .vectorize import try_vectorize
+            from .vectorize import compile_kernel_candidates
 
-            vector_body, note = try_vectorize(self, stmt)
+            candidates, note = compile_kernel_candidates(self, stmt)
             if note is not None:
                 self.vector_notes[stmt.node_id] = note
+        vector_notes = self.vector_notes
+        node_id = stmt.node_id
         refs = self._referenced_decls(stmt)
         explicit_map = {name: (mt, alw) for name, mt, alw in self._map_items(stmt)}
         firstprivate = self._clause_names(stmt, A.OMPFirstprivateClause)
@@ -741,13 +806,39 @@ class Interpreter:
             m.on_device = True
             m.kernel_overrides = overrides
             try:
-                # The vectorized nest is bit-identical to the interpreted
-                # body (values, transfers, step accounting); its runtime
-                # preflight returns False to decline — e.g. a pointer
-                # bound to a struct array — and the closure body runs.
-                if vector_body is not None and vector_body(m):
-                    m.vectorized_launches += 1
+                # Every vectorized strategy is bit-identical to the
+                # interpreted body (values, transfers, step accounting);
+                # a runner returns False to decline a launch — e.g. a
+                # pointer bound to a struct array, or a failed scatter
+                # commit check — and the next candidate (ultimately the
+                # closure body) runs.  Candidates that declined before
+                # sort last, so a shape that always fails its launch
+                # checks pays the failed attempt once.
+                executed: str | None = None
+                if any(c.declines for c in candidates):
+                    ordered = sorted(candidates, key=lambda c: c.declines)
                 else:
+                    ordered = candidates
+                for cand in ordered:
+                    if cand.runner(m):
+                        executed = cand.strategy
+                        break
+                    cand.declines += 1
+                if executed is not None:
+                    m.vectorized_launches += 1
+                    m.strategy_launches[executed] = (
+                        m.strategy_launches.get(executed, 0) + 1
+                    )
+                else:
+                    if candidates:
+                        vector_notes.setdefault(
+                            node_id,
+                            "launch-time checks declined every strategy "
+                            "(data-dependent shape)",
+                        )
+                    m.strategy_launches["interpreter"] = (
+                        m.strategy_launches.get("interpreter", 0) + 1
+                    )
                     body(m)
             finally:
                 m.on_device = prev_device

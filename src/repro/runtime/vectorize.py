@@ -2,60 +2,92 @@
 
 The closure interpreter executes every kernel one loop iteration at a
 time — for the paper's O(N^2) kernels (clenergy's lattice x atom sweep)
-this dominates suite wall time.  This module lowers eligible
-``target ... for`` loop nests to NumPy array expressions evaluated
-directly against device storage, the standard escape hatch for
-data-parallel loops in Python tree interpreters (compare Devito's
-lowering of stencil loop nests to array expressions).
+this dominates suite wall time.  This module lowers ``target ... for``
+loop nests to NumPy array expressions evaluated directly against device
+storage, the standard escape hatch for data-parallel loops in Python
+tree interpreters (compare Devito's lowering of stencil loop nests to
+array expressions).
 
-Eligibility (checked once, at closure-compile time)
----------------------------------------------------
+Four lowering strategies (phase 2)
+----------------------------------
 
-A kernel's associated loop nest vectorizes when:
+``straight``
+    The PR 3 baseline: canonical loop headers, straight-line bodies,
+    affine injective write subscripts with read==write subscripts on
+    RW arrays, arbitrary gathers on read-only arrays, ``+``/``-``
+    reductions replayed in exact sequential rounding via cumsum prefix
+    scans, fmin/fmax and ternary min/max reduction patterns.
 
-* the outer loop has a canonical header: ``for (int i = e0; i <op> e1;
-  i += c)`` with a constant step (recognized through the same
-  :mod:`repro.analysis.bounds` machinery the mapping analysis uses) and
-  loop-invariant bound expressions;
-* the body contains only declarations of scalar locals, assignments,
-  and nested canonical ``for`` loops — no ``if``/``while``/``switch``,
-  no ``break``/``continue``/``return``, no calls (``printf`` included),
-  no pointer arithmetic or address-taking beyond array subscripts;
-* every array that is *written* uses a single subscript shape that is
-  affine in the parallel index with a nonzero coefficient (each
-  iteration owns a private element) and every read of that same array
-  uses the identical subscript — arrays that are only read may be
-  gathered with arbitrary (even data-dependent) subscripts;
-* scalars shared with the host (mapped or ``reduction`` clause
-  variables) are updated at most once, at nest top level, through a
-  recognized reduction shape: ``s += e`` / ``s -= e``, ``s = fmin(s,
-  e)`` / ``fmax``, or the equivalent conditional ``s = e < s ? e : s``
-  — and are not otherwise read inside the nest.
+``collapse``
+    Perfectly nested parallel loops flatten into one index space: each
+    collapsed level contributes an index vector over the combined lane
+    space, store injectivity is checked across the whole space with a
+    mixed-radix dominance test, and reductions still accumulate in
+    lexicographic (= sequential) order.
 
-Anything else falls back to the closure interpreter; correctness never
-depends on the vectorizer.  ``Interpreter(vectorize=False)`` (CLI:
-``--no-vectorize``) disables it outright.
+``masked``
+    ``if`` bodies lower to compressed-lane execution: the guard's mask
+    selects an *active lane subset* and every statement below evaluates
+    only on those lanes — so division, overflow and gathers on the
+    discarded lanes are never evaluated at all (the interpreter never
+    evaluates them either).  Data-dependent scatter stores and
+    lane-varying ("ragged") inner loop bounds execute under a deferred
+    store buffer with launch-time uniqueness/overlap checks; a failed
+    check rolls the launch back and falls to the next strategy.
+
+``wavefront``
+    Nests whose stores and loads *do* carry values between iterations
+    (nw's anti-diagonals) replay the outer loop sequentially while each
+    slice's inner iterations evaluate as one vector.  The dependence
+    classifier of :mod:`repro.analysis.depend` proves, per launch, that
+    no dependence connects two cells of one slice — cross-slice flow,
+    anti and output dependences are honoured by slice order itself.
+    Nests with unit-distance carries (hotspot's in-place stencil) are
+    the degenerate case — one-lane slices — and execute through the
+    sequential scalar replay engine of :mod:`repro.runtime.replay`,
+    which is order-exact by construction.
+
+Math calls (``sqrt``/``exp``/``fabs``/``log``/...) map to NumPy ufuncs
+behind a libm-parity gate: functions whose IEEE results are specified
+exactly (sqrt, fabs, fmin/fmax, fmod) vectorize unconditionally, the
+rest are probed bit-for-bit against :mod:`math` on a corpus of
+magnitudes once per process and drop to a per-lane libm loop when the
+NumPy build rounds differently — never to the interpreter.
+
+Anything no strategy can express falls back to the closure
+interpreter; correctness never depends on the vectorizer.
+``Interpreter(vectorize=False)`` (CLI ``--no-vectorize``) disables the
+whole module.
 
 Exactness
 ---------
 
-The vectorized path is bit-identical to the interpreted path, not just
+Every strategy is bit-identical to the interpreted path, not just
 close: element updates run per-lane-private (same IEEE operations in
 the same order), integer ``/`` and ``%`` use C truncating semantics,
 ``+``/``-`` reductions replay the loop's sequential rounding through a
-``cumsum`` prefix scan, and ``min``/``max`` reductions are
-order-independent.  The step/tick ledger is charged *synthetically*:
-each vector-executed statement charges the exact number of
-``Machine.tick`` calls the interpreted loop would have made, so
+``cumsum`` prefix scan, masked statements evaluate only the lanes the
+interpreter would execute, wavefront slices replay in exact sequential
+order, and deferred scatter stores commit only after proving the
+lane-major and statement-major execution orders agree (unique store
+targets, no store/load overlap).  The step/tick ledger is charged
+*synthetically*: each vector-executed statement charges the exact
+number of ``Machine.tick`` calls the interpreted loop would have made
+— masked statements charge only the active lane count — so
 ``kernel_time_s``, ``omp_get_wtime`` and the Fig. 5/6 metrics are
-unchanged.  Charges land *before* the corresponding array expression is
-evaluated, so the ``Machine.max_steps`` runaway-loop guard still trips
-— without first allocating a runaway-sized index vector.
+unchanged.  Charges land *before* the corresponding array expression
+is evaluated, so the ``Machine.max_steps`` runaway-loop guard still
+trips — without first allocating a runaway-sized index vector.
+Strategies that can decline mid-launch (masked merges, scatter
+commits) snapshot the written bindings and the step ledger first and
+restore both before the next candidate runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
@@ -64,14 +96,38 @@ from ..frontend import ast_nodes as A
 from ..frontend.ctypes_ import ArrayType, QualType, StructType
 from ..frontend.parser import EnumConstantDecl, fold_integer_constant
 from ..analysis.bounds import find_indexing_var, step_of
+from ..analysis.depend import WavefrontObligation
 from .interp import SimulationError, _c_div, _c_mod
 from .values import ArrayObject, Cell, Pointer, StructObject
 
-__all__ = ["try_vectorize"]
+__all__ = [
+    "STRATEGY_RANK",
+    "VectorCandidate",
+    "compile_kernel_candidates",
+    "try_vectorize",
+]
+
+#: Coverage ordering used by the suite artifact and ``suite-diff``:
+#: higher rank = more specialized (faster) lowering.  ``interpreter``
+#: is rank 0 so "lost coverage" and "strategy downgrade" are one test.
+STRATEGY_RANK: dict[str, int] = {
+    "interpreter": 0,
+    "wavefront": 1,
+    "masked": 2,
+    "collapse": 3,
+    "ufunc": 4,
+    "straight": 5,
+}
 
 
 class _Ineligible(Exception):
-    """Internal: the nest cannot be vectorized; fall back (with reason)."""
+    """Internal: the nest cannot be compiled by this strategy (reason)."""
+
+
+class _RuntimeDecline(Exception):
+    """Internal: a launch-time check failed mid-execution; the runner
+    restores its snapshot and returns False so the caller can try the
+    next candidate (ultimately the interpreter)."""
 
 
 # ===========================================================================
@@ -140,46 +196,6 @@ def _expr_equal(x: A.Expr, y: A.Expr) -> bool:
 
 def _chain_equal(a: list[A.Expr], b: list[A.Expr]) -> bool:
     return len(a) == len(b) and all(_expr_equal(x, y) for x, y in zip(a, b))
-
-
-def _affine(expr: A.Expr) -> tuple[dict[str, int], int] | None:
-    """``expr`` as ``sum(coeff[name] * name) + const``, or None."""
-    expr = _strip(expr)
-    folded = fold_integer_constant(expr)
-    if folded is not None:
-        return {}, folded
-    if isinstance(expr, A.DeclRefExpr):
-        if isinstance(expr.decl, EnumConstantDecl):
-            return {}, expr.decl.value
-        return {expr.name: 1}, 0
-    if isinstance(expr, A.UnaryOperator) and expr.op in ("-", "+"):
-        inner = _affine(expr.operand)
-        if inner is None:
-            return None
-        if expr.op == "+":
-            return inner
-        coeffs, const = inner
-        return {n: -c for n, c in coeffs.items()}, -const
-    if isinstance(expr, A.BinaryOperator) and expr.op in ("+", "-"):
-        left = _affine(expr.lhs)
-        right = _affine(expr.rhs)
-        if left is None or right is None:
-            return None
-        sign = 1 if expr.op == "+" else -1
-        coeffs = dict(left[0])
-        for name, c in right[0].items():
-            coeffs[name] = coeffs.get(name, 0) + sign * c
-        return coeffs, left[1] + sign * right[1]
-    if isinstance(expr, A.BinaryOperator) and expr.op == "*":
-        left = _affine(expr.lhs)
-        right = _affine(expr.rhs)
-        if left is None or right is None:
-            return None
-        for (ca, ka), (cb, kb) in ((left, right), (right, left)):
-            if not ca:  # one side folds to a pure constant
-                return {n: c * ka for n, c in cb.items()}, kb * ka
-        return None
-    return None
 
 
 # ===========================================================================
@@ -276,7 +292,7 @@ def _as_int(v: Any) -> Any:
     if isinstance(v, np.ndarray):
         if v.dtype.kind == "f":
             return np.trunc(v).astype(np.int64)
-        if v.dtype != np.int64:
+        if v.dtype != np.int64 and v.dtype != object:
             return v.astype(np.int64)
         return v
     return int(v)
@@ -367,6 +383,23 @@ def _broadcast(value: Any, lanes: int) -> np.ndarray:
     return np.full(lanes, value)
 
 
+def _as_lane_vec(value: Any, lanes: int) -> np.ndarray:
+    """Per-lane int64 position vector (scatter targets, read logs)."""
+    if isinstance(value, np.ndarray) and value.ndim == 1:
+        return value if value.dtype == np.int64 else value.astype(np.int64)
+    return np.full(lanes, int(value), dtype=np.int64)
+
+
+def _as_value_vec(value: Any, lanes: int) -> np.ndarray:
+    """Per-lane value vector for a deferred store buffer."""
+    if isinstance(value, np.ndarray) and value.ndim == 1:
+        return value
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.full(lanes, value, dtype=arr.dtype)
+    return arr
+
+
 def _seq_sum(init: float, vec: np.ndarray) -> float:
     """Sequential-order float accumulation: ``((init+v0)+v1)+...``.
 
@@ -393,15 +426,68 @@ def _flat_index(vals: list[Any], shape: tuple[int, ...]) -> Any:
     return flat
 
 
+def _masked_merge(mask: np.ndarray, tv: Any, fv: Any) -> np.ndarray:
+    """Join the two branch results of a lane-varying conditional.
+
+    The interpreter keeps one Python value per lane, so a conditional
+    whose branches yield an int on some lanes and a float on others
+    would give later ``/``/``%`` operators per-lane C-vs-IEEE
+    semantics no single dtype can express — those merges decline the
+    launch instead of guessing.
+    """
+    ta, fa = np.asarray(tv), np.asarray(fv)
+    if ta.dtype == object or fa.dtype == object:
+        dtype: Any = object
+    else:
+        tk, fk = ta.dtype.kind, fa.dtype.kind
+        if tk in "bui" and fk in "bui":
+            dtype = np.int64
+        elif tk == "f" and fk == "f":
+            dtype = np.float64
+        else:
+            raise _RuntimeDecline(
+                "mixed int/float branches in a lane-varying conditional"
+            )
+    out = np.empty(mask.size, dtype=dtype)
+    out[mask] = tv
+    out[~mask] = fv
+    return out
+
+
+def _scatter_into(full: np.ndarray, idx: np.ndarray, value: Any) -> np.ndarray:
+    """Masked assignment into a full-lane vector, escalating to object
+    dtype when the incoming values exceed int64 (exact-int semantics)."""
+    if full.dtype != object:
+        escalate = False
+        if isinstance(value, np.ndarray):
+            escalate = value.dtype == object
+        elif isinstance(value, int) and not isinstance(value, bool):
+            escalate = abs(value) > int(_INT_GUARD)
+        if escalate:
+            full = full.astype(object)
+    full[idx] = value
+    return full
+
+
 # ===========================================================================
 # Runtime context + preflight
 # ===========================================================================
 
 
 class _Ctx:
-    """Mutable state threaded through the compiled vector closures."""
+    """Mutable state threaded through the compiled vector closures.
 
-    __slots__ = ("machine", "env", "slots", "lanes", "charge")
+    ``active`` is ``None`` (all lanes) or a sorted int64 array of
+    *absolute* lane indices — the compressed-lane subset a masked
+    region executes on.  ``read_logs``/``scatter`` are per-slot lists
+    (``None`` for slots that need no deferral) backing the masked
+    strategy's launch-time checks.
+    """
+
+    __slots__ = (
+        "machine", "env", "slots", "lanes", "charge", "active",
+        "read_logs", "scatter", "_all",
+    )
 
     def __init__(self, machine: Any):
         self.machine = machine
@@ -409,6 +495,25 @@ class _Ctx:
         self.slots: list[Any] = []
         self.lanes = 0
         self.charge: Callable[[int], None] = lambda n: None
+        self.active: np.ndarray | None = None
+        self.read_logs: list[Any] | None = None
+        self.scatter: list[Any] | None = None
+        self._all: tuple[int, np.ndarray] | None = None
+
+    @property
+    def count(self) -> int:
+        """Lanes the current statement executes on."""
+        return self.lanes if self.active is None else self.active.size
+
+    def base_lanes(self) -> np.ndarray:
+        """The current active set as an absolute index array."""
+        if self.active is not None:
+            return self.active
+        cached = self._all
+        if cached is None or cached[0] != self.lanes:
+            cached = (self.lanes, np.arange(self.lanes, dtype=np.int64))
+            self._all = cached
+        return cached[1]
 
 
 _SCALAR_TYPES = (bool, int, float, np.integer, np.floating)
@@ -418,10 +523,10 @@ def _preflight(machine: Any, specs: list[dict[str, Any]]) -> list[Any] | None:
     """Resolve every referenced binding; None declines the launch.
 
     Runs before any step is charged or any storage touched, so a
-    declined launch falls back to the interpreter with zero observable
-    effect.  Checks the *runtime* shapes eligibility could not see
-    statically: pointers hiding behind scalars, struct-element arrays,
-    and two names aliasing one written array.
+    declined launch falls back with zero observable effect.  Checks the
+    *runtime* shapes eligibility could not see statically: pointers
+    hiding behind scalars, struct-element arrays, and two names
+    aliasing one written array.
     """
     slots: list[Any] = []
     seen_arrays: dict[int, bool] = {}
@@ -494,6 +599,193 @@ def _trip_count(lo: int, bound: int, op: str, step: int) -> int | None:
     return (span + mag - 1) // mag
 
 
+def _trip_vec(lo: np.ndarray, bound: np.ndarray, op: str, step: int) -> np.ndarray:
+    """Per-lane trip counts of a ragged (lane-varying-bound) loop."""
+    if op == "<":
+        span = bound - lo
+    elif op == "<=":
+        span = bound - lo + 1
+    elif op == ">":
+        span = lo - bound
+    else:  # ">="
+        span = lo - bound + 1
+    mag = abs(step)
+    return np.maximum((span + mag - 1) // mag, 0)
+
+
+# ===========================================================================
+# Math-call lowering: NumPy ufuncs behind a libm-parity gate
+# ===========================================================================
+
+#: Functions whose results IEEE 754 pins down exactly: sqrt is required
+#: correctly rounded, fabs/fmin/fmax are sign/comparison operations,
+#: fmod's remainder is exactly representable.  These need no probe.
+_UFUNC_EXACT = {
+    "sqrt", "sqrtf", "fabs", "fabsf", "fmin", "fminf", "fmax", "fmaxf",
+    "fmod", "abs", "floor", "ceil",
+}
+
+#: Per-process probe verdicts for the remaining (implementation-defined
+#: rounding) functions; True = the NumPy build matched libm bit-for-bit
+#: on the probe corpus.  Tests monkeypatch entries to force the scalar
+#: path.
+_UFUNC_PARITY: dict[str, bool] = {}
+
+
+def _probe_values() -> np.ndarray:
+    probe = np.concatenate([
+        np.linspace(-9.75, 9.75, 157),
+        np.geomspace(1e-300, 1e300, 101),
+        -np.geomspace(1e-300, 1e300, 101),
+        np.array([0.0, -0.0, 1.0, -1.0, 0.5, 2.0, math.pi, math.e,
+                  699.9, 700.0, 1e-8, 123456.789]),
+    ])
+    return probe
+
+
+def _parity_ok(name: str, np_fn: Callable[[np.ndarray], Any],
+               math_fn: Callable[..., float], arity: int) -> bool:
+    """Bit-compare the NumPy lowering against libm on the probe corpus.
+
+    Lanes where libm raises (domain errors) are skipped — the vector
+    implementations guard those domains and fall to the scalar path at
+    runtime, so only the lanes both sides can compute must agree.
+    """
+    cached = _UFUNC_PARITY.get(name)
+    if cached is not None:
+        return cached
+    probe = _probe_values()
+    if arity == 2:
+        xs = np.repeat(probe, 7)
+        ys = np.resize(probe[::-1], xs.size)
+        args = (xs, ys)
+    else:
+        args = (probe,)
+    ok = True
+    try:
+        with np.errstate(all="ignore"):
+            vec = np_fn(*args)
+    except Exception:  # noqa: BLE001 - a raising lowering never vectorizes
+        _UFUNC_PARITY[name] = False
+        return False
+    if vec is None:
+        vec = np.full(args[0].size, np.nan)
+    vec = np.asarray(vec, dtype=np.float64)
+    for i in range(args[0].size):
+        try:
+            ref = math_fn(*(float(a[i]) for a in args))
+        except (ValueError, OverflowError, ZeroDivisionError):
+            continue
+        got = float(vec[i])
+        if np.float64(ref).tobytes() != np.float64(got).tobytes():
+            ok = False
+            break
+    _UFUNC_PARITY[name] = ok
+    return ok
+
+
+def _np_clamped_exp(v: np.ndarray) -> np.ndarray:
+    return np.exp(np.minimum(v, 700.0))
+
+
+def _np_sqrt(v: np.ndarray) -> np.ndarray:
+    return np.sqrt(np.maximum(v, 0.0))
+
+
+def _np_log(v: np.ndarray) -> Any:
+    return None if np.any(~(v > 0.0)) else np.log(v)
+
+
+def _np_log2(v: np.ndarray) -> Any:
+    return None if np.any(~(v > 0.0)) else np.log2(v)
+
+
+def _np_log10(v: np.ndarray) -> Any:
+    return None if np.any(~(v > 0.0)) else np.log10(v)
+
+
+def _np_pow(x: np.ndarray, y: Any) -> Any:
+    # Negative bases raise to complex in Python and 0**neg raises;
+    # guard both to the per-lane path where libm semantics apply.
+    if np.any(~(np.asarray(x, dtype=np.float64) > 0.0)):
+        return None
+    return np.power(x, y)
+
+
+def _np_fmod(x: Any, y: Any) -> Any:
+    return None if np.any(np.equal(y, 0.0)) else np.fmod(x, y)
+
+
+def _np_fmin(x: Any, y: Any) -> Any:
+    # Python's min(a, b) returns b only when b < a — asymmetric under
+    # NaN, unlike np.minimum/np.fmin; np.where replicates it exactly.
+    return np.where(np.less(y, x), y, x)
+
+
+def _np_fmax(x: Any, y: Any) -> Any:
+    return np.where(np.greater(y, x), y, x)
+
+
+def _np_exp2(v: np.ndarray) -> np.ndarray:
+    return np.exp2(np.minimum(v, 1000.0))
+
+
+def _np_cbrt(v: np.ndarray) -> np.ndarray:
+    return np.copysign(np.abs(v) ** (1.0 / 3.0), v)
+
+
+def _np_floor(v: Any) -> Any:
+    r = np.floor(np.asarray(v, dtype=np.float64))
+    return None if np.any(np.abs(r) > _INT_GUARD) else r.astype(np.int64)
+
+
+def _np_ceil(v: Any) -> Any:
+    r = np.ceil(np.asarray(v, dtype=np.float64))
+    return None if np.any(np.abs(r) > _INT_GUARD) else r.astype(np.int64)
+
+
+def _np_abs(v: Any) -> Any:
+    return np.abs(_as_int(v))
+
+
+#: name -> (arity, vector implementation).  A vector implementation may
+#: return ``None`` ("this input needs libm semantics") to push the call
+#: onto the per-lane scalar path.  Float inputs are widened to float64
+#: first — exactly the ``float(x)`` coercion the interpreter's builtins
+#: apply.
+_VEC_CALLS: dict[str, tuple[int, Callable[..., Any]]] = {
+    "sqrt": (1, _np_sqrt),
+    "sqrtf": (1, _np_sqrt),
+    "fabs": (1, lambda v: np.abs(v)),
+    "fabsf": (1, lambda v: np.abs(v)),
+    "exp": (1, _np_clamped_exp),
+    "expf": (1, _np_clamped_exp),
+    "exp2": (1, _np_exp2),
+    "log": (1, _np_log),
+    "log2": (1, _np_log2),
+    "log10": (1, _np_log10),
+    "sin": (1, np.sin),
+    "cos": (1, np.cos),
+    "tan": (1, np.tan),
+    "tanh": (1, np.tanh),
+    "cbrt": (1, _np_cbrt),
+    "pow": (2, _np_pow),
+    "powf": (2, _np_pow),
+    "fmod": (2, _np_fmod),
+    "fmin": (2, _np_fmin),
+    "fminf": (2, _np_fmin),
+    "fmax": (2, _np_fmax),
+    "fmaxf": (2, _np_fmax),
+    "floor": (1, _np_floor),
+    "ceil": (1, _np_ceil),
+    "abs": (1, _np_abs),
+}
+
+#: Calls whose interpreter builtin coerces through float() — their
+#: vector operands widen to float64 the same way.
+_FLOAT_ARG_CALLS = set(_VEC_CALLS) - {"abs"}
+
+
 # ===========================================================================
 # The nest compiler
 # ===========================================================================
@@ -502,17 +794,39 @@ def _trip_count(lo: int, bound: int, op: str, step: int) -> int | None:
 class _NestCompiler:
     """Compiles one offload kernel's loop nest into a vector closure.
 
-    Raises :class:`_Ineligible` (caught by :func:`try_vectorize`) the
-    moment an unsupported construct appears; on success returns
-    ``run(machine) -> bool`` where False means the runtime preflight
-    declined and the caller must execute the interpreted body instead.
+    One instance compiles one strategy attempt: the default mode covers
+    ``straight``/``collapse``/``masked``/``ufunc`` (the label reflects
+    which features the nest actually used); ``wavefront=True`` compiles
+    the outer-sequential/inner-vector slicing mode instead.  Raises
+    :class:`_Ineligible` the moment an unsupported construct appears;
+    on success returns ``run(machine) -> bool`` where False means a
+    launch-time check declined and the caller must try the next
+    candidate (ultimately the interpreted body).
     """
 
-    def __init__(self, interp: Any, directive: A.OMPExecutableDirective):
+    def __init__(
+        self,
+        interp: Any,
+        directive: A.OMPExecutableDirective,
+        *,
+        collapse: bool = True,
+        wavefront: bool = False,
+    ):
         self.interp = interp
         self.directive = directive
-        self.pvar = ""
+        self.collapse = collapse and not wavefront
+        self.wavefront = wavefront
+        self.allow_scatter = not wavefront
+        self.allow_ragged = not wavefront
+        self.allow_seq_loops = not wavefront
+        self.pvars: list[_Header] = []
+        self.pvar_index: dict[str, int] = {}
+        self._slice_header: _Header | None = None
+        self._slice_var: str | None = None
+        self._features: set[str] = set()
         self._depth = 0
+        self._mask_depth = 0
+        self._in_control = False
         self._tainted: set[str] = set()
         self._assigned: set[str] = set()
         self._local_ids: set[int] = set()
@@ -522,14 +836,19 @@ class _NestCompiler:
         self._shared_written: set[str] = set()
         self._specs: list[dict[str, Any]] = []
         self._slot_map: dict[Any, dict[str, Any]] = {}
-        self._array_reads: dict[int, list[list[A.Expr]]] = {}
-        self._array_writes: dict[int, list[list[A.Expr]]] = {}
-        #: Lane-invariance decisions taken mid-compile (loop bounds,
-        #: lazy ternary/short-circuit guards).  Taint only grows, and a
-        #: local can become lane-varying *after* the decision (assigned
-        #: from a vector later in the same loop body — loop-carried),
-        #: so every decision is re-checked against the final taint set
-        #: in :meth:`_validate`.
+        #: Per-slot store/load records: subscript chains (structural and
+        #: affine) plus the injectivity check each store needs.
+        self._writes: dict[int, list[dict[str, Any]]] = {}
+        self._reads: dict[int, list[dict[str, Any]]] = {}
+        #: Array slots referenced from ragged loop bounds — the trip
+        #: counts are evaluated once per loop entry, so these arrays
+        #: must not be written anywhere in the nest.
+        self._control_slots: set[int] = set()
+        #: Lane-invariance decisions taken mid-compile (loop bounds).
+        #: Taint only grows, and a local can become lane-varying *after*
+        #: the decision (assigned from a vector later in the same loop
+        #: body — loop-carried), so every decision is re-checked against
+        #: the final taint set in :meth:`_validate`.
         self._taint_checks: list[tuple[set[str], str]] = []
         #: Constant value ranges of in-scope sequential loop indices,
         #: for the store lane-disjointness check.
@@ -537,6 +856,15 @@ class _NestCompiler:
         #: Per-store disjointness obligations, checked against the real
         #: array shape at launch time (strides are runtime knowledge).
         self._store_checks: list[dict[str, Any]] = []
+        #: Wavefront dependence obligations (analysis.depend), also
+        #: evaluated at launch once strides are known.
+        self._obligations: list[WavefrontObligation] = []
+        #: Slots whose stores defer to the commit phase.
+        self._scatter_slots: set[int] = set()
+        #: Affine forms of single-assignment locals, substituted into
+        #: subscript analysis (``int j = t - i; a[i*DIM + j]``); None =
+        #: poisoned by reassignment.
+        self._affine_forms: dict[str, tuple[dict[str, int], int] | None] = {}
 
     # -- entry ----------------------------------------------------------
 
@@ -544,17 +872,116 @@ class _NestCompiler:
         for_stmt = _unwrap_for(self.directive.associated_stmt)
         if not isinstance(for_stmt, A.ForStmt):
             raise _Ineligible("kernel body is not a for loop")
-        header = self._loop_header(for_stmt, parallel=True)
-        self.pvar = header.var
-        self._tainted = {header.var}
         self._local_ids = {
             d.node_id for d in for_stmt.walk_instances(A.VarDecl)
         }
-        init_cl = self._compile_expr(header.init_expr, bound=True)
-        bound_cl = self._compile_expr(header.bound_expr, bound=True)
-        body = [self._compile_stmt(s) for s in _stmts_of(for_stmt.body)]
+        if self.wavefront:
+            return self._compile_wavefront(for_stmt)
+        header = self._loop_header(for_stmt, parallel=True)
+        self._check_header_refs(header)
+        self._add_pvar(header)
+        body_stmt: A.Stmt | None = for_stmt.body
+        if self.collapse:
+            while True:
+                inner = _unwrap_for(body_stmt)
+                if not isinstance(inner, A.ForStmt) or not self._collapsible(inner):
+                    break
+                h = self._loop_header(inner, parallel=True)
+                self._check_header_refs(h)
+                self._add_pvar(h)
+                body_stmt = inner.body
+            if len(self.pvars) > 1:
+                self._features.add("collapse")
+        levels = [
+            (
+                h,
+                self._compile_expr(h.init_expr, bound=True),
+                self._compile_expr(h.bound_expr, bound=True),
+            )
+            for h in self.pvars
+        ]
+        body = [self._compile_stmt(s) for s in _stmts_of(body_stmt)]
         self._validate()
-        return self._build_runner(header, init_cl, bound_cl, body)
+        return self._build_runner(levels, body)
+
+    def _compile_wavefront(self, outer: A.ForStmt) -> Callable[[Any], bool]:
+        slice_header = self._loop_header(outer, parallel=False)
+        self._slice_header = slice_header
+        self._slice_var = slice_header.var
+        interval = self._header_interval(slice_header)
+        if interval is not None:
+            self._loop_env[slice_header.var] = interval
+        inner = _unwrap_for(outer.body)
+        if not isinstance(inner, A.ForStmt):
+            raise _Ineligible("no inner loop to execute as wavefront slices")
+        header = self._loop_header(inner, parallel=True)
+        if header.op == "!=":
+            raise _Ineligible("wavefront inner loop with '!=' condition")
+        self._check_header_refs(header)
+        self._add_pvar(header)
+        slice_init = self._compile_expr(slice_header.init_expr, bound=True)
+        slice_bound = self._compile_expr(slice_header.bound_expr, bound=True)
+        inner_init = self._compile_expr(header.init_expr, bound=True)
+        inner_bound = self._compile_expr(header.bound_expr, bound=True)
+        body = [self._compile_stmt(s) for s in _stmts_of(inner.body)]
+        self._validate()
+        return self._build_wavefront_runner(
+            (slice_init, slice_bound), (inner_init, inner_bound), body
+        )
+
+    def _add_pvar(self, header: _Header) -> None:
+        self.pvar_index[header.var] = len(self.pvars)
+        self.pvars.append(header)
+        self._tainted.add(header.var)
+
+    def _check_header_refs(self, header: _Header) -> None:
+        refs = _ref_names(header.init_expr) | _ref_names(header.bound_expr)
+        if refs & self._tainted:
+            raise _Ineligible("loop bound depends on a vectorized value")
+        self._taint_checks.append((refs, "loop bound"))
+
+    def _collapsible(self, stmt: A.ForStmt) -> bool:
+        """Cheap probe: can this inner loop join the parallel index space?
+
+        Conservative on purpose — a False keeps the loop sequential
+        (the PR 3 path), which is always correct.
+        """
+        var = find_indexing_var(stmt)
+        if var is None:
+            return False
+        init = stmt.init
+        if not isinstance(init, A.DeclStmt) or len(init.decls) != 1:
+            return False
+        decl = init.decls[0]
+        if decl.name != var or decl.init is None:
+            return False
+        qt = decl.qual_type
+        if qt is None or not qt.is_integer:
+            return False
+        if step_of(stmt.inc, var) == 0:
+            return False
+        for expr in (decl.init, stmt.cond):
+            if expr is None:
+                return False
+            if _ref_names(expr) & self._tainted:
+                return False
+            for cls in (A.ArraySubscriptExpr, A.CallExpr, A.ConditionalOperator):
+                if any(True for _ in expr.walk_instances(cls)):
+                    return False
+        return True
+
+    def strategy_label(self) -> str:
+        if self.wavefront:
+            return "wavefront"
+        if self._features & {"masked", "scatter", "ragged"}:
+            return "masked"
+        if "collapse" in self._features:
+            return "collapse"
+        if "ufunc" in self._features:
+            return "ufunc"
+        return "straight"
+
+    # -- validation ------------------------------------------------------
 
     def _validate(self) -> None:
         for refs, what in self._taint_checks:
@@ -564,17 +991,11 @@ class _NestCompiler:
                 raise _Ineligible(
                     f"{what} depends on a vectorized value"
                 )
-        for sidx, chains in self._array_writes.items():
-            first = chains[0]
-            for chain in chains[1:]:
-                if not _chain_equal(first, chain):
-                    raise _Ineligible("conflicting store subscripts")
-            for chain in self._array_reads.get(sidx, []):
-                if not _chain_equal(first, chain):
-                    raise _Ineligible(
-                        "array read/write subscript mismatch "
-                        "(cross-iteration dependence)"
-                    )
+        self._classify_arrays()
+        if self._control_slots & set(self._writes):
+            raise _Ineligible(
+                "ragged loop bound reads an array the nest writes"
+            )
         clause_names: set[str] = set()
         for cls in (A.OMPFirstprivateClause, A.OMPPrivateClause,
                     A.OMPReductionClause):
@@ -594,87 +1015,88 @@ class _NestCompiler:
                 f"shared scalar {sorted(clash)[0]!r} is both read and updated"
             )
 
-    def _build_runner(
-        self,
-        header: _Header,
-        init_cl: Callable[[_Ctx], Any],
-        bound_cl: Callable[[_Ctx], Any],
-        body: list[Callable[[_Ctx], None]],
-    ) -> Callable[[Any], bool]:
-        pvar, op, step = header.var, header.op, header.step
-        specs = self._specs
-        store_checks = self._store_checks
-
-        def stores_disjoint(slots: list[Any]) -> bool:
-            """Lane-disjointness of every store, against real strides.
-
-            Two lanes i1 != i2 can hit the same flat element only when
-            |pvar_coeff * stride * (i1 - i2)| <= span of the non-parallel
-            subscript part; with |i1 - i2| >= |step| it suffices that the
-            span stays strictly below |pvar_coeff * stride * step|.
-            This is what makes ``b*HID + h`` (h < HID) and ``m[i][j]``
-            (j within the row) safe while ``a[i + j]`` is not.
-            """
-            for check in store_checks:
-                _, _, shape = slots[check["slot"]]
-                ndims = check["ndims"]
-
-                def stride_of(k: int) -> int:
-                    if ndims == 1:
-                        return 1  # _flat_index uses the raw index
-                    stride = 1
-                    for d in shape[k + 1:]:
-                        stride *= d
-                    return stride
-
-                gap = check["pvar_coeff"] * stride_of(check["pvar_dim"])
-                span = sum(
-                    coeff * stride_of(k) * width
-                    for k, coeff, width in check["spread_terms"]
-                )
-                if span >= gap * abs(step):
-                    return False
-            return True
-
-        def run(machine: Any) -> bool:
-            slots = _preflight(machine, specs)
-            if slots is None:
-                return False
-            if not stores_disjoint(slots):
-                return False
-            ctx = _Ctx(machine)
-            ctx.slots = slots
-            lo = int(init_cl(ctx))
-            bound = int(bound_cl(ctx))
-            trips = _trip_count(lo, bound, op, step)
-            if trips is None:
-                return False
-
-            profiler = machine.profiler
-
-            def charge(n: int) -> None:
-                machine.steps += n
-                if machine.steps > machine.max_steps:
-                    raise SimulationError(
-                        f"simulation exceeded {machine.max_steps} steps "
-                        f"(runaway loop?)"
+    def _classify_arrays(self) -> None:
+        """Split written arrays into in-place (immediate stores) and
+        scatter (deferred, launch-checked) classes; in wavefront mode,
+        cross-chain pairs become dependence obligations instead."""
+        for sidx, writes in self._writes.items():
+            scatter_reason: str | None = None
+            for w in writes:
+                if w["forced"]:
+                    scatter_reason = w["reason"]
+                elif w["check"] is not None and (
+                    w["check"]["syms"] & self._tainted
+                ):
+                    scatter_reason = (
+                        "store subscript depends on a vectorized local"
                     )
-                profiler.tick_device(n)
+            first = writes[0]["chain_exprs"]
+            conflicting = [
+                w for w in writes[1:]
+                if not _chain_equal(first, w["chain_exprs"])
+            ]
+            mismatched = [
+                r for r in self._reads.get(sidx, [])
+                if not _chain_equal(first, r["chain_exprs"])
+            ]
+            if self.wavefront:
+                if scatter_reason is not None:
+                    raise _Ineligible(scatter_reason)
+                for w in writes:
+                    self._require_wavefront_chain(w["affine"])
+                # Every distinct pair of accesses with at least one
+                # write needs its own intra-slice obligation — pairing
+                # only against the first chain would leave e.g. a
+                # third store's collision with the second unchecked.
+                for a_idx, wa in enumerate(writes):
+                    for wb in writes[a_idx + 1:]:
+                        if _chain_equal(wa["chain_exprs"], wb["chain_exprs"]):
+                            continue
+                        self._obligations.append(WavefrontObligation.make(
+                            sidx, wa["affine"], wb["affine"]
+                        ))
+                for r in self._reads.get(sidx, []):
+                    for w in writes:
+                        if _chain_equal(w["chain_exprs"], r["chain_exprs"]):
+                            continue
+                        self._require_wavefront_chain(r["affine"])
+                        self._obligations.append(WavefrontObligation.make(
+                            sidx, w["affine"], r["affine"]
+                        ))
+                for w in writes:
+                    self._store_checks.append(w["check"])
+                continue
+            if conflicting and scatter_reason is None:
+                scatter_reason = "conflicting store subscripts"
+            if mismatched and scatter_reason is None:
+                scatter_reason = (
+                    "array read/write subscript mismatch "
+                    "(cross-iteration dependence)"
+                )
+            if scatter_reason is not None:
+                if not self.allow_scatter:
+                    raise _Ineligible(scatter_reason)
+                self._scatter_slots.add(sidx)
+                self._features.add("scatter")
+            else:
+                for w in writes:
+                    self._store_checks.append(w["check"])
 
-            ctx.charge = charge
-            # Interpreted cost of the outer header: one tick for the
-            # init DeclStmt plus trips+1 condition-check ticks.  Charged
-            # before the index vector is even allocated, so max_steps
-            # trips on runaway bounds without a giant arange.
-            charge(1 + trips + 1)
-            if trips:
-                ctx.lanes = trips
-                ctx.env[pvar] = lo + step * np.arange(trips, dtype=np.int64)
-                for part in body:
-                    part(ctx)
-            return True
-
-        return run
+    def _require_wavefront_chain(self, chain: Any) -> None:
+        if chain is None:
+            raise _Ineligible(
+                "non-affine subscript on a written array in a wavefront nest"
+            )
+        allowed = set(self.pvar_index)
+        if self._slice_var is not None:
+            allowed.add(self._slice_var)
+        for coeffs, _const in chain:
+            unknown = {n for n, c in coeffs.items() if c and n not in allowed}
+            if unknown:
+                raise _Ineligible(
+                    f"wavefront subscript symbol {sorted(unknown)[0]!r} "
+                    f"is not a loop index"
+                )
 
     # -- loop headers ---------------------------------------------------
 
@@ -707,13 +1129,77 @@ class _NestCompiler:
             raise _Ineligible(f"unsupported loop condition {op!r}")
         if op != "!=" and (step > 0) != (op in ("<", "<=")):
             raise _Ineligible("loop step runs away from its bound")
-        bound_refs = _ref_names(decl.init) | _ref_names(rhs)
-        if bound_refs & self._tainted:
-            raise _Ineligible("loop bound depends on a vectorized value")
-        self._taint_checks.append((bound_refs, "loop bound"))
+        if var in self._affine_forms:
+            self._affine_forms[var] = None  # shadowed name: poison
         self._local_names.add(var)
         self._assigned.add(var)
         return _Header(var, decl.init, op, rhs, step)
+
+    # -- affine analysis with single-assignment forwarding ---------------
+
+    def _affine(self, expr: A.Expr) -> tuple[dict[str, int], int] | None:
+        """``expr`` as ``sum(coeff[name] * name) + const``, or None.
+
+        Single-assignment locals with affine initializers are
+        substituted (``int j = t - i`` makes ``a[i*DIM + j]`` affine
+        over the loop indices — nw's anti-diagonal shape)."""
+        expr = _strip(expr)
+        folded = fold_integer_constant(expr)
+        if folded is not None:
+            return {}, folded
+        if isinstance(expr, A.DeclRefExpr):
+            if isinstance(expr.decl, EnumConstantDecl):
+                return {}, expr.decl.value
+            form = self._affine_forms.get(expr.name)
+            if form is not None:
+                return dict(form[0]), form[1]
+            return {expr.name: 1}, 0
+        if isinstance(expr, A.UnaryOperator) and expr.op in ("-", "+"):
+            inner = self._affine(expr.operand)
+            if inner is None:
+                return None
+            if expr.op == "+":
+                return inner
+            coeffs, const = inner
+            return {n: -c for n, c in coeffs.items()}, -const
+        if isinstance(expr, A.BinaryOperator) and expr.op in ("+", "-"):
+            left = self._affine(expr.lhs)
+            right = self._affine(expr.rhs)
+            if left is None or right is None:
+                return None
+            sign = 1 if expr.op == "+" else -1
+            coeffs = dict(left[0])
+            for name, c in right[0].items():
+                coeffs[name] = coeffs.get(name, 0) + sign * c
+            return coeffs, left[1] + sign * right[1]
+        if isinstance(expr, A.BinaryOperator) and expr.op == "*":
+            left = self._affine(expr.lhs)
+            right = self._affine(expr.rhs)
+            if left is None or right is None:
+                return None
+            for (ca, ka), (cb, kb) in ((left, right), (right, left)):
+                if not ca:  # one side folds to a pure constant
+                    return {n: c * ka for n, c in cb.items()}, kb * ka
+            return None
+        return None
+
+    def _record_affine_local(self, name: str, init: A.Expr | None) -> None:
+        if name in self._affine_forms:
+            self._affine_forms[name] = None  # redeclared: poison
+            return
+        form = self._affine(init) if init is not None else None
+        self._affine_forms[name] = form
+
+    def _chain_affine(
+        self, indices: list[A.Expr]
+    ) -> list[tuple[dict[str, int], int]] | None:
+        chain = []
+        for ix in indices:
+            form = self._affine(ix)
+            if form is None:
+                return None
+            chain.append(form)
+        return chain
 
     # -- statements -----------------------------------------------------
 
@@ -734,7 +1220,106 @@ class _NestCompiler:
             return self._compile_expr_stmt(stmt)
         if isinstance(stmt, A.ForStmt):
             return self._compile_for(stmt)
+        if isinstance(stmt, A.IfStmt):
+            return self._compile_if(stmt)
         raise _Ineligible(f"unsupported kernel statement {stmt.class_name}")
+
+    def _compile_if(self, stmt: A.IfStmt) -> Callable[[_Ctx], None]:
+        self._features.add("masked")
+        fast = self._compile_if_fast(stmt)
+        if fast is not None:
+            return fast
+        cond_cl = self._compile_expr(stmt.cond)
+        self._mask_depth += 1
+        then_parts = [
+            self._compile_stmt(s) for s in _stmts_of(stmt.then_branch)
+        ]
+        else_parts = [
+            self._compile_stmt(s) for s in _stmts_of(stmt.else_branch)
+        ]
+        self._mask_depth -= 1
+
+        def run_if(ctx: _Ctx) -> None:
+            ctx.charge(ctx.count)
+            c = cond_cl(ctx)
+            if not isinstance(c, np.ndarray):
+                for part in (then_parts if c else else_parts):
+                    part(ctx)
+                return
+            base = ctx.base_lanes()
+            mask = c != 0
+            saved = ctx.active
+            try:
+                taken = base[mask]
+                if taken.size:
+                    ctx.active = taken
+                    for part in then_parts:
+                        part(ctx)
+                if else_parts:
+                    rest = base[~mask]
+                    if rest.size:
+                        ctx.active = rest
+                        for part in else_parts:
+                            part(ctx)
+            finally:
+                ctx.active = saved
+
+        return run_if
+
+    def _compile_if_fast(self, stmt: A.IfStmt) -> Callable[[_Ctx], None] | None:
+        """``if (c) { v = e; }`` with a fault-free condition and RHS and
+        a local target lowers to one ``np.where`` merge — nw's inner
+        max-folding guards hit this on every slice, where the generic
+        compressed-branch machinery would allocate per slice."""
+        if stmt.else_branch is not None:
+            return None
+        stmts = _stmts_of(stmt.then_branch)
+        if len(stmts) != 1 or not isinstance(stmts[0], A.ExprStmt):
+            return None
+        expr = _strip(stmts[0].expr)
+        if not isinstance(expr, A.BinaryOperator) or expr.op != "=":
+            return None
+        target = _strip(expr.lhs)
+        if not isinstance(target, A.DeclRefExpr) or not self._is_local(target):
+            return None
+        if target.name in self.pvar_index:
+            return None
+        if self._branch_can_fault(stmt.cond) or self._branch_can_fault(expr.rhs):
+            return None
+        name = target.name
+        cond_cl = self._compile_expr(stmt.cond)
+        rhs_cl = self._compile_expr(expr.rhs)
+        coerce = _coercer(target.qual_type)
+        self._tainted.add(name)
+        self._affine_forms[name] = None
+        self._assigned.add(name)
+
+        def run_fast(ctx: _Ctx) -> None:
+            ctx.charge(ctx.count)  # the if statement's tick
+            c = cond_cl(ctx)
+            if not isinstance(c, np.ndarray):
+                if c:
+                    ctx.charge(ctx.count)  # the assignment tick
+                    _env_assign(ctx, name, coerce(rhs_cl(ctx)))
+                return
+            mask = c != 0
+            taken = int(mask.sum())
+            if not taken:
+                return
+            ctx.charge(taken)  # assignment ticks on taken lanes only
+            try:
+                old = ctx.env[name]
+            except KeyError:
+                raise SimulationError(
+                    f"use of uninitialized variable {name!r}"
+                ) from None
+            if ctx.active is not None and isinstance(old, np.ndarray):
+                old = old[ctx.active]
+            _env_assign(
+                ctx, name, coerce(np.where(mask, rhs_cl(ctx), old))
+            )
+
+        return run_fast
 
     def _compile_decl(self, stmt: A.DeclStmt) -> Callable[[_Ctx], None]:
         entries = []
@@ -747,19 +1332,24 @@ class _NestCompiler:
             init_cl = (
                 self._compile_expr(decl.init) if decl.init is not None else None
             )
-            if decl.init is not None and _ref_names(decl.init) & self._tainted:
+            if self._mask_depth > 0 or (
+                decl.init is not None
+                and _ref_names(decl.init) & self._tainted
+            ):
                 self._tainted.add(decl.name)
+            self._record_affine_local(decl.name, decl.init)
             self._local_names.add(decl.name)
             self._assigned.add(decl.name)
             default = 0.0 if qt.is_floating else 0
             entries.append((decl.name, init_cl, _coercer(qt), default))
 
         def run(ctx: _Ctx) -> None:
-            ctx.charge(ctx.lanes)
+            ctx.charge(ctx.count)
             for name, init_cl, coerce, default in entries:
-                ctx.env[name] = (
+                value = (
                     coerce(init_cl(ctx)) if init_cl is not None else default
                 )
+                _env_set(ctx, name, value, default)
 
         return run
 
@@ -783,10 +1373,21 @@ class _NestCompiler:
         return min(ends), max(ends)
 
     def _compile_for(self, stmt: A.ForStmt) -> Callable[[_Ctx], None]:
+        if not self.allow_seq_loops:
+            raise _Ineligible("inner loop inside a wavefront slice body")
         header = self._loop_header(stmt, parallel=False)
         bound_refs = _ref_names(header.init_expr) | _ref_names(header.bound_expr)
+        ragged = bool(bound_refs & self._tainted)
+        if not ragged:
+            for expr in (header.init_expr, header.bound_expr):
+                if any(True for _ in expr.walk_instances(A.ArraySubscriptExpr)):
+                    ragged = True
+                    break
+        if ragged:
+            return self._compile_ragged_for(stmt, header, bound_refs)
         init_cl = self._compile_expr(header.init_expr, bound=True)
         bound_cl = self._compile_expr(header.bound_expr, bound=True)
+        self._taint_checks.append((bound_refs, "loop bound"))
         assigned_before = set(self._assigned)
         interval = self._header_interval(header)
         shadowed = self._loop_env.get(header.var)
@@ -809,17 +1410,86 @@ class _NestCompiler:
         var, step = header.var, header.step
 
         def run(ctx: _Ctx) -> None:
-            ctx.charge(ctx.lanes)  # the init DeclStmt, once per lane
+            ctx.charge(ctx.count)  # the init DeclStmt, once per lane
             v = int(init_cl(ctx))
             bound = int(bound_cl(ctx))
             while True:
-                ctx.charge(ctx.lanes)  # the condition-check tick per lane
+                ctx.charge(ctx.count)  # the condition-check tick per lane
                 if not cmp(v, bound):
                     break
                 ctx.env[var] = v
                 for part in body:
                     part(ctx)
                 v += step
+
+        return run
+
+    def _compile_ragged_for(
+        self, stmt: A.ForStmt, header: _Header, bound_refs: set[str]
+    ) -> Callable[[_Ctx], None]:
+        """Lane-varying trip counts: iterate k-major over the refined
+        active set (bfs's ``for (t = starts[i]; t < starts[i+1]; ...)``).
+
+        The k-major order transposes the interpreter's lane-major one,
+        which is only observable through cross-lane dependences — and
+        those are exactly what the scatter commit checks rule out, so
+        ragged loops force the nest into the deferred-store class via
+        the tainted loop variable."""
+        if not self.allow_ragged:
+            raise _Ineligible("loop bound depends on a vectorized value")
+        if header.op == "!=":
+            raise _Ineligible("ragged loop with '!=' condition")
+        self._features.add("ragged")
+        self._in_control = True
+        init_cl = self._compile_expr(header.init_expr)
+        bound_cl = self._compile_expr(header.bound_expr)
+        self._in_control = False
+        self._tainted.add(header.var)
+        assigned_before = set(self._assigned)
+        self._depth += 1
+        body = [self._compile_stmt(s) for s in _stmts_of(stmt.body)]
+        self._depth -= 1
+        assigned_inside = self._assigned - assigned_before
+        if assigned_inside & bound_refs:
+            raise _Ineligible("loop bound mutated inside the loop body")
+        if header.var in assigned_inside:
+            raise _Ineligible("loop index reassigned inside the loop body")
+        var, op, step = header.var, header.op, header.step
+
+        def run(ctx: _Ctx) -> None:
+            n = ctx.count
+            if n == 0:
+                return
+            ctx.charge(n)  # the init DeclStmt, once per active lane
+            lo = _as_lane_vec(_as_int(init_cl(ctx)), n)
+            bound = _as_lane_vec(_as_int(bound_cl(ctx)), n)
+            trips = _trip_vec(lo, bound, op, step)
+            # Exact total of condition-check ticks (each lane runs
+            # trips+1 checks), summed in Python ints so a runaway bound
+            # cannot wrap int64 — charged before any body work so
+            # max_steps trips without allocating per-k vectors.
+            ctx.charge(int(trips.astype(object).sum()) + n)
+            maxk = int(trips.max()) if n else 0
+            if maxk == 0:
+                return
+            base = ctx.base_lanes()
+            saved = ctx.active
+            try:
+                for k in range(maxk):
+                    live = trips > k
+                    sel = base[live]
+                    old = ctx.env.get(var)
+                    if isinstance(old, np.ndarray) and old.shape[0] == ctx.lanes:
+                        full = old.copy()
+                    else:
+                        full = np.zeros(ctx.lanes, dtype=np.int64)
+                    full[sel] = lo[live] + k * step
+                    ctx.env[var] = full
+                    ctx.active = sel
+                    for part in body:
+                        part(ctx)
+            finally:
+                ctx.active = saved
 
         return run
 
@@ -847,30 +1517,39 @@ class _NestCompiler:
         self, expr: A.BinaryOperator, target: A.DeclRefExpr
     ) -> Callable[[_Ctx], None]:
         name = target.name
-        if name == self.pvar:
+        if name in self.pvar_index:
             raise _Ineligible("assignment to the parallel index")
         rhs_cl = self._compile_expr(expr.rhs)
         coerce = _coercer(target.qual_type)
-        if _ref_names(expr.rhs) & self._tainted or name in self._tainted:
+        if (
+            _ref_names(expr.rhs) & self._tainted
+            or name in self._tainted
+            or self._mask_depth > 0
+        ):
             self._tainted.add(name)
+        self._affine_forms[name] = None  # reassigned: poison forwarding
         self._assigned.add(name)
         if expr.op == "=":
             def run_assign(ctx: _Ctx) -> None:
-                ctx.charge(ctx.lanes)
-                ctx.env[name] = coerce(rhs_cl(ctx))
+                ctx.charge(ctx.count)
+                _env_assign(ctx, name, coerce(rhs_cl(ctx)))
 
             return run_assign
         fn = _VEC_BINOPS[_COMPOUND[expr.op]]
 
         def run_compound(ctx: _Ctx) -> None:
-            ctx.charge(ctx.lanes)
+            ctx.charge(ctx.count)
             try:
                 old = ctx.env[name]
             except KeyError:
                 raise SimulationError(
                     f"use of uninitialized variable {name!r}"
                 ) from None
-            ctx.env[name] = coerce(fn(old, rhs_cl(ctx)))
+            if ctx.active is not None and isinstance(old, np.ndarray):
+                old_view = old[ctx.active]
+            else:
+                old_view = old
+            _env_assign(ctx, name, coerce(fn(old_view, rhs_cl(ctx))))
 
         return run_compound
 
@@ -878,19 +1557,23 @@ class _NestCompiler:
         self, expr: A.BinaryOperator, target: A.DeclRefExpr
     ) -> Callable[[_Ctx], None]:
         name = target.name
+        if self.wavefront:
+            raise _Ineligible("shared scalar update in a wavefront nest")
         if self._depth != 0:
             raise _Ineligible("shared scalar updated inside an inner loop")
         if name in self._shared_written:
             raise _Ineligible(f"shared scalar {name!r} updated twice")
         self._shared_written.add(name)
         self._assigned.add(name)
-        sidx = self._slot(target, "scalar")
+        sidx = self._slot(target, "scalar", written=True)
         qt = target.qual_type
         coerce = _coercer(qt)
 
         if expr.op in ("+=", "-="):
             # Integer accumulation would need per-step truncation; floats
-            # replay the exact sequential rounding through cumsum.
+            # replay the exact sequential rounding through cumsum.  Under
+            # a mask, the compressed lanes are exactly the ones the
+            # interpreter would accumulate, in ascending lane order.
             if qt is None or not qt.is_floating:
                 raise _Ineligible("non-float shared accumulation")
             if name in _ref_names(expr.rhs):
@@ -899,9 +1582,9 @@ class _NestCompiler:
             negate = expr.op == "-="
 
             def run_acc(ctx: _Ctx) -> None:
-                ctx.charge(ctx.lanes)
+                ctx.charge(ctx.count)
                 cell = ctx.slots[sidx]
-                vec = _broadcast(rhs_cl(ctx), ctx.lanes)
+                vec = _broadcast(rhs_cl(ctx), ctx.count)
                 cell.value = _seq_sum(
                     float(cell.value), -vec if negate else vec
                 )
@@ -926,9 +1609,9 @@ class _NestCompiler:
             pick = min if mode == "min" else max
 
             def run_minmax(ctx: _Ctx) -> None:
-                ctx.charge(ctx.lanes)
+                ctx.charge(ctx.count)
                 cell = ctx.slots[sidx]
-                vec = _broadcast(other_cl(ctx), ctx.lanes)
+                vec = _broadcast(other_cl(ctx), ctx.count)
                 cell.value = float(pick(cell.value, float(reduce_fn(vec))))
 
             return run_minmax
@@ -938,7 +1621,9 @@ class _NestCompiler:
         rhs_cl = self._compile_expr(expr.rhs)
 
         def run_last(ctx: _Ctx) -> None:
-            ctx.charge(ctx.lanes)
+            # The interpreter assigns once per executing lane in lane
+            # order; the surviving value is the last (active) lane's.
+            ctx.charge(ctx.count)
             value = rhs_cl(ctx)
             if isinstance(value, np.ndarray):
                 value = value[-1].item() if value.ndim else value.item()
@@ -1000,29 +1685,36 @@ class _NestCompiler:
             raise _Ineligible("subscript of a kernel-local value")
         return node, indices
 
-    def _compile_array_store(
-        self, expr: A.BinaryOperator, target: A.ArraySubscriptExpr
-    ) -> Callable[[_Ctx], None]:
-        base, indices = self._subscript_chain(target)
-        pvar_dim: int | None = None
-        pvar_coeff = 0
-        #: (dimension, |coeff|, value-range width) per non-parallel
-        #: symbol — the ingredients of the lane-disjointness check.
-        spread_terms: list[tuple[int, int, int]] = []
-        for k, index in enumerate(indices):
-            aff = _affine(index)
-            if aff is None:
-                raise _Ineligible("non-affine store subscript")
-            for sym, coeff in aff[0].items():
+    def _injectivity_check(
+        self,
+        sidx: int,
+        chain: list[tuple[dict[str, int], int]],
+        ndims: int,
+    ) -> dict[str, Any]:
+        """Build the launch-time lane-disjointness obligation for one
+        store; raises when the subscript cannot be proven injective."""
+        pvar_terms: list[tuple[int, int, int]] = []
+        seen_levels: set[int] = set()
+        spread: list[tuple[int, int, int]] = []
+        syms: set[str] = set()
+        for k, (coeffs, _const) in enumerate(chain):
+            for sym, coeff in coeffs.items():
                 if coeff == 0:
                     continue
-                if sym == self.pvar:
-                    if pvar_dim is not None:
+                if sym in self.pvar_index:
+                    lvl = self.pvar_index[sym]
+                    if lvl in seen_levels:
                         raise _Ineligible(
                             "parallel index in several store dimensions"
                         )
-                    pvar_dim, pvar_coeff = k, coeff
+                    seen_levels.add(lvl)
+                    pvar_terms.append((lvl, k, abs(coeff)))
                     continue
+                if sym == self._slice_var:
+                    # Fixed within one wavefront slice; cross-slice
+                    # collisions resolve in slice (= sequential) order.
+                    continue
+                syms.add(sym)
                 if sym in self._tainted:
                     raise _Ineligible(
                         "store subscript depends on a vectorized local"
@@ -1035,39 +1727,76 @@ class _NestCompiler:
                     raise _Ineligible(
                         "store subscript symbol with unknown range"
                     )
-                spread_terms.append(
-                    (k, abs(coeff), interval[1] - interval[0])
-                )
-        if pvar_dim is None:
+                spread.append((k, abs(coeff), interval[1] - interval[0]))
+        if len(seen_levels) != len(self.pvars):
             raise _Ineligible(
                 "store subscript is not injective in the parallel index"
             )
-        subscript_syms: set[str] = set()
-        for index in indices:
-            subscript_syms |= _ref_names(index)
-        subscript_syms.discard(self.pvar)
-        self._taint_checks.append((subscript_syms, "store subscript"))
-        sidx = self._slot(base, "array", written=True)
-        self._store_checks.append({
+        return {
             "slot": sidx,
-            "ndims": len(indices),
-            "pvar_dim": pvar_dim,
-            "pvar_coeff": abs(pvar_coeff),
-            "spread_terms": spread_terms,
+            "ndims": ndims,
+            "pvar_terms": pvar_terms,
+            "spread_terms": spread,
+            "syms": syms,
+        }
+
+    def _compile_array_store(
+        self, expr: A.BinaryOperator, target: A.ArraySubscriptExpr
+    ) -> Callable[[_Ctx], None]:
+        base, indices = self._subscript_chain(target)
+        sidx = self._slot(base, "array", written=True)
+        affine_chain = self._chain_affine(indices)
+        check: dict[str, Any] | None = None
+        forced = False
+        reason: str | None = None
+        if affine_chain is None:
+            forced, reason = True, "non-affine store subscript"
+        else:
+            try:
+                check = self._injectivity_check(
+                    sidx, affine_chain, len(indices)
+                )
+            except _Ineligible as exc:
+                if len(self.pvars) > 1:
+                    # Under collapse, prefer retrying with the inner
+                    # level sequential (often restoring a clean
+                    # in-place store) over demoting to scatter.
+                    raise
+                forced, reason = True, str(exc)
+        if forced and not self.allow_scatter:
+            raise _Ineligible(reason or "non-affine store subscript")
+        self._writes.setdefault(sidx, []).append({
+            "chain_exprs": indices,
+            "affine": affine_chain,
+            "forced": forced,
+            "check": check,
+            "reason": reason,
         })
-        self._array_writes.setdefault(sidx, []).append(indices)
         idx_cls = [self._compile_expr(ix) for ix in indices]
         rhs_cl = self._compile_expr(expr.rhs)
         fn = None if expr.op == "=" else _VEC_BINOPS[_COMPOUND[expr.op]]
 
         def run(ctx: _Ctx) -> None:
-            ctx.charge(ctx.lanes)
+            ctx.charge(ctx.count)
             storage, offset, shape = ctx.slots[sidx]
             pos = offset + _flat_index([c(ctx) for c in idx_cls], shape)
+            buf = ctx.scatter[sidx] if ctx.scatter is not None else None
+            if buf is None:
+                if fn is None:
+                    storage[pos] = rhs_cl(ctx)
+                else:
+                    storage[pos] = fn(_widen(storage[pos]), rhs_cl(ctx))
+                return
+            n = ctx.count
+            posv = _as_lane_vec(pos, n)
             if fn is None:
-                storage[pos] = rhs_cl(ctx)
+                val = rhs_cl(ctx)
             else:
-                storage[pos] = fn(_widen(storage[pos]), rhs_cl(ctx))
+                # Reads the pre-launch state: the commit's uniqueness
+                # check guarantees no earlier buffered store targeted
+                # these elements.
+                val = fn(_widen(storage[posv]), rhs_cl(ctx))
+            buf.append((posv, _as_value_vec(val, n)))
 
         return run
 
@@ -1099,7 +1828,7 @@ class _NestCompiler:
     # -- expressions ----------------------------------------------------
 
     def _compile_expr(
-        self, expr: A.Expr, *, bound: bool = False, guarded: bool = False
+        self, expr: A.Expr, *, bound: bool = False
     ) -> Callable[[_Ctx], Any]:
         expr = _strip(expr)
         folded = fold_integer_constant(expr)
@@ -1115,57 +1844,134 @@ class _NestCompiler:
         if isinstance(expr, A.ArraySubscriptExpr):
             if bound:
                 raise _Ineligible("array access in a loop bound")
-            if guarded:
-                # The interpreter would only index the selected lanes;
-                # an out-of-range index on a discarded lane must not
-                # fault here where it would not fault there.
-                raise _Ineligible(
-                    "array access under a lane-varying condition"
-                )
             return self._compile_array_load(expr)
         if isinstance(expr, A.MemberExpr):
             return self._compile_member(expr)
         if isinstance(expr, A.BinaryOperator):
-            return self._compile_binop(expr, bound=bound, guarded=guarded)
+            return self._compile_binop(expr, bound=bound)
         if isinstance(expr, A.UnaryOperator):
-            return self._compile_unop(expr, bound=bound, guarded=guarded)
+            return self._compile_unop(expr, bound=bound)
         if isinstance(expr, A.ConditionalOperator):
-            # A lane-invariant condition keeps the interpreter's lazy
-            # branch selection at runtime; a lane-varying one means both
-            # branches evaluate for every lane, so anything that could
-            # fault on a discarded lane (division, indexing) is out.
-            cond_refs = _ref_names(expr.cond)
-            branch_guarded = guarded or bool(cond_refs & self._tainted)
-            if not branch_guarded:
-                self._taint_checks.append((cond_refs, "branch condition"))
-            cond = self._compile_expr(expr.cond, bound=bound, guarded=guarded)
-            true_cl = self._compile_expr(
-                expr.true_expr, bound=bound, guarded=branch_guarded
-            )
-            false_cl = self._compile_expr(
-                expr.false_expr, bound=bound, guarded=branch_guarded
-            )
+            return self._compile_ternary(expr, bound=bound)
+        if isinstance(expr, A.CStyleCastExpr):
+            if expr.target_type.is_pointer:
+                raise _Ineligible("pointer cast in kernel")
+            operand = self._compile_expr(expr.operand, bound=bound)
+            coerce = _coercer(expr.target_type)
+            return lambda ctx: coerce(operand(ctx))
+        if isinstance(expr, A.CallExpr):
+            return self._compile_call(expr, bound=bound)
+        raise _Ineligible(f"unsupported kernel expression {expr.class_name}")
 
-            def run_cond(ctx: _Ctx) -> Any:
+    @staticmethod
+    def _branch_can_fault(expr: A.Expr) -> bool:
+        """Could evaluating ``expr`` on a discarded lane fault?
+
+        Division/modulo (zero divisors), gathers (out-of-range
+        subscripts) and math calls (domain errors) can; plain
+        arithmetic cannot, and such branches may evaluate on every lane
+        through one ``np.where`` — the cheap PR 3 lowering.
+        """
+        for node in expr.walk_instances(A.BinaryOperator):
+            if node.op in ("/", "%"):
+                return True
+        if any(True for _ in expr.walk_instances(A.ArraySubscriptExpr)):
+            return True
+        if any(True for _ in expr.walk_instances(A.CallExpr)):
+            return True
+        return False
+
+    def _compile_ternary(
+        self, expr: A.ConditionalOperator, *, bound: bool
+    ) -> Callable[[_Ctx], Any]:
+        """Lane-varying conditionals whose branches could fault evaluate
+        each branch on exactly the lanes that selected it (compressed
+        actives), so division, overflow and gathers in the untaken
+        branch never execute — the interpreter never executes them
+        either.  Fault-free branches keep the one-``np.where`` path."""
+        cond = self._compile_expr(expr.cond, bound=bound)
+        true_cl = self._compile_expr(expr.true_expr, bound=bound)
+        false_cl = self._compile_expr(expr.false_expr, bound=bound)
+        if not (
+            self._branch_can_fault(expr.true_expr)
+            or self._branch_can_fault(expr.false_expr)
+        ):
+            def run_where(ctx: _Ctx) -> Any:
                 c = cond(ctx)
                 if not isinstance(c, np.ndarray):
                     return true_cl(ctx) if c else false_cl(ctx)
                 return np.where(c != 0, true_cl(ctx), false_cl(ctx))
 
-            return run_cond
-        if isinstance(expr, A.CStyleCastExpr):
-            if expr.target_type.is_pointer:
-                raise _Ineligible("pointer cast in kernel")
-            operand = self._compile_expr(
-                expr.operand, bound=bound, guarded=guarded
-            )
-            coerce = _coercer(expr.target_type)
-            return lambda ctx: coerce(operand(ctx))
-        if isinstance(expr, A.CallExpr):
-            raise _Ineligible(
-                f"call to {expr.callee_name or '<indirect>'!r} in kernel"
-            )
-        raise _Ineligible(f"unsupported kernel expression {expr.class_name}")
+            return run_where
+        if not bound:
+            self._features.add("merge")
+
+        def run_cond(ctx: _Ctx) -> Any:
+            c = cond(ctx)
+            if not isinstance(c, np.ndarray):
+                return true_cl(ctx) if c else false_cl(ctx)
+            mask = c != 0
+            if mask.all():
+                return true_cl(ctx)
+            if not mask.any():
+                return false_cl(ctx)
+            base = ctx.base_lanes()
+            saved = ctx.active
+            try:
+                ctx.active = base[mask]
+                tv = true_cl(ctx)
+                ctx.active = base[~mask]
+                fv = false_cl(ctx)
+            finally:
+                ctx.active = saved
+            return _masked_merge(mask, tv, fv)
+
+        return run_cond
+
+    def _compile_call(
+        self, expr: A.CallExpr, *, bound: bool
+    ) -> Callable[[_Ctx], Any]:
+        name = expr.callee_name or "<indirect>"
+        spec = _VEC_CALLS.get(name)
+        math_fn = self.interp._math.get(name)
+        if spec is None or math_fn is None or len(expr.args) != spec[0]:
+            raise _Ineligible(f"call to {name!r} in kernel")
+        arity, np_fn = spec
+        arg_cls = [self._compile_expr(a, bound=bound) for a in expr.args]
+        self._features.add("ufunc")
+        widen_args = name in _FLOAT_ARG_CALLS
+
+        def run_call(ctx: _Ctx) -> Any:
+            vals = [c(ctx) for c in arg_cls]
+            if not any(isinstance(v, np.ndarray) for v in vals):
+                return math_fn(*vals)
+            if widen_args:
+                vals = [
+                    (v.astype(np.float64) if v.dtype != np.float64 else v)
+                    if isinstance(v, np.ndarray) else float(v)
+                    for v in vals
+                ]
+            if name in _UFUNC_EXACT or _parity_ok(name, np_fn, math_fn, arity):
+                result = np_fn(*vals)
+                if result is not None:
+                    return result
+            # Per-lane libm loop: the same builtin closure the
+            # interpreter calls, so rounding is identical by identity.
+            n = ctx.count
+            cols = [
+                _broadcast(v, n).tolist()
+                if isinstance(v, np.ndarray) else [v] * n
+                for v in vals
+            ]
+            out = [math_fn(*args) for args in zip(*cols)]
+            if name in ("floor", "ceil", "abs"):
+                try:
+                    return np.array(out, dtype=np.int64)
+                except OverflowError:
+                    return np.array(out, dtype=object)
+            return np.array(out, dtype=np.float64)
+
+        return run_call
 
     def _compile_ref(
         self, ref: A.DeclRefExpr, *, bound: bool
@@ -1182,11 +1988,14 @@ class _NestCompiler:
 
             def load_local(ctx: _Ctx) -> Any:
                 try:
-                    return ctx.env[name]
+                    v = ctx.env[name]
                 except KeyError:
                     raise SimulationError(
                         f"use of uninitialized variable {name!r}"
                     ) from None
+                if ctx.active is not None and isinstance(v, np.ndarray):
+                    return v[ctx.active]
+                return v
 
             return load_local
         qt = ref.qual_type
@@ -1203,14 +2012,26 @@ class _NestCompiler:
     ) -> Callable[[_Ctx], Any]:
         base, indices = self._subscript_chain(expr)
         sidx = self._slot(base, "array")
-        self._array_reads.setdefault(sidx, []).append(indices)
+        self._reads.setdefault(sidx, []).append({
+            "chain_exprs": indices,
+            "affine": self._chain_affine(indices),
+        })
+        if self._in_control:
+            self._control_slots.add(sidx)
         idx_cls = [self._compile_expr(ix) for ix in indices]
 
         def load(ctx: _Ctx) -> Any:
             storage, offset, shape = ctx.slots[sidx]
-            return _widen(
-                storage[offset + _flat_index([c(ctx) for c in idx_cls], shape)]
-            )
+            pos = offset + _flat_index([c(ctx) for c in idx_cls], shape)
+            logs = ctx.read_logs
+            if logs is not None:
+                log = logs[sidx]
+                if log is not None:
+                    log.append(
+                        pos if isinstance(pos, np.ndarray)
+                        else np.array([pos], dtype=np.int64)
+                    )
+            return _widen(storage[pos])
 
         return load
 
@@ -1226,29 +2047,15 @@ class _NestCompiler:
         return lambda ctx: ctx.slots[sidx].fields[member]
 
     def _compile_binop(
-        self, expr: A.BinaryOperator, *, bound: bool, guarded: bool = False
+        self, expr: A.BinaryOperator, *, bound: bool
     ) -> Callable[[_Ctx], Any]:
         op = expr.op
         if expr.is_assignment:
             raise _Ineligible("assignment inside a kernel expression")
         if op == ",":
             raise _Ineligible("comma expression in kernel")
-        if guarded and op in ("/", "%"):
-            # Under a lane-varying guard the interpreter would skip the
-            # division on discarded lanes; evaluating all lanes could
-            # fault (zero divisor) where the interpreted run succeeds.
-            raise _Ineligible("division under a lane-varying condition")
-        lhs = self._compile_expr(expr.lhs, bound=bound, guarded=guarded)
-        # A lane-varying left side of &&/|| defeats short-circuiting, so
-        # the right side becomes guarded like a ternary branch.
-        rhs_guarded = guarded
-        if op in ("&&", "||"):
-            lhs_refs = _ref_names(expr.lhs)
-            if lhs_refs & self._tainted:
-                rhs_guarded = True
-            elif not guarded:
-                self._taint_checks.append((lhs_refs, "short-circuit guard"))
-        rhs = self._compile_expr(expr.rhs, bound=bound, guarded=rhs_guarded)
+        lhs = self._compile_expr(expr.lhs, bound=bound)
+        rhs = self._compile_expr(expr.rhs, bound=bound)
         if op in ("&&", "||"):
             is_and = op == "&&"
 
@@ -1263,11 +2070,26 @@ class _NestCompiler:
                     if not isinstance(b, np.ndarray):
                         return int(bool(b))
                     return (b != 0).astype(np.int64)
-                b = rhs(ctx)
-                mask_a = a != 0
-                mask_b = (b != 0) if isinstance(b, np.ndarray) else bool(b)
-                mask = (mask_a & mask_b) if is_and else (mask_a | mask_b)
-                return mask.astype(np.int64)
+                # Lane-varying left side: evaluate the right side only
+                # on the lanes that did not short-circuit (compressed),
+                # exactly the lanes the interpreter evaluates it on.
+                amask = a != 0
+                sel = amask if is_and else ~amask
+                out = np.empty(amask.size, dtype=np.int64)
+                out[~sel] = 0 if is_and else 1
+                if sel.any():
+                    saved = ctx.active
+                    try:
+                        if not sel.all():
+                            ctx.active = ctx.base_lanes()[sel]
+                        b = rhs(ctx)
+                    finally:
+                        ctx.active = saved
+                    if isinstance(b, np.ndarray):
+                        out[sel] = (b != 0).astype(np.int64)
+                    else:
+                        out[sel] = 1 if b else 0
+                return out
 
             return run_logical
         fn = _VEC_BINOPS.get(op)
@@ -1276,12 +2098,12 @@ class _NestCompiler:
         return lambda ctx: fn(lhs(ctx), rhs(ctx))
 
     def _compile_unop(
-        self, expr: A.UnaryOperator, *, bound: bool, guarded: bool = False
+        self, expr: A.UnaryOperator, *, bound: bool
     ) -> Callable[[_Ctx], Any]:
         op = expr.op
         if op in ("++", "--", "&", "*"):
             raise _Ineligible(f"unsupported unary operator {op!r} in kernel")
-        operand = self._compile_expr(expr.operand, bound=bound, guarded=guarded)
+        operand = self._compile_expr(expr.operand, bound=bound)
         if op == "-":
             return lambda ctx: -operand(ctx)
         if op == "+":
@@ -1304,27 +2126,522 @@ class _NestCompiler:
             return run_inv
         raise _Ineligible(f"unsupported unary operator {op!r} in kernel")
 
+    # -- runners ---------------------------------------------------------
+
+    @staticmethod
+    def _make_charge(machine: Any) -> Callable[[int], None]:
+        # Captured at launch: kernels run on-device, host loops (the
+        # same executor drives both since phase 2) tick the host ledger.
+        profiler = machine.profiler
+        tick = (
+            profiler.tick_device if machine.on_device else profiler.tick_host
+        )
+
+        def charge(n: int) -> None:
+            machine.steps += n
+            if machine.steps > machine.max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {machine.max_steps} steps "
+                    f"(runaway loop?)"
+                )
+            tick(n)
+
+        return charge
+
+    def _stores_disjoint_fn(self) -> Callable[[list[Any], list[int]], bool]:
+        """Lane-disjointness of every store, against real strides.
+
+        Generalized mixed-radix dominance: order the parallel-index
+        terms by their per-step element gap and require each gap to
+        clear the total excursion of all finer terms plus the span of
+        the sequential-loop symbols.  This is what makes ``b*HID + h``
+        (h < HID), ``m[i][j]`` (j within the row) and the collapsed
+        ``(i, h) -> i*HID + h`` space safe while ``a[i + j]`` is not.
+        """
+        store_checks = self._store_checks
+        steps = [h.step for h in self.pvars]
+
+        def stores_disjoint(slots: list[Any], trips: list[int]) -> bool:
+            for check in store_checks:
+                _, _, shape = slots[check["slot"]]
+                ndims = check["ndims"]
+
+                def stride_of(k: int) -> int:
+                    if ndims == 1:
+                        return 1  # _flat_index uses the raw index
+                    stride = 1
+                    for d in shape[k + 1:]:
+                        stride *= d
+                    return stride
+
+                span = sum(
+                    coeff * stride_of(k) * width
+                    for k, coeff, width in check["spread_terms"]
+                )
+                terms = sorted(
+                    (
+                        coeff * stride_of(dim) * abs(steps[lvl]),
+                        max(trips[lvl], 1),
+                    )
+                    for lvl, dim, coeff in check["pvar_terms"]
+                )
+                acc = span
+                for gap, count in terms:
+                    if gap <= acc:
+                        return False
+                    acc += gap * (count - 1)
+            return True
+
+        return stores_disjoint
+
+    def _snapshot_indices(self) -> tuple[list[int], list[int]]:
+        arrays = [
+            s["index"] for s in self._specs
+            if s["kind"] == "array" and s["written"]
+        ]
+        cells = [
+            s["index"] for s in self._specs
+            if s["kind"] == "scalar" and s["written"]
+        ]
+        return arrays, cells
+
+    def _build_runner(
+        self,
+        levels: list[tuple[_Header, Callable, Callable]],
+        body: list[Callable[[_Ctx], None]],
+    ) -> Callable[[Any], bool]:
+        specs = self._specs
+        nspecs = len(specs)
+        scatter_slots = sorted(self._scatter_slots)
+        stores_disjoint = self._stores_disjoint_fn()
+        # Only two constructs can decline mid-launch — a mixed-type
+        # conditional merge and a failed scatter commit; everything
+        # else (plain masks, ragged loops) runs to completion, so it
+        # skips the per-launch snapshot copies entirely.
+        need_txn = bool(self._features & {"merge", "scatter"})
+        arr_idx, cell_idx = self._snapshot_indices()
+        make_charge = self._make_charge
+
+        def run(machine: Any) -> bool:
+            slots = _preflight(machine, specs)
+            if slots is None:
+                return False
+            ctx = _Ctx(machine)
+            ctx.slots = slots
+            los: list[int] = []
+            trips: list[int] = []
+            for header, init_cl, bound_cl in levels:
+                lo = int(init_cl(ctx))
+                bound = int(bound_cl(ctx))
+                t = _trip_count(lo, bound, header.op, header.step)
+                if t is None:
+                    return False  # interpreted path would run away; let it
+                los.append(lo)
+                trips.append(t)
+            if not stores_disjoint(slots, trips):
+                return False
+            charge = make_charge(machine)
+            ctx.charge = charge
+            # Snapshot the ledger before the first charge: a declined
+            # launch must leave no trace, including the header ticks.
+            steps0 = machine.steps
+            dev0 = machine.profiler.device_work
+            host0 = machine.profiler.host_work
+            saved_arrays: list[tuple[int, np.ndarray]] = []
+            saved_cells: list[tuple[int, Any]] = []
+            if need_txn:
+                saved_arrays = [(i, slots[i][0].copy()) for i in arr_idx]
+                saved_cells = [(i, slots[i].value) for i in cell_idx]
+            # Interpreted cost of the loop headers: each level's init
+            # DeclStmt ticks once per enclosing iteration, plus its
+            # trips+1 condition checks.  Charged before the index
+            # vectors are allocated, so max_steps trips on runaway
+            # bounds without a giant arange.
+            charge(1 + trips[0] + 1)
+            prefix = trips[0]
+            for t in trips[1:]:
+                charge(prefix)
+                charge(prefix * (t + 1))
+                prefix *= t
+            if not prefix:
+                return True
+            ctx.lanes = prefix
+            idx = np.arange(prefix, dtype=np.int64)
+            suffix = prefix
+            for (header, _, _), lo, t in zip(levels, los, trips):
+                suffix //= t
+                ctx.env[header.var] = lo + header.step * ((idx // suffix) % t)
+            if scatter_slots:
+                ctx.read_logs = [None] * nspecs
+                ctx.scatter = [None] * nspecs
+                for i in scatter_slots:
+                    ctx.read_logs[i] = []
+                    ctx.scatter[i] = []
+            try:
+                for part in body:
+                    part(ctx)
+                if scatter_slots:
+                    _commit_scatter(ctx, scatter_slots, slots)
+            except _RuntimeDecline:
+                machine.steps = steps0
+                machine.profiler.device_work = dev0
+                machine.profiler.host_work = host0
+                for i, snap in saved_arrays:
+                    np.copyto(slots[i][0], snap)
+                for i, value in saved_cells:
+                    slots[i].value = value
+                return False
+            return True
+
+        return run
+
+    def _build_wavefront_runner(
+        self,
+        slice_cls: tuple[Callable, Callable],
+        inner_cls: tuple[Callable, Callable],
+        body: list[Callable[[_Ctx], None]],
+    ) -> Callable[[Any], bool]:
+        specs = self._specs
+        sh = self._slice_header
+        assert sh is not None
+        inner_h = self.pvars[0]
+        sv = sh.var
+        obligations = self._obligations
+        stores_disjoint = self._stores_disjoint_fn()
+        arr_idx, cell_idx = self._snapshot_indices()
+        slice_init, slice_bound = slice_cls
+        inner_init, inner_bound = inner_cls
+        cmp = _CMPS[sh.op]
+        make_charge = self._make_charge
+        # Only a mixed-type conditional merge can decline a wavefront
+        # launch mid-flight (the dependence obligations run up front).
+        need_txn = "merge" in self._features
+
+        def run(machine: Any) -> bool:
+            slots = _preflight(machine, specs)
+            if slots is None:
+                return False
+            # Launch-time dependence classification: every store/load
+            # pair on a written array must be free of intra-slice
+            # dependences (analysis.depend); cross-slice flow/anti/
+            # output dependences are honoured by slice order itself.
+            for ob in obligations:
+                if not ob.holds(slots[ob.slot][2], sv):
+                    return False
+            ctx = _Ctx(machine)
+            ctx.slots = slots
+            if not stores_disjoint(slots, [1]):
+                return False
+            lo = int(slice_init(ctx))
+            bound = int(slice_bound(ctx))
+            charge = make_charge(machine)
+            ctx.charge = charge
+            steps0 = machine.steps
+            dev0 = machine.profiler.device_work
+            host0 = machine.profiler.host_work
+            saved_arrays: list[tuple[int, np.ndarray]] = []
+            saved_cells: list[tuple[int, Any]] = []
+            if need_txn:
+                saved_arrays = [(i, slots[i][0].copy()) for i in arr_idx]
+                saved_cells = [(i, slots[i].value) for i in cell_idx]
+            charge(1)  # the slice loop's init DeclStmt
+            v = lo
+            try:
+                while True:
+                    charge(1)  # slice condition-check tick
+                    if not cmp(v, bound):
+                        break
+                    ctx.env[sv] = v
+                    charge(1)  # inner init DeclStmt tick
+                    ilo = int(inner_init(ctx))
+                    ibound = int(inner_bound(ctx))
+                    t = _trip_count(ilo, ibound, inner_h.op, inner_h.step)
+                    charge((t or 0) + 1)
+                    if t:
+                        ctx.lanes = t
+                        ctx._all = None
+                        ctx.env[inner_h.var] = (
+                            ilo + inner_h.step * np.arange(t, dtype=np.int64)
+                        )
+                        for part in body:
+                            part(ctx)
+                    v += sh.step
+            except _RuntimeDecline:
+                machine.steps = steps0
+                machine.profiler.device_work = dev0
+                machine.profiler.host_work = host0
+                for i, snap in saved_arrays:
+                    np.copyto(slots[i][0], snap)
+                for i, value in saved_cells:
+                    slots[i].value = value
+                return False
+            return True
+
+        return run
+
 
 # ===========================================================================
-# Public entry point
+# Masked environment merging + scatter commit
 # ===========================================================================
+
+
+def _materialize(value: Any, lanes: int) -> np.ndarray:
+    if (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and abs(value) > int(_INT_GUARD)
+    ):
+        return np.full(lanes, value, dtype=object)
+    return np.full(lanes, value)
+
+
+def _env_set(ctx: _Ctx, name: str, value: Any, default: Any) -> None:
+    """DeclStmt binding: under a mask, merge into a full-lane vector.
+
+    Inactive lanes keep their previous value (or the declaration
+    default) — they are only ever read under the same or a narrower
+    mask, so the filler is unobservable.
+    """
+    if ctx.active is None:
+        ctx.env[name] = value
+        return
+    old = ctx.env.get(name, default)
+    if isinstance(old, np.ndarray) and old.shape[0] == ctx.lanes:
+        full = old.copy()  # never mutate a shared vector in place
+    else:
+        full = _materialize(
+            old if not isinstance(old, np.ndarray) else default, ctx.lanes
+        )
+    ctx.env[name] = _scatter_into(full, ctx.active, value)
+
+
+def _env_assign(ctx: _Ctx, name: str, value: Any) -> None:
+    """Plain assignment to an existing local, mask-aware."""
+    if ctx.active is None:
+        ctx.env[name] = value
+        return
+    old = ctx.env.get(name)
+    if old is None:
+        raise SimulationError(f"use of uninitialized variable {name!r}")
+    if isinstance(old, np.ndarray) and old.shape[0] == ctx.lanes:
+        full = old.copy()
+    else:
+        full = _materialize(old if not isinstance(old, np.ndarray) else 0,
+                            ctx.lanes)
+    ctx.env[name] = _scatter_into(full, ctx.active, value)
+
+
+def _commit_scatter(
+    ctx: _Ctx, scatter_slots: list[int], slots: list[Any]
+) -> None:
+    """Apply deferred stores after proving order-independence.
+
+    Buffered stores must target pairwise-distinct elements (duplicate
+    targets make the result depend on lane vs statement order) and must
+    not overlap any logged load of the same array (a load that observed
+    the pre-launch state where the interpreter would have seen the
+    store).  Either violation declines the launch before any deferred
+    element is written.
+    """
+    staged: list[int] = []
+    for sidx in scatter_slots:
+        buf = ctx.scatter[sidx]  # type: ignore[index]
+        if not buf:
+            continue
+        pos = np.concatenate([p for p, _ in buf])
+        uniq = np.unique(pos)
+        if uniq.size != pos.size:
+            raise _RuntimeDecline(
+                "colliding scatter stores (lane-order dependent)"
+            )
+        logs = ctx.read_logs[sidx]  # type: ignore[index]
+        if logs:
+            reads = np.unique(np.concatenate(logs))
+            if np.intersect1d(uniq, reads, assume_unique=True).size:
+                raise _RuntimeDecline(
+                    "scatter store overlaps a load of the same array"
+                )
+        staged.append(sidx)
+    for sidx in staged:
+        storage = slots[sidx][0]
+        for pos, val in ctx.scatter[sidx]:  # type: ignore[index]
+            storage[pos] = val
+
+
+# ===========================================================================
+# Public entry points
+# ===========================================================================
+
+
+@dataclass
+class VectorCandidate:
+    """One compiled lowering of a kernel, tried in order at launch.
+
+    ``declines`` counts launches the runner refused at runtime; the
+    dispatcher sorts candidates by it (stable), so a shape that always
+    fails its launch checks — e.g. hotspot's in-place stencil under the
+    masked scatter checks — pays the failed attempt once and then runs
+    its working strategy first.
+    """
+
+    runner: Callable[[Any], bool]
+    strategy: str
+    declines: int = 0
+
+
+def compile_kernel_candidates(
+    interp: Any, stmt: A.OMPExecutableDirective
+) -> tuple[list[VectorCandidate], str | None]:
+    """Compile every applicable strategy for one kernel directive.
+
+    Returns ``(candidates, note)``: candidates in preference order
+    (empty when nothing compiles, with ``note`` holding the static
+    ineligibility reason).  Every candidate is bit-identical to the
+    interpreter when it accepts a launch, so order affects only speed.
+    """
+    nest: tuple[Callable[[Any], bool], str, set[str]] | None = None
+    first_err: str | None = None
+    try:
+        compiler = _NestCompiler(interp, stmt, collapse=True)
+        nest = (compiler.compile(), compiler.strategy_label(),
+                set(compiler._features))
+    except _Ineligible as exc:
+        first_err = str(exc)
+        try:
+            compiler = _NestCompiler(interp, stmt, collapse=False)
+            nest = (compiler.compile(), compiler.strategy_label(),
+                    set(compiler._features))
+        except _Ineligible as exc2:
+            first_err = str(exc2)
+    except Exception as exc:  # noqa: BLE001 - fallback is always correct
+        first_err = f"vectorizer error: {exc!r}"
+
+    wave: tuple[Callable[[Any], bool], str] | None = None
+    if nest is None or (nest[2] & {"scatter", "ragged"}):
+        try:
+            compiler = _NestCompiler(interp, stmt, wavefront=True)
+            wave = (compiler.compile(), "wavefront")
+        except _Ineligible:
+            pass
+        except Exception:  # noqa: BLE001 - fallback is always correct
+            pass
+
+    candidates: list[VectorCandidate] = []
+    if nest is not None and not (nest[2] & {"scatter"}):
+        candidates.append(VectorCandidate(nest[0], nest[1]))
+        if wave is not None:
+            candidates.append(VectorCandidate(*wave))
+    else:
+        if wave is not None:
+            candidates.append(VectorCandidate(*wave))
+        if nest is not None:
+            candidates.append(VectorCandidate(nest[0], nest[1]))
+
+    replay_err: str | None = None
+    if candidates:
+        # Another strategy exists, so the sequential replay is only the
+        # launch-time safety net — compile it lazily, on the first
+        # launch the preferred strategies decline.  Kernels that never
+        # decline (the straight/collapse majority) never pay for it.
+        candidates.append(
+            VectorCandidate(_lazy_replay(interp, stmt), "wavefront")
+        )
+    else:
+        try:
+            from .replay import compile_replay
+
+            candidates.append(
+                VectorCandidate(compile_replay(interp, stmt), "wavefront")
+            )
+        except _Ineligible as exc:
+            replay_err = str(exc)
+        except Exception as exc:  # noqa: BLE001 - fallback is always correct
+            replay_err = f"replay error: {exc!r}"
+    note = None
+    if not candidates:
+        note = first_err or replay_err or "no vectorization strategy applies"
+    return candidates, note
+
+
+class _HostLoopShim:
+    """Adapts a bare host ``for`` statement to the directive interface
+    the nest/replay compilers consume (no clauses, no mappings).
+
+    Since phase 2 the same executor also drives eligible *host* loops —
+    after the kernels vectorized, the interpreted host code (init
+    loops, checksum reductions) became the suite's dominant serial
+    cost.  Host launches charge the host tick ledger and read host
+    storage; they are deliberately invisible to the kernel coverage
+    metrics (``vectorized_launches``/``strategy_launches``)."""
+
+    __slots__ = ("associated_stmt", "node_id")
+
+    def __init__(self, stmt: A.ForStmt):
+        self.associated_stmt = stmt
+        self.node_id = stmt.node_id
+
+    @staticmethod
+    def clauses_of(_cls: type) -> list:
+        return []
+
+    @staticmethod
+    def map_clauses() -> list:
+        return []
+
+
+def compile_host_loop_candidates(
+    interp: Any, stmt: A.ForStmt
+) -> list[VectorCandidate]:
+    """Compile vector candidates for a host-side ``for`` loop.
+
+    Returns an empty list when nothing applies (the interpreted loop
+    runs, as before) — host loops never record fallback notes."""
+    shim = _HostLoopShim(stmt)
+    candidates, _note = compile_kernel_candidates(interp, shim)
+    return candidates
+
+
+def _lazy_replay(
+    interp: Any, stmt: A.OMPExecutableDirective
+) -> Callable[[Any], bool]:
+    """Deferred :func:`repro.runtime.replay.compile_replay` runner."""
+    compiled: list[Callable[[Any], bool] | None] = []
+
+    def runner(machine: Any) -> bool:
+        if not compiled:
+            try:
+                from .replay import compile_replay
+
+                compiled.append(compile_replay(interp, stmt))
+            except Exception:  # noqa: BLE001 - fallback is always correct
+                compiled.append(None)
+        fn = compiled[0]
+        return False if fn is None else fn(machine)
+
+    return runner
 
 
 def try_vectorize(
     interp: Any, stmt: A.OMPExecutableDirective
 ) -> tuple[Callable[[Any], bool] | None, str | None]:
-    """Compile ``stmt``'s loop nest into a vector closure, if eligible.
+    """Single-runner facade over :func:`compile_kernel_candidates`.
 
-    Returns ``(runner, None)`` on success — ``runner(machine)`` executes
-    the nest and returns True, or returns False when the runtime
-    preflight declines (the caller then runs the interpreted body) —
-    or ``(None, reason)`` when the nest is statically ineligible.
+    Returns ``(runner, None)`` on success — ``runner(machine)`` tries
+    each strategy in (adaptively re-ordered) preference order and
+    returns True when one executed the nest, or False when every
+    candidate declined at launch time (the caller then runs the
+    interpreted body) — or ``(None, reason)`` when the nest is
+    statically ineligible for every strategy.
     """
-    try:
-        return _NestCompiler(interp, stmt).compile(), None
-    except _Ineligible as exc:
-        return None, str(exc)
-    except Exception as exc:  # noqa: BLE001 - fallback is always correct;
-        # a vectorizer bug must never take down a simulation the
-        # interpreter could finish.
-        return None, f"vectorizer error: {exc!r}"
+    candidates, note = compile_kernel_candidates(interp, stmt)
+    if not candidates:
+        return None, note
+
+    def runner(machine: Any) -> bool:
+        for cand in sorted(candidates, key=lambda c: c.declines):
+            if cand.runner(machine):
+                return True
+            cand.declines += 1
+        return False
+
+    return runner, None

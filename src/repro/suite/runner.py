@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -171,6 +172,12 @@ def _variant_pool() -> "ProcessPoolExecutor | None":
     if _VARIANT_POOL is False:
         return None
     if _VARIANT_POOL is None:
+        if (os.cpu_count() or 1) <= 1:
+            # A single core gains nothing from concurrent variants and
+            # pays fork latency plus per-worker re-parsing; the serial
+            # path shares one pass manager (and its parse artifacts).
+            _VARIANT_POOL = False
+            return None
         try:
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context(

@@ -273,3 +273,90 @@ class TestVariantPool:
         assert runs["xsbench"].ompdart.vectorized_launches == 0
         runs = run_all(names=["xsbench"], vectorize=True)
         assert runs["xsbench"].ompdart.vectorized_launches > 0
+
+
+# ---------------------------------------------------------------------------
+# Vectorizer-coverage gate (phase 2)
+# ---------------------------------------------------------------------------
+
+
+class TestCoverageGate:
+    def test_artifact_carries_strategy_fields(self, baseline_payload):
+        variants = baseline_payload["results"]["a100-pcie4"]["benchmarks"][
+            "xsbench"
+        ]["variants"]
+        for profile in variants.values():
+            assert profile["vector_strategy"] == "straight"
+            assert profile["fallback_reason"] is None
+            assert profile["strategy_launches"] == {
+                "straight": profile["kernel_launches"]
+            }
+
+    def test_regression_to_interpreter_fails(self, baseline_payload):
+        cand = copy.deepcopy(baseline_payload)
+        variant = cand["results"]["a100-pcie4"]["benchmarks"]["xsbench"][
+            "variants"
+        ]["ompdart"]
+        variant["vector_strategy"] = "interpreter"
+        result = diff_payloads(baseline_payload, cand)
+        assert not result.ok
+        assert any("strategy downgrade" in entry for entry in result.missing)
+
+    def test_strategy_downgrade_fails(self, baseline_payload):
+        cand = copy.deepcopy(baseline_payload)
+        variant = cand["results"]["a100-pcie4"]["benchmarks"]["xsbench"][
+            "variants"
+        ]["ompdart"]
+        variant["vector_strategy"] = "masked"  # straight -> masked
+        result = diff_payloads(baseline_payload, cand)
+        assert not result.ok
+        assert any("strategy downgrade" in entry for entry in result.missing)
+
+    def test_strategy_upgrade_is_an_improvement(self, baseline_payload):
+        base = copy.deepcopy(baseline_payload)
+        variant = base["results"]["a100-pcie4"]["benchmarks"]["xsbench"][
+            "variants"
+        ]["ompdart"]
+        variant["vector_strategy"] = "masked"
+        result = diff_payloads(base, baseline_payload)
+        assert result.ok
+        assert any(
+            d.metric == "vector_strategy" for d in result.improvements
+        )
+
+    def test_missing_strategy_field_is_a_regression(self, baseline_payload):
+        cand = copy.deepcopy(baseline_payload)
+        variant = cand["results"]["a100-pcie4"]["benchmarks"]["xsbench"][
+            "variants"
+        ]["ompdart"]
+        del variant["vector_strategy"]
+        result = diff_payloads(baseline_payload, cand)
+        assert not result.ok
+        assert any("vector_strategy" in entry for entry in result.missing)
+
+    def test_pre_phase2_baseline_offers_nothing_to_gate(
+        self, baseline_payload
+    ):
+        base = copy.deepcopy(baseline_payload)
+        base["schema"] = "ompdart-suite-perf/1"
+        for run in base["results"]["a100-pcie4"]["benchmarks"].values():
+            for profile in run["variants"].values():
+                profile.pop("vector_strategy", None)
+                profile.pop("fallback_reason", None)
+                profile.pop("strategy_launches", None)
+        result = diff_payloads(base, baseline_payload)
+        assert result.ok
+
+    def test_committed_baseline_has_full_coverage(self):
+        with open("benchmarks/suite_a100-pcie4.json", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == "ompdart-suite-perf/2"
+        for sweep in payload["results"].values():
+            for run in sweep["benchmarks"].values():
+                for profile in run["variants"].values():
+                    assert profile["fallback_reason"] is None
+                    assert (
+                        profile["vectorized_launches"]
+                        == profile["kernel_launches"]
+                    )
+                    assert profile["vector_strategy"] != "interpreter"

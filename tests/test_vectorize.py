@@ -32,10 +32,20 @@ def assert_identical(a, b):
 # Property-style equality across the full nine-benchmark corpus
 # ---------------------------------------------------------------------------
 
-#: Benchmarks whose kernels are expected to vectorize (the rest must
-#: fall back, equally correctly).
-VECTORIZED = {"accuracy", "ace", "backprop", "clenergy", "lulesh", "xsbench"}
-FALLBACK = {"bfs", "hotspot", "nw"}
+#: Expected lowering strategy per benchmark — since phase 2, *every*
+#: corpus variant executes through a vectorized strategy (zero
+#: interpreter fallbacks).
+STRATEGY = {
+    "accuracy": "straight",
+    "ace": "straight",
+    "backprop": "collapse",
+    "bfs": "masked",
+    "clenergy": "straight",
+    "hotspot": "wavefront",
+    "lulesh": "straight",
+    "nw": "wavefront",
+    "xsbench": "straight",
+}
 
 
 @pytest.mark.parametrize("name", BENCHMARK_ORDER)
@@ -50,14 +60,13 @@ def test_corpus_equality(name, variant):
     interp, vec = both(source, f"{name}_{variant}.c")
     assert_identical(interp, vec)
     assert interp.vectorized_launches == 0
-    if name in VECTORIZED:
-        assert vec.vectorized_launches == vec.stats.kernel_launches > 0
-    else:
-        assert name in FALLBACK
-        assert vec.vectorized_launches == 0
+    assert interp.vector_strategy == "interpreter"
+    assert vec.vectorized_launches == vec.stats.kernel_launches > 0
+    assert vec.fallback_reason is None
+    assert vec.vector_strategy == STRATEGY[name]
 
 
-@pytest.mark.parametrize("name", sorted(VECTORIZED))
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
 def test_transformed_variant_equality(name):
     """The tool's own output (with data directives) vectorizes too."""
     from repro.core.tool import OMPDart, ToolOptions
@@ -69,14 +78,23 @@ def test_transformed_variant_equality(name):
     interp, vec = both(transformed, f"{name}_ompdart.c")
     assert_identical(interp, vec)
     assert vec.vectorized_launches == vec.stats.kernel_launches
+    assert vec.vector_strategy == STRATEGY[name]
 
 
 def test_corpus_fallback_reasons_recorded():
+    """bfs's guarded kernels vectorize since phase 2; a genuinely
+    inexpressible kernel (a while loop) still records its reason."""
     tu = parse_source(get_benchmark("bfs").unoptimized_source(), "bfs.c")
     interp = Interpreter(tu)
     interp.run()
-    assert interp.vector_notes  # every kernel declined with a reason
-    assert any("IfStmt" in note for note in interp.vector_notes.values())
+    assert not interp.vector_notes  # every kernel vectorized
+
+    src = fallback_case("int k = 0; while (k < i) { k++; } b[i] = k;")
+    tu = parse_source(src, "while.c")
+    interp = Interpreter(tu)
+    interp.run()
+    assert interp.vector_notes
+    assert any("WhileStmt" in note for note in interp.vector_notes.values())
 
 
 # ---------------------------------------------------------------------------
@@ -316,29 +334,52 @@ def fallback_case(body, setup="", decls=""):
 @pytest.mark.parametrize(
     "body,decls",
     [
-        # indirect indexing on the store side
-        ("b[idx[i]] = a[i];", "int idx[32];"),
-        # early exit
-        ("if (i == 7) {{ }} b[i] = a[i];".replace("{{ }}", "{ }"), ""),
         # printf inside the kernel
         ('b[i] = a[i]; printf("%d", i);', ""),
-        # cross-iteration stencil dependence (read != write subscript)
-        ("b[i] = a[i]; a[(i + 1) % 32] = b[i];", ""),
         # while loop in the body
         ("int k = 0; while (k < i) { k++; } b[i] = k;", ""),
     ],
-    ids=["indirect-store", "if-stmt", "printf", "stencil-rw", "while"],
+    ids=["printf", "while"],
 )
 def test_ineligible_kernels_fall_back(body, decls):
     src = fallback_case(body, decls=decls)
     interp, vec = both(src)
     assert_identical(interp, vec)
     assert vec.vectorized_launches == 0
+    assert vec.vector_strategy == "interpreter"
+    assert vec.fallback_reason is not None
 
 
-def test_guarded_division_falls_back():
+@pytest.mark.parametrize(
+    "body,decls,strategy",
+    [
+        # indirect store targets all collide on idx[i]==0: the masked
+        # scatter commit declines at launch and the sequential replay
+        # (unit-slice wavefront) picks it up.
+        ("b[idx[i]] = a[i];", "int idx[32];", "wavefront"),
+        # a (useless) if-statement makes the nest masked
+        ("if (i == 7) {{ }} b[i] = a[i];".replace("{{ }}", "{ }"), "",
+         "masked"),
+        # cross-iteration stencil dependence (read != write subscript):
+        # the scatter store overlaps the read of b, so masked declines
+        # at commit and replay executes it in exact sequential order
+        ("b[i] = a[i]; a[(i + 1) % 32] = b[i];", "", "wavefront"),
+    ],
+    ids=["indirect-store", "if-stmt", "stencil-rw"],
+)
+def test_formerly_ineligible_kernels_now_vectorize(body, decls, strategy):
+    """Shapes PR 3 declined that phase 2 executes — still bit-identical."""
+    src = fallback_case(body, decls=decls)
+    interp, vec = both(src)
+    assert_identical(interp, vec)
+    assert vec.vectorized_launches == vec.stats.kernel_launches == 1
+    assert vec.vector_strategy == strategy
+
+
+def test_guarded_division_vectorizes_masked():
     """`b[i] != 0 ? a[i]/b[i] : -1` must not fault on the zero lanes the
-    interpreter never divides — the nest runs interpreted instead."""
+    interpreter never divides — each ternary branch evaluates only on
+    the (compressed) lanes that selected it."""
     src = """
     int a[16];
     int b[16];
@@ -357,10 +398,13 @@ def test_guarded_division_falls_back():
     """
     interp, vec = both(src)
     assert_identical(interp, vec)
-    assert vec.vectorized_launches == 0
+    assert vec.vectorized_launches == 1
 
 
-def test_short_circuit_guarded_division_falls_back():
+def test_short_circuit_guarded_division_vectorizes():
+    """A lane-varying `&&` left side evaluates the right side only on
+    the lanes that did not short-circuit — `12 / b[i]` never sees the
+    zero divisors."""
     src = """
     int b[16];
     int out[16];
@@ -378,14 +422,15 @@ def test_short_circuit_guarded_division_falls_back():
     """
     interp, vec = both(src)
     assert_identical(interp, vec)
-    assert vec.vectorized_launches == 0
+    assert vec.vectorized_launches == 1
 
 
-def test_overlapping_scatter_store_falls_back():
+def test_overlapping_scatter_store_replays_sequentially():
     """`a[i + j]` writes overlap across lanes (lane i, j=1 and lane
     i+1, j=0 hit the same element) and interpreted execution is
     lane-major while vectorized is inner-loop-major — the launch-time
-    disjointness check must decline it."""
+    disjointness check declines the vector nest, and the sequential
+    replay executes it in exact lane-major order instead."""
     src = """
     double a[8];
     int main() {
@@ -403,7 +448,8 @@ def test_overlapping_scatter_store_falls_back():
     """
     interp, vec = both(src)
     assert_identical(interp, vec)
-    assert vec.vectorized_launches == 0
+    assert vec.vectorized_launches == 1
+    assert vec.vector_strategy == "wavefront"
 
 
 def test_blocked_store_with_tight_inner_range_stays_vectorized():
@@ -429,10 +475,11 @@ def test_blocked_store_with_tight_inner_range_stays_vectorized():
     assert vec.vectorized_launches == 1
 
 
-def test_loop_carried_taint_falls_back():
+def test_loop_carried_taint_replays_sequentially():
     """A local that is lane-invariant when an inner bound is compiled
-    but assigned a per-lane value later in the same loop body must
-    decline — the second iteration would feed a vector into int()."""
+    but assigned a per-lane value later in the same loop body declines
+    the vector nest (the second iteration would feed a vector into
+    int()) — the sequential replay executes it instead."""
     src = """
     double a[8];
     double out[8];
@@ -458,7 +505,8 @@ def test_loop_carried_taint_falls_back():
     """
     interp, vec = both(src)
     assert_identical(interp, vec)
-    assert vec.vectorized_launches == 0
+    assert vec.vectorized_launches == 1
+    assert vec.vector_strategy == "wavefront"
 
 
 def test_lane_invariant_guard_still_vectorizes():
