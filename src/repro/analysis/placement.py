@@ -29,9 +29,8 @@ import enum
 from dataclasses import dataclass
 
 from ..cfg.astcfg import ASTCFG
-from ..cfg.graph import CFGNode, LoopInfo, NodeKind
+from ..cfg.graph import LoopInfo, NodeKind
 from ..frontend import ast_nodes as A
-from .access import AccessKind
 from .bounds import find_update_insert_loc
 from .validity import Direction, Space, TransferNeed, ValidityResult
 
@@ -225,8 +224,8 @@ class PlacementAnalysis:
         if need.access is None or need.access.subscript is None:
             return None
         loops = [
-            l for l in self._enclosing_loops(self._anchor_stmt(need))
-            if isinstance(l, A.ForStmt)
+            loop for loop in self._enclosing_loops(self._anchor_stmt(need))
+            if isinstance(loop, A.ForStmt)
         ]
         loc_lim = self.region_begin
         return find_update_insert_loc(need.access.subscript, loops, loc_lim)

@@ -22,7 +22,19 @@ concurrently (deterministic output ordering, shared artifact cache)::
     ompdart batch src/*.c -j 8           # 8 worker processes
     ompdart batch a.c b.c -o outdir      # write <outdir>/<name>
     ompdart batch a.c --cache-dir .ompdart-cache   # on-disk artifacts
+    ompdart batch src/*.c -j 4 --cache-dir C --report  # shared-store stats
+    ompdart batch --cache-dir C --migrate          # compact legacy spills
     ompdart batch a.c --simulate --platform h100-sxm5
+
+Serve mode puts the asyncio job service in front of the shared
+artifact store: submit/await transform and evaluation jobs over HTTP,
+deduplicated by content hash, with bounded concurrency::
+
+    ompdart serve --port 8571 --workers 4 --cache-dir .ompdart-cache
+    curl -XPOST localhost:8571/run -d '{"kind": "suite"}'
+    curl -XPOST localhost:8571/jobs -d '{"kind": "benchmark", "benchmark": "bfs"}'
+    curl localhost:8571/jobs/<id>?wait=1
+    curl localhost:8571/stats
 
 Suite mode runs the paper's nine-benchmark evaluation, optionally as a
 cross-platform sweep, and can emit a machine-readable perf artifact::
@@ -189,9 +201,21 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         help="persist per-pass artifacts here (shared across workers/runs)",
     )
     parser.add_argument(
+        "--migrate",
+        action="store_true",
+        help=(
+            "rewrite legacy whole-object spills in --cache-dir to the "
+            "compact per-pass schema format (reports bytes saved); may "
+            "be used without inputs"
+        ),
+    )
+    parser.add_argument(
         "--report",
         action="store_true",
-        help="print per-input pass timings and cache events",
+        help=(
+            "print per-input pass timings, cache events, and shared-"
+            "store traffic (cross-worker hits, spill-size reduction)"
+        ),
     )
     _add_platform_arguments(parser)
     parser.add_argument(
@@ -310,6 +334,98 @@ def build_bench_history_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart serve",
+        description=(
+            "Run the asyncio job service: submit/await transform and "
+            "evaluation jobs over the shared artifact store, with "
+            "dedup by content hash and bounded concurrency."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8571,
+        help="bind port (default 8571; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "-w", "--workers", type=int, default=2, metavar="N",
+        help="worker processes executing jobs (default 2)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=8, metavar="N",
+        help="jobs in flight at once (default 8); excess queue",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help=(
+            "artifact directory backing the shared store (jobs then "
+            "share per-pass artifacts across workers and runs)"
+        ),
+    )
+    parser.add_argument(
+        "--threads",
+        action="store_true",
+        help="execute jobs on in-process threads instead of processes",
+    )
+    return parser
+
+
+def _run_serve(argv: list[str]) -> int:
+    args = build_serve_arg_parser().parse_args(argv)
+    if args.workers < 1 or args.max_jobs < 1:
+        print(
+            "ompdart serve: --workers and --max-jobs must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    import asyncio
+
+    from .service.scheduler import JobScheduler
+    from .service.server import JobServer
+
+    async def _serve() -> int:
+        scheduler = JobScheduler(
+            workers=args.workers,
+            max_concurrency=args.max_jobs,
+            cache_dir=args.cache_dir,
+            use_processes=not args.threads,
+        )
+        server = JobServer(scheduler, host=args.host, port=args.port)
+        try:
+            host, port = await server.start()
+        except OSError as exc:
+            print(f"ompdart serve: cannot bind: {exc}", file=sys.stderr)
+            await scheduler.aclose()
+            return 2
+        print(
+            f"ompdart serve: listening on http://{host}:{port} "
+            f"({scheduler.executor_kind} workers, "
+            f"max {args.max_jobs} concurrent job(s)"
+            + (f", store at {args.cache_dir}" if args.cache_dir else "")
+            + ")",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("ompdart serve: interrupted", file=sys.stderr)
+        return 0
+
+
 def _run_bench_history(argv: list[str]) -> int:
     args = build_bench_history_arg_parser().parse_args(argv)
     import json
@@ -419,29 +535,49 @@ def _run_batch(argv: list[str]) -> int:
 
         print(platform_table())
         return 0
+    if args.migrate:
+        if not args.cache_dir:
+            print(
+                "ompdart batch: error: --migrate requires --cache-dir",
+                file=sys.stderr,
+            )
+            return 2
+        from .pipeline.artifacts import migrate_spills
+
+        print(f"ompdart: {args.cache_dir}: {migrate_spills(args.cache_dir).render()}")
+        if not args.inputs:
+            return 0
     if not args.inputs:
         print("ompdart batch: error: no input files", file=sys.stderr)
         return 2
     platform = _resolve_platform_arg(args.platform)
     if platform is None:
         return 2
-    from .pipeline.batch import transform_paths
+    from .pipeline.batch import BatchRunStats, transform_paths
 
     macros = _parse_defines(args.defines)
     options = ToolOptions(predefined_macros=macros)
     cache = None
+    run_stats = None
     if args.cache_dir and args.jobs <= 1:
         # Serial runs keep a handle on the cache so --report can show
         # per-pass disk traffic; worker processes own their caches.
         from .pipeline.cache import ArtifactCache
 
-        cache = ArtifactCache(disk_dir=args.cache_dir)
+        cache = ArtifactCache(
+            disk_dir=args.cache_dir, measure_baseline=args.report
+        )
+    elif args.cache_dir and args.report:
+        # Process runs surface pool-wide traffic through the shared
+        # store's counters instead.
+        run_stats = BatchRunStats()
     outcomes = transform_paths(
         args.inputs,
         options,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         cache=cache,
+        run_stats=run_stats,
     )
 
     if args.output_dir:
@@ -502,20 +638,55 @@ def _run_batch(argv: list[str]) -> int:
                     f"{stat.disk_bytes_read}B read / "
                     f"{stat.disk_bytes_written}B written"
                 )
+            _print_spill_reduction(
+                sum(s.disk_bytes_written for s in cache.stats.values()),
+                sum(s.baseline_bytes_written for s in cache.stats.values()),
+            )
             report_cache = cache
         else:
-            # Worker processes own their hit/miss/byte counters; only
-            # the shared on-disk total is observable from here.
-            print(
-                "ompdart: per-pass cache counters live in the worker "
-                "processes under -j; showing disk totals only"
-            )
+            if run_stats is None or run_stats.store is None:
+                # Worker processes own their private counters; without
+                # a shared store (unsupported host) only the on-disk
+                # total is observable from the driver.
+                print(
+                    "ompdart: no shared store on this host; per-pass "
+                    "counters live in the worker processes under -j, "
+                    "showing disk totals only"
+                )
+            else:
+                stats = run_stats.store
+                for name, s in sorted(stats.passes.items()):
+                    print(
+                        f"  store {name:<11s} {s.hits} hit(s) / "
+                        f"{s.misses} miss(es), {s.writes} write(s), "
+                        f"{s.cross_worker_hits} cross-worker hit(s)"
+                    )
+                print(
+                    f"ompdart: shared store: {stats.hits} hit(s), "
+                    f"{stats.cross_worker_hits} cross-worker hit(s) "
+                    "across the pool"
+                )
+                _print_spill_reduction(
+                    stats.bytes_written, stats.baseline_bytes
+                )
             report_cache = ArtifactCache(disk_dir=args.cache_dir)
         print(
             f"ompdart: disk cache {args.cache_dir}: "
             f"{report_cache.disk_usage()} byte(s) in spill files"
         )
     return 1 if failures else 0
+
+
+def _print_spill_reduction(compact: int, baseline: int) -> None:
+    """Quote the compact-vs-legacy spill size delta measured this run."""
+    if not compact or not baseline:
+        return
+    pct = 100.0 * (baseline - compact) / baseline
+    print(
+        f"ompdart: compact spills: {compact}B written vs {baseline}B "
+        f"legacy whole-object format ({pct:.1f}% smaller, "
+        f"{baseline / compact:.2f}x)"
+    )
 
 
 def _run_suite(argv: list[str]) -> int:
@@ -562,11 +733,19 @@ def _run_suite(argv: list[str]) -> int:
 
     from .pipeline.batch import BatchWorkerError
 
+    manager = None
+    if args.jobs <= 1:
+        # Keep a handle on the shared manager so the JSON artifact can
+        # record the run's per-pass artifact-store traffic.
+        from .pipeline.manager import PassManager
+
+        manager = PassManager()
     try:
         sweep = run_sweep(
             platforms,
             verify=not args.no_verify,
             jobs=args.jobs,
+            manager=manager,
             names=names,
             vectorize=not args.no_vectorize,
         )
@@ -621,7 +800,11 @@ def _run_suite(argv: list[str]) -> int:
     if args.json_path:
         from .report.perf import write_suite_json
 
-        write_suite_json(sweep, args.json_path)
+        write_suite_json(
+            sweep,
+            args.json_path,
+            store_stats=manager.cache.stats if manager is not None else None,
+        )
         print(f"wrote {args.json_path}", file=sys.stderr)
     return 0
 
@@ -660,6 +843,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_suite_diff(argv[1:])
     if argv and argv[0] == "bench-history":
         return _run_bench_history(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -42,7 +42,6 @@ from .directives import (
     FunctionPlan,
     MapSpec,
     MapType,
-    RegionSpec,
     UpdateSpec,
 )
 from .region import check_declarations_precede_region, compute_region

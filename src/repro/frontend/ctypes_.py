@@ -9,7 +9,7 @@ and numpy dtype mapping for the runtime simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class CType:

@@ -34,9 +34,7 @@ from .ctypes_ import (
     ULONGLONG,
     USHORT,
     VOID,
-    ArrayType,
     FunctionType,
-    PointerType,
     QualType,
     StructType,
     array_of,

@@ -17,22 +17,39 @@ per batch so the simulator frontend reuses the parse artifact instead
 of re-parsing every benchmark source.
 """
 
-from .batch import BatchOutcome, transform_batch, transform_paths  # noqa: F401
+from .artifacts import ArtifactSchema, schema_for  # noqa: F401
 from .cache import ArtifactCache, CacheStats, fingerprint  # noqa: F401
 from .context import PipelineContext, ToolOptions  # noqa: F401
 from .manager import PassManager  # noqa: F401
 from .passes import DEFAULT_PASSES, Pass  # noqa: F401
+from .store import SharedArtifactStore  # noqa: F401
 
 __all__ = [
     "ArtifactCache",
+    "ArtifactSchema",
     "BatchOutcome",
     "CacheStats",
     "DEFAULT_PASSES",
     "Pass",
     "PassManager",
     "PipelineContext",
+    "SharedArtifactStore",
     "ToolOptions",
     "fingerprint",
+    "schema_for",
     "transform_batch",
     "transform_paths",
 ]
+
+#: Batch-driver symbols resolve lazily (PEP 562): the batch driver is a
+#: thin client of :mod:`repro.service.core`, which itself builds on the
+#: cache/manager modules above — an eager import here would be a cycle.
+_BATCH_EXPORTS = {"BatchOutcome", "transform_batch", "transform_paths"}
+
+
+def __getattr__(name: str):
+    if name in _BATCH_EXPORTS:
+        from . import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

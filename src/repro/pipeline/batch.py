@@ -1,150 +1,83 @@
 """Concurrent batch driver: many translation units through the pipeline.
 
-``transform_batch`` fans a list of sources out over a
-:class:`concurrent.futures.ProcessPoolExecutor` (or runs them serially
-through one shared in-process cache when ``jobs <= 1``) and returns
-compact, picklable :class:`BatchOutcome` records in **submission
-order** — results are deterministic regardless of worker scheduling.
+``transform_batch`` fans a list of sources out over the shared worker
+runtime of :mod:`repro.service.core` (or runs them serially through one
+shared in-process cache when ``jobs <= 1``) and returns compact,
+picklable :class:`BatchOutcome` records in **submission order** —
+results are deterministic regardless of worker scheduling.
 
 Worker processes keep a process-global :class:`PassManager`, so
 repeated inputs inside one batch still hit the artifact cache; pass a
 ``cache_dir`` to share artifacts across processes and across runs.
+With a cache directory, the driver also opens a
+:class:`~repro.pipeline.store.SharedArtifactStore` for the run, so
+duplicate inputs discovered *mid-run* are served by whichever worker
+produced them first — cross-worker hits the CLI's ``--report``
+surfaces from the store's shared counters.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from ..core.directives import count_constructs
-from ..diagnostics import ToolError
+# Re-exported public surface: the worker runtime lives in the service
+# layer now; callers keep importing it from here.
+from ..service.core import (  # noqa: F401
+    BatchOutcome,
+    BatchWorkerError,
+    describe_exception,
+    dispatch_map,
+    transform_one,
+    worker_init,
+    worker_manager,
+    _WORKER_MANAGERS,
+)
 from .cache import ArtifactCache
 from .context import ToolOptions
 from .manager import PassManager
+from .store import SharedArtifactStore, StoreStats
+
+#: Backwards-compatible aliases (the worker runtime moved to the
+#: service layer; the batch driver is a thin client of it).
+_worker_init = worker_init
+_worker_manager = worker_manager
+_transform_one = transform_one
 
 
-class BatchWorkerError(RuntimeError):
-    """A worker failure, labelled with the input that caused it.
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    jobs: int = 1,
+    label: Callable[[Any], str] | None = None,
+) -> list[Any]:
+    """Order-preserving map used by the evaluation harness.
 
-    Process pools re-raise worker exceptions as bare pickled tracebacks
-    with no hint of *which* submitted item failed; the batch driver
-    wraps them so the failing source filename (or benchmark name) is in
-    the message.  ``label`` and ``cause`` survive pickling.
+    Thin alias of :func:`repro.service.core.dispatch_map` — kept here
+    because the harness and tests import it from the pipeline package.
+    """
+    return dispatch_map(fn, items, jobs=jobs, label=label)
+
+
+@dataclass
+class BatchRunStats:
+    """Pool-wide observability a caller can opt into per batch run.
+
+    ``transform_batch`` fills this in when given one: the shared
+    store's per-pass counters (cross-worker hits, bytes) for process
+    runs, and nothing extra for serial runs (the caller already holds
+    the cache there).
     """
 
-    def __init__(self, label: str, cause: str):
-        super().__init__(f"{label}: {cause}")
-        self.label = label
-        self.cause = cause
-
-    def __reduce__(self):
-        return (BatchWorkerError, (self.label, self.cause))
+    store: StoreStats | None = None
 
 
-def describe_exception(exc: BaseException) -> str:
-    """Compact one-line rendering of a worker exception."""
-    text = str(exc).strip()
-    name = type(exc).__name__
-    return f"{name}: {text}" if text else name
+def _worker_transform(job: tuple[str, str, ToolOptions]) -> BatchOutcome:
+    source, filename, options = job
+    from ..service.core import _runtime_manager
 
-
-@dataclass(frozen=True)
-class BatchOutcome:
-    """Result of one translation unit's trip through the batch driver."""
-
-    filename: str
-    ok: bool
-    output_source: str | None = None
-    error: str | None = None
-    diagnostics: tuple[str, ...] = ()
-    directive_count: int = 0
-    elapsed_seconds: float = 0.0
-    timings: dict[str, float] = field(default_factory=dict)
-    cache_events: dict[str, str] = field(default_factory=dict)
-    #: Did the rewrite differ from the input source?  Mirrors
-    #: ``TransformResult.changed``.
-    changed: bool = False
-
-
-def _outcome_from_context(ctx: Any, elapsed: float) -> BatchOutcome:
-    plans, _, _ = ctx.artifact("plan")
-    output = ctx.artifact("rewrite")
-    return BatchOutcome(
-        filename=ctx.filename,
-        ok=True,
-        output_source=output,
-        diagnostics=tuple(d.render() for d in ctx.diagnostics),
-        directive_count=count_constructs(plans),
-        elapsed_seconds=elapsed,
-        timings=dict(ctx.timings),
-        cache_events=dict(ctx.cache_events),
-        changed=output != ctx.source,
-    )
-
-
-def _transform_one(
-    manager: PassManager, source: str, filename: str, options: ToolOptions
-) -> BatchOutcome:
-    import time
-
-    start = time.perf_counter()
-    try:
-        ctx = manager.run(source, filename, options)
-    except ToolError as exc:
-        return BatchOutcome(
-            filename=filename,
-            ok=False,
-            error=str(exc),
-            diagnostics=tuple(d.render() for d in exc.diagnostics),
-            elapsed_seconds=time.perf_counter() - start,
-        )
-    except Exception as exc:  # noqa: BLE001 - workers must not leak bare
-        # tracebacks across the process boundary; report the input.
-        return BatchOutcome(
-            filename=filename,
-            ok=False,
-            error=f"internal error: {describe_exception(exc)}",
-            elapsed_seconds=time.perf_counter() - start,
-        )
-    return _outcome_from_context(ctx, time.perf_counter() - start)
-
-
-# -- worker-process state ----------------------------------------------------
-
-#: Per-process manager, keyed by cache directory (None = memory only).
-_WORKER_MANAGERS: dict[str | None, PassManager] = {}
-
-
-def _worker_manager(cache_dir: str | None) -> PassManager:
-    manager = _WORKER_MANAGERS.get(cache_dir)
-    if manager is None:
-        cache = ArtifactCache(disk_dir=cache_dir) if cache_dir else ArtifactCache()
-        manager = PassManager(cache=cache)
-        _WORKER_MANAGERS[cache_dir] = manager
-    return manager
-
-
-def _worker_transform(
-    job: tuple[str, str, ToolOptions, str | None]
-) -> BatchOutcome:
-    source, filename, options, cache_dir = job
-    return _transform_one(_worker_manager(cache_dir), source, filename, options)
-
-
-def _worker_init(cache_dir: str | None) -> None:
-    """Pool initializer: build the worker's manager eagerly and pre-warm
-    its private in-memory cache from the shared ``--cache-dir``.
-
-    Without this, every forked worker started cold: duplicate inputs
-    whose artifacts a previous run (or another worker) had already
-    spilled were re-fetched from disk per lookup — or, before the disk
-    check, re-parsed outright.  Priming at pool startup moves that work
-    to one batched sweep per worker.
-    """
-    manager = _worker_manager(cache_dir)
-    if cache_dir:
-        manager.cache.prewarm()
+    return transform_one(_runtime_manager(), source, filename, options)
 
 
 # -- public API --------------------------------------------------------------
@@ -158,6 +91,7 @@ def transform_batch(
     cache: ArtifactCache | None = None,
     cache_dir: str | None = None,
     manager: PassManager | None = None,
+    run_stats: BatchRunStats | None = None,
 ) -> list[BatchOutcome]:
     """Transform ``(source, filename)`` pairs; results in input order.
 
@@ -167,7 +101,9 @@ def transform_batch(
 
     In-process ``cache``/``manager`` objects cannot cross the process
     boundary, so combining them with ``jobs > 1`` is an error — use
-    ``cache_dir`` to share artifacts between workers instead.
+    ``cache_dir`` to share artifacts between workers instead.  Process
+    runs with a cache directory open a shared store for the run;
+    ``run_stats`` receives its counters after the pool drains.
     """
     options = options or ToolOptions()
     items = list(items)
@@ -183,16 +119,32 @@ def transform_batch(
             else ArtifactCache(disk_dir=cache_dir)
         )
         return [
-            _transform_one(mgr, source, filename, options)
+            transform_one(mgr, source, filename, options)
             for source, filename in items
         ]
 
     jobs = min(jobs, len(items))
-    payload = [(src, fname, options, cache_dir) for src, fname in items]
-    with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_worker_init, initargs=(cache_dir,)
-    ) as pool:
-        return list(pool.map(_worker_transform, payload))
+    payload = [(src, fname, options) for src, fname in items]
+    store = (
+        SharedArtifactStore.create(cache_dir) if cache_dir is not None else None
+    )
+    try:
+        results = dispatch_map(
+            _worker_transform,
+            payload,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            store_name=store.name if store is not None else None,
+            # The baseline double-serialization only pays off when the
+            # store exists to carry the counters back to the driver.
+            measure_baseline=run_stats is not None and store is not None,
+        )
+        if store is not None and run_stats is not None:
+            run_stats.store = store.stats()
+        return results
+    finally:
+        if store is not None:
+            store.close()
 
 
 def transform_paths(
@@ -202,6 +154,7 @@ def transform_paths(
     jobs: int = 1,
     cache_dir: str | None = None,
     cache: ArtifactCache | None = None,
+    run_stats: BatchRunStats | None = None,
 ) -> list[BatchOutcome]:
     """Read files and transform them as one batch (CLI entry point).
 
@@ -222,60 +175,9 @@ def transform_paths(
                 filename=path, ok=False, error=f"cannot read {path}: {exc}"
             )
     results = transform_batch(
-        items, options, jobs=jobs, cache_dir=cache_dir, cache=cache
+        items, options, jobs=jobs, cache_dir=cache_dir, cache=cache,
+        run_stats=run_stats,
     )
     for i, outcome in zip(readable, results):
         outcomes_by_index[i] = outcome
     return [outcomes_by_index[i] for i in range(len(paths))]
-
-
-def parallel_map(
-    fn: Callable[[Any], Any],
-    items: Iterable[Any],
-    *,
-    jobs: int = 1,
-    label: Callable[[Any], str] | None = None,
-) -> list[Any]:
-    """Order-preserving map used by the evaluation harness.
-
-    ``fn`` must be a picklable top-level callable when ``jobs > 1``.
-    Results always come back in input order (``ProcessPoolExecutor.map``
-    preserves ordering by construction), so parallel runs are
-    bit-identical to serial ones for deterministic workloads.
-
-    ``label`` names each item for error reporting: when a worker
-    raises, the exception is re-raised as :class:`BatchWorkerError`
-    carrying ``label(item)`` — instead of a bare pickled traceback
-    that never says which input failed.  The labelling happens on the
-    driver side (result order identifies the faulty item), so ``label``
-    need not be picklable.
-    """
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        results: list[Any] = []
-        for item in items:
-            try:
-                results.append(fn(item))
-            except Exception as exc:
-                if label is None:
-                    raise
-                raise BatchWorkerError(
-                    label(item), describe_exception(exc)
-                ) from exc
-        return results
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        results = []
-        result_iter = pool.map(fn, items)
-        while True:
-            try:
-                results.append(next(result_iter))
-            except StopIteration:
-                return results
-            except Exception as exc:
-                if label is None:
-                    raise
-                # pool.map yields in submission order, so the first
-                # failure corresponds to the next unfilled slot.
-                raise BatchWorkerError(
-                    label(items[len(results)]), describe_exception(exc)
-                ) from exc

@@ -1,4 +1,4 @@
-"""Per-pass artifact cache: content-hash keys, LRU memory, optional disk.
+"""Per-pass artifact cache: content-hash keys, LRU memory, typed spills.
 
 Every pipeline pass is a deterministic function of ``(source, filename,
 options)``, so one fingerprint of those inputs keys every artifact the
@@ -8,33 +8,43 @@ which historically parsed every benchmark source twice) and can spill
 artifacts to a directory so separate worker processes of the batch
 driver share work across runs.
 
-Disk spills are pickled with protocol 5 and zlib-compressed (AST
-artifacts are highly redundant — the compressed spill is typically a
-small fraction of the raw pickle), the first step toward the roadmap's
-compact serialized IR.  Spill files written by older revisions (plain
-pickle) are still readable.  :class:`CacheStats` counts the compressed
-bytes read and written per pass alongside hit/miss counts, so the batch
-driver's per-pass instrumentation can surface on-disk cache traffic.
+Disk spills use the **typed per-pass schemas** of
+:mod:`repro.pipeline.artifacts`: each pass's payload is encoded by its
+registered schema (analysis artifacts store AST references instead of
+AST copies), and each pass's schema *version* is folded into the
+storage key, so spills from an incompatible revision are never looked
+up — stale caches self-invalidate instead of unpickling to wrong
+shapes.  Legacy whole-object spills (zlib'd or plain pickles from
+earlier revisions) are still readable, and ``ompdart batch --cache-dir
+--migrate`` rewrites them in place.
+
+When a :class:`~repro.pipeline.store.SharedArtifactStore` is attached,
+disk traffic is also published to the run-wide shared index, so batch
+workers discover — and count — artifacts produced by their siblings
+*during* the run.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 import threading
-import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
-#: zlib level 6 halves parse artifacts at negligible CPU cost; spills
-#: are written once and read by many workers.
-_COMPRESS_LEVEL = 6
+from . import artifacts as artifact_schemas
+from .artifacts import ArtifactDecodeError
+from .store import SharedArtifactStore
 
 #: Sentinel distinguishing "not cached" from a cached None.
 _MISS = object()
+
+#: Lookup-origin labels recorded by the pass manager.
+ORIGIN_MEMORY = "memory"
+ORIGIN_DISK = "disk"
+ORIGIN_STORE = "store"
 
 
 def fingerprint(*parts: Any) -> str:
@@ -63,6 +73,9 @@ class CacheStats:
     disk_bytes_read: int = 0
     #: Compressed bytes written to disk spills on misses.
     disk_bytes_written: int = 0
+    #: Bytes the legacy whole-object format would have written for the
+    #: same artifacts (populated only under ``measure_baseline``).
+    baseline_bytes_written: int = 0
 
     @property
     def lookups(self) -> int:
@@ -77,7 +90,8 @@ class CacheStats:
 class ArtifactCache:
     """Bounded LRU of pipeline artifacts, optionally backed by a directory.
 
-    Keys are ``(pass_name, input_fingerprint)``.  Thread-safe: the
+    Keys are ``(pass_name, input_fingerprint)``; on disk the pass's
+    schema version is folded into the fingerprint.  Thread-safe: the
     serial batch path may be driven from multiple threads, and the
     evaluation harness shares one cache across all nine benchmarks.
     """
@@ -85,6 +99,11 @@ class ArtifactCache:
     max_entries: int = 256
     disk_dir: str | Path | None = None
     stats: dict[str, CacheStats] = field(default_factory=dict)
+    #: Optional run-wide shared index (batch workers, serve scheduler).
+    store: SharedArtifactStore | None = None
+    #: Also compute what the legacy spill format would have written, so
+    #: ``--report`` can quote the compact-format reduction on live runs.
+    measure_baseline: bool = False
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -106,44 +125,77 @@ class ArtifactCache:
         if self.disk_dir is None:
             return 0
         total = 0
-        for path in Path(self.disk_dir).glob("*.pkl"):
-            try:
-                total += path.stat().st_size
-            except OSError:
-                continue  # racing writer/cleaner; size is best-effort
+        for pattern in ("*.art", "*.pkl"):
+            for path in Path(self.disk_dir).glob(pattern):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue  # racing writer/cleaner; size is best-effort
         return total
 
     # -- lookup ----------------------------------------------------------
 
-    def get(self, pass_name: str, key: str) -> Any:
-        """Return the cached artifact or the module-level ``MISS``."""
+    def lookup(
+        self,
+        pass_name: str,
+        key: str,
+        deps: Mapping[str, Any] | None = None,
+    ) -> tuple[Any, str | None]:
+        """(artifact or MISS, origin).
+
+        ``deps`` supplies earlier in-context artifacts for reference
+        decoding (the pass manager passes ``ctx.artifacts``); without
+        it, spills that need the parse artifact decode as misses.
+        Origin is ``"memory"``, ``"disk"``, ``"store"`` (produced by a
+        sibling worker during this run) or ``None`` on a miss.
+        """
+        skey = artifact_schemas.storage_key(pass_name, key)
         with self._lock:
-            memory_key = (pass_name, key)
+            memory_key = (pass_name, skey)
             if memory_key in self._memory:
                 self._memory.move_to_end(memory_key)
                 self._stat(pass_name).hits += 1
-                return self._memory[memory_key]
-        value, nbytes = self._disk_get(pass_name, key)
+                return self._memory[memory_key], ORIGIN_MEMORY
+        value, nbytes, cross = self._disk_get(pass_name, key, skey, deps)
         with self._lock:
             stat = self._stat(pass_name)
             if value is not _MISS:
                 stat.hits += 1
                 stat.disk_bytes_read += nbytes
-                self._remember(pass_name, key, value)
+                self._remember(pass_name, skey, value)
             else:
                 stat.misses += 1
-        return value
+        if value is _MISS:
+            return _MISS, None
+        return value, ORIGIN_STORE if cross else ORIGIN_DISK
+
+    def get(
+        self,
+        pass_name: str,
+        key: str,
+        deps: Mapping[str, Any] | None = None,
+    ) -> Any:
+        """Return the cached artifact or the module-level ``MISS``."""
+        return self.lookup(pass_name, key, deps)[0]
 
     def put(self, pass_name: str, key: str, value: Any) -> None:
+        skey = artifact_schemas.storage_key(pass_name, key)
         with self._lock:
-            self._remember(pass_name, key, value)
-        nbytes = self._disk_put(pass_name, key, value)
+            self._remember(pass_name, skey, value)
+        nbytes = self._disk_put(pass_name, skey, value)
         if nbytes:
+            baseline = 0
+            if self.measure_baseline:
+                baseline = artifact_schemas.legacy_size(value)
             with self._lock:
-                self._stat(pass_name).disk_bytes_written += nbytes
+                stat = self._stat(pass_name)
+                stat.disk_bytes_written += nbytes
+                stat.baseline_bytes_written += baseline
+            if self.store is not None:
+                self.store.publish(pass_name, skey, nbytes, baseline)
 
-    def _remember(self, pass_name: str, key: str, value: Any) -> None:
-        memory_key = (pass_name, key)
+    def _remember(self, pass_name: str, skey: str, value: Any) -> None:
+        memory_key = (pass_name, skey)
         self._memory[memory_key] = value
         self._memory.move_to_end(memory_key)
         while len(self._memory) > self.max_entries:
@@ -160,39 +212,89 @@ class ArtifactCache:
         most-recently-written spills — duplicate inputs then hit memory
         immediately instead of racing the disk per lookup.
 
+        Reference-encoded spills decode against the ``parse`` artifact
+        of their own input group (same fingerprint), which is loaded
+        first; groups whose parse spill is unavailable are skipped like
+        ``get`` misses, as are unreadable or version-skewed files.
+
         Returns the number of artifacts loaded.  Hit/miss counters are
-        untouched (pre-warming is not a lookup), and unreadable or
-        version-skewed spills are skipped exactly like ``get`` misses.
+        untouched (pre-warming is not a lookup).
         """
         if self.disk_dir is None:
             return 0
         budget = self.max_entries if limit is None else limit
         try:
             paths = sorted(
-                Path(self.disk_dir).glob("*.pkl"),
+                (
+                    p
+                    for pattern in ("*.art", "*.pkl")
+                    for p in Path(self.disk_dir).glob(pattern)
+                ),
                 key=lambda p: p.stat().st_mtime,
                 reverse=True,
             )
         except OSError:
             return 0
+        # Oldest-first so LRU recency matches on-disk recency — the
+        # newest artifacts must be the last the LRU would evict.
+        selected = list(reversed(paths[:budget]))
         loaded = 0
-        # Insert oldest-first so LRU recency matches on-disk recency —
-        # the newest artifacts must be the last the LRU would evict.
-        for path in reversed(paths[:budget]):
+        deferred: list[tuple[str, str, str, bytes]] = []
+        parse_by_group: dict[str, Any] = {}
+        for path in selected:
             stem = path.stem
-            pass_name, sep, key = stem.partition("-")
+            pass_name, sep, skey = stem.partition("-")
             if not sep:
                 continue
             try:
-                with open(path, "rb") as fh:
-                    value = self._decode(fh.read())
-            except (OSError, pickle.PickleError, EOFError, AttributeError,
-                    ImportError, zlib.error):
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            if path.suffix == ".pkl":
+                # Legacy spill: filename carries the raw fingerprint;
+                # remember under the versioned key so lookups hit.
+                skey = artifact_schemas.storage_key(pass_name, skey)
+            schema = artifact_schemas.schema_for(pass_name)
+            if schema.depends and artifact_schemas.is_compact_spill(raw):
+                deferred.append((pass_name, skey, _group_of(skey), raw))
+                continue
+            try:
+                value = artifact_schemas.decode_spill(raw, pass_name)
+            except ArtifactDecodeError:
+                continue
+            if pass_name == "parse":
+                parse_by_group[_group_of(skey)] = value
+            with self._lock:
+                self._remember(pass_name, skey, value)
+            loaded += 1
+        for pass_name, skey, group, raw in deferred:
+            parse = parse_by_group.get(group)
+            if parse is None:
+                parse = self._load_group_parse(group)
+                if parse is None:
+                    continue
+                parse_by_group[group] = parse
+            try:
+                value = artifact_schemas.decode_spill(
+                    raw, pass_name, {"parse": parse}
+                )
+            except ArtifactDecodeError:
                 continue
             with self._lock:
-                self._remember(pass_name, key, value)
+                self._remember(pass_name, skey, value)
             loaded += 1
         return loaded
+
+    def _load_group_parse(self, group: str) -> Any:
+        """Decode the parse spill anchoring one input group, if present."""
+        assert self.disk_dir is not None
+        path = Path(self.disk_dir) / artifact_schemas.spill_filename(
+            "parse", group
+        )
+        try:
+            return artifact_schemas.decode_spill(path.read_bytes(), "parse")
+        except (OSError, ArtifactDecodeError):
+            return None
 
     def clear(self) -> None:
         with self._lock:
@@ -205,51 +307,70 @@ class ArtifactCache:
     # -- disk spill ------------------------------------------------------
 
     def _disk_path(self, pass_name: str, key: str) -> Path:
+        """Legacy spill path (pre-schema revisions wrote these)."""
         assert self.disk_dir is not None
         return Path(self.disk_dir) / f"{pass_name}-{key}.pkl"
 
-    @staticmethod
-    def _decode(raw: bytes) -> Any:
-        # New spills are zlib-compressed pickles; pre-compression files
-        # start with the pickle protocol-2+ magic (0x80) and load as-is.
-        if raw[:1] == b"\x80":
-            return pickle.loads(raw)
-        return pickle.loads(zlib.decompress(raw))
+    def _compact_path(self, pass_name: str, skey: str) -> Path:
+        assert self.disk_dir is not None
+        return Path(self.disk_dir) / f"{pass_name}-{skey}.art"
 
-    def _disk_get(self, pass_name: str, key: str) -> tuple[Any, int]:
-        """(artifact, compressed bytes read) — or (MISS, 0)."""
+    def _disk_get(
+        self,
+        pass_name: str,
+        key: str,
+        skey: str,
+        deps: Mapping[str, Any] | None,
+    ) -> tuple[Any, int, bool]:
+        """(artifact, bytes read, cross-worker) — or (MISS, 0, False)."""
         if self.disk_dir is None:
-            return _MISS, 0
-        path = self._disk_path(pass_name, key)
+            return _MISS, 0, False
+        raw: bytes | None = None
         try:
-            with open(path, "rb") as fh:
-                raw = fh.read()
-            return self._decode(raw), len(raw)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, zlib.error):
+            raw = self._compact_path(pass_name, skey).read_bytes()
+        except OSError:
+            # Fall back to a spill written by a pre-schema revision
+            # (named by the raw fingerprint, whole-object payload).
+            try:
+                raw = self._disk_path(pass_name, key).read_bytes()
+            except OSError:
+                return _MISS, 0, False
+        try:
+            value = artifact_schemas.decode_spill(raw, pass_name, deps)
+        except ArtifactDecodeError:
             # Unreadable or version-skewed spill files are misses, not
             # crashes (e.g. a cached class moved between releases).
-            return _MISS, 0
+            return _MISS, 0, False
+        cross = False
+        if self.store is not None:
+            # Attribute the hit only after the spill actually served —
+            # a vanished or undecodable segment must not inflate the
+            # cross-worker counters the batch report gates on.
+            _published, cross = self.store.lookup(pass_name, skey)
+        return value, len(raw), cross
 
-    def _disk_put(self, pass_name: str, key: str, value: Any) -> int:
+    def _disk_put(self, pass_name: str, skey: str, value: Any) -> int:
         """Spill the artifact; returns compressed bytes written (0 = none)."""
         if self.disk_dir is None:
             return 0
-        path = self._disk_path(pass_name, key)
+        path = self._compact_path(pass_name, skey)
         # Unique tmp name per writer: concurrent batch workers missing on
         # the same key must not truncate each other's half-written spill.
         tmp = path.with_suffix(f".{os.getpid()}-{threading.get_ident()}.tmp")
         try:
-            raw = zlib.compress(
-                pickle.dumps(value, protocol=5), _COMPRESS_LEVEL
-            )
+            raw = artifact_schemas.encode_spill(pass_name, value)
             with open(tmp, "wb") as fh:
                 fh.write(raw)
             tmp.replace(path)
             return len(raw)
-        except (OSError, pickle.PickleError, TypeError):
+        except Exception:  # noqa: BLE001 - unspillable artifacts stay in memory
             tmp.unlink(missing_ok=True)
             return 0
+
+
+def _group_of(skey: str) -> str:
+    """The raw input fingerprint shared by one input's spill group."""
+    return skey.rsplit("-s", 1)[0]
 
 
 #: Public miss sentinel (also importable for tests).

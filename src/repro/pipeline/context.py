@@ -47,6 +47,9 @@ class PipelineContext:
     timings: dict[str, float] = field(default_factory=dict)
     #: pass name -> "hit" | "miss" | "uncached".
     cache_events: dict[str, str] = field(default_factory=dict)
+    #: pass name -> where a hit came from: "memory" | "disk" | "store"
+    #: ("store" = published by a sibling worker during this run).
+    cache_origins: dict[str, str] = field(default_factory=dict)
 
     def artifact(self, pass_name: str) -> Any:
         try:

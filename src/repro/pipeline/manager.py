@@ -71,8 +71,11 @@ class PassManager:
 
     def _run_pass(self, p: Pass, ctx: PipelineContext, key: str) -> None:
         start = time.perf_counter()
+        origin = None
         if p.cacheable and self.cache is not None:
-            value = self.cache.get(p.name, key)
+            # Earlier in-context artifacts anchor reference decoding
+            # (analysis spills resolve AST indices against "parse").
+            value, origin = self.cache.lookup(p.name, key, deps=ctx.artifacts)
             if value is not MISS:
                 event = HIT
             else:
@@ -84,6 +87,8 @@ class PassManager:
             event = UNCACHED
         ctx.artifacts[p.name] = value
         ctx.cache_events[p.name] = event
+        if origin is not None:
+            ctx.cache_origins[p.name] = origin
         ctx.timings[p.name] = time.perf_counter() - start
         if p.finalize is not None:
             p.finalize(ctx, value)

@@ -1,0 +1,384 @@
+"""Shared cross-process artifact store: SHM index over file segments.
+
+The batch driver's worker processes each keep a private in-memory
+cache, and before this module they only shared work *across* runs (via
+``--cache-dir`` spill files) — a duplicate input discovered mid-run was
+recomputed by every worker that had not yet seen it.  The
+:class:`SharedArtifactStore` closes that gap:
+
+* **Index**: one :class:`multiprocessing.shared_memory.SharedMemory`
+  block holding an open-addressed table of content-key digests, each
+  stamped with the writer's pid.  A worker that misses in memory
+  probes the index before touching the disk — and learns, in the same
+  probe, whether another worker produced the artifact *during this
+  run* (the cross-worker hit the ``batch --report`` counters surface).
+* **Segments**: the artifact payloads themselves are the compact spill
+  files of the cache directory — file-backed segments the index points
+  at by name, so the store adds no second copy of any artifact.
+* **Counters**: a per-pass table (hits/misses/writes/cross-worker
+  hits/bytes) lives in the same SHM block, so the parent process can
+  report pool-wide store traffic after the run — something the
+  pre-store driver could not observe at all.
+
+All index and counter mutations happen under an advisory ``flock`` on
+a lockfile next to the segments; payload I/O stays outside the lock.
+Creation degrades gracefully: where shared memory or file locking is
+unavailable (sandboxes), :meth:`SharedArtifactStore.create` returns
+``None`` and the batch driver runs exactly as before.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import secrets
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+try:  # pragma: no cover - present on every supported platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - minimal builds
+    shared_memory = None  # type: ignore[assignment]
+
+__all__ = ["SharedArtifactStore", "StorePassStats", "StoreStats"]
+
+#: SHM layout: header | counter rows | index slots.
+_HEADER = struct.Struct("<8sII")  # magic, slot count, counter rows
+_MAGIC = b"OMPSTOR1"
+#: One counter row: pass name (utf-8, padded) + six u64 counters.
+_COUNTER = struct.Struct("<24sQQQQQQ")
+#: One index slot: 16-byte key digest + writer pid + generation.
+_SLOT = struct.Struct("<16sII")
+
+_DEFAULT_SLOTS = 4096
+_COUNTER_ROWS = 32
+_MAX_PROBE = 32
+
+
+def _digest(pass_name: str, key: str) -> bytes:
+    return hashlib.blake2b(
+        f"{pass_name}\x1f{key}".encode(), digest_size=16
+    ).digest()
+
+
+@dataclass
+class StorePassStats:
+    """Shared-store counters for one pass name."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: Hits on entries published by a *different* worker process.
+    cross_worker_hits: int = 0
+    bytes_written: int = 0
+    #: Bytes the legacy whole-object spill format would have written
+    #: for the same artifacts (populated under ``--report``).
+    baseline_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "cross_worker_hits": self.cross_worker_hits,
+            "bytes_written": self.bytes_written,
+            "baseline_bytes": self.baseline_bytes,
+        }
+
+
+@dataclass
+class StoreStats:
+    """Pool-wide store counters, keyed by pass name."""
+
+    passes: dict[str, StorePassStats] = field(default_factory=dict)
+
+    @property
+    def cross_worker_hits(self) -> int:
+        return sum(s.cross_worker_hits for s in self.passes.values())
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.passes.values())
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(s.bytes_written for s in self.passes.values())
+
+    @property
+    def baseline_bytes(self) -> int:
+        return sum(s.baseline_bytes for s in self.passes.values())
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {
+            name: stats.as_dict() for name, stats in sorted(self.passes.items())
+        }
+
+
+class SharedArtifactStore:
+    """Cross-process content-addressed index over a cache directory.
+
+    One process (the batch parent or the serve scheduler) calls
+    :meth:`create`; workers :meth:`attach` by name.  The store never
+    owns payload bytes — it indexes the spill files the
+    :class:`~repro.pipeline.cache.ArtifactCache` writes — so dropping
+    it loses only counters, never artifacts.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        shm: "shared_memory.SharedMemory",
+        *,
+        owner: bool,
+        slots: int,
+    ):
+        self.directory = Path(directory)
+        self._shm = shm
+        self._owner = owner
+        self._slots = slots
+        self._pid = os.getpid()
+        self._lock_path = self.directory / ".store.lock"
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, directory: str | Path, *, slots: int = _DEFAULT_SLOTS
+    ) -> "SharedArtifactStore | None":
+        """Create a fresh store for one run; ``None`` when unsupported."""
+        if shared_memory is None or fcntl is None:
+            return None
+        size = _HEADER.size + _COUNTER_ROWS * _COUNTER.size + slots * _SLOT.size
+        try:
+            Path(directory).mkdir(parents=True, exist_ok=True)
+            shm = shared_memory.SharedMemory(
+                name=f"ompdart-{secrets.token_hex(6)}", create=True, size=size
+            )
+        except (OSError, ValueError, PermissionError):
+            return None
+        buf = shm.buf
+        buf[: size] = b"\x00" * size
+        _HEADER.pack_into(buf, 0, _MAGIC, slots, _COUNTER_ROWS)
+        return cls(directory, shm, owner=True, slots=slots)
+
+    @classmethod
+    def attach(
+        cls, directory: str | Path, name: str
+    ) -> "SharedArtifactStore | None":
+        """Attach to a store created by another process, by SHM name."""
+        if shared_memory is None or fcntl is None:
+            return None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError, PermissionError):
+            return None
+        # Attaching re-registers the segment name with the resource
+        # tracker.  Pool children inherit the parent's tracker (its fd
+        # is passed through both fork and spawn preparation), whose
+        # name cache is a set — the duplicate REGISTER is a no-op, and
+        # the single UNREGISTER happens when the creator unlinks.
+        # Explicitly unregistering here instead would double-remove the
+        # name and crash the shared tracker at parent exit.
+        try:
+            magic, slots, rows = _HEADER.unpack_from(shm.buf, 0)
+        except struct.error:
+            shm.close()
+            return None
+        if magic != _MAGIC or rows != _COUNTER_ROWS:
+            shm.close()
+            return None
+        return cls(directory, shm, owner=False, slots=slots)
+
+    @property
+    def name(self) -> str:
+        """SHM segment name workers attach by."""
+        return self._shm.name
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with contextlib.suppress(OSError):
+            self._shm.close()
+        if self._owner:
+            with contextlib.suppress(OSError):
+                self._shm.unlink()
+
+    def __enter__(self) -> "SharedArtifactStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- locking ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    # -- counters --------------------------------------------------------
+
+    def _counter_offset(self, row: int) -> int:
+        return _HEADER.size + row * _COUNTER.size
+
+    def _find_counter_row(self, pass_name: str, *, create: bool) -> int | None:
+        """Row index for ``pass_name``; allocates when ``create``."""
+        encoded = pass_name.encode()[:24]
+        for row in range(_COUNTER_ROWS):
+            name_raw = bytes(
+                self._shm.buf[
+                    self._counter_offset(row): self._counter_offset(row) + 24
+                ]
+            )
+            name = name_raw.rstrip(b"\x00")
+            if name == encoded:
+                return row
+            if not name:
+                if not create:
+                    return None
+                _COUNTER.pack_into(
+                    self._shm.buf, self._counter_offset(row),
+                    encoded, 0, 0, 0, 0, 0, 0,
+                )
+                return row
+        return None  # table full: counters saturate, lookups still work
+
+    def _bump(self, pass_name: str, *, field_index: int, delta: int = 1) -> None:
+        row = self._find_counter_row(pass_name, create=True)
+        if row is None:
+            return
+        offset = self._counter_offset(row)
+        values = list(_COUNTER.unpack_from(self._shm.buf, offset))
+        values[1 + field_index] += delta
+        _COUNTER.pack_into(self._shm.buf, offset, *values)
+
+    def stats(self) -> StoreStats:
+        """Snapshot of the pool-wide per-pass counters.
+
+        Fail-soft like every store operation: if the lockfile or the
+        SHM segment has gone away, the snapshot is simply empty.
+        """
+        out = StoreStats()
+        try:
+            self._stats_locked(out)
+        except (OSError, ValueError):
+            pass
+        return out
+
+    def _stats_locked(self, out: StoreStats) -> None:
+        with self._locked():
+            for row in range(_COUNTER_ROWS):
+                offset = self._counter_offset(row)
+                name_raw, hits, misses, writes, cross, nbytes, baseline = (
+                    _COUNTER.unpack_from(self._shm.buf, offset)
+                )
+                name = name_raw.rstrip(b"\x00").decode(errors="replace")
+                if not name:
+                    continue
+                out.passes[name] = StorePassStats(
+                    hits=hits, misses=misses, writes=writes,
+                    cross_worker_hits=cross, bytes_written=nbytes,
+                    baseline_bytes=baseline,
+                )
+
+    # -- index -----------------------------------------------------------
+
+    def _slot_offset(self, slot: int) -> int:
+        return (
+            _HEADER.size + _COUNTER_ROWS * _COUNTER.size + slot * _SLOT.size
+        )
+
+    def _probe(self, digest: bytes) -> tuple[int | None, int | None]:
+        """(slot holding digest, first free slot) within the probe window."""
+        start = int.from_bytes(digest[:8], "little") % self._slots
+        free: int | None = None
+        for i in range(_MAX_PROBE):
+            slot = (start + i) % self._slots
+            raw, pid, _gen = _SLOT.unpack_from(
+                self._shm.buf, self._slot_offset(slot)
+            )
+            if pid == 0:
+                if free is None:
+                    free = slot
+                return None, free
+            if raw == digest:
+                return slot, free
+        return None, free
+
+    def publish(
+        self, pass_name: str, key: str, nbytes: int, baseline: int = 0
+    ) -> None:
+        """Record that this process wrote the artifact's segment file.
+
+        Fail-soft: the store only carries counters and this-run
+        presence hints, never the artifacts themselves, so a failing
+        ``flock`` (NFS without lockd, a cleaner racing the directory)
+        or a torn-down SHM segment must not fail the batch input —
+        the spill file already exists, exactly as in a store-less run.
+        """
+        try:
+            self._publish_locked(pass_name, key, nbytes, baseline)
+        except (OSError, ValueError):
+            pass
+
+    def _publish_locked(
+        self, pass_name: str, key: str, nbytes: int, baseline: int
+    ) -> None:
+        digest = _digest(pass_name, key)
+        with self._locked():
+            slot, free = self._probe(digest)
+            if slot is None and free is not None:
+                _SLOT.pack_into(
+                    self._shm.buf, self._slot_offset(free),
+                    digest, self._pid, 1,
+                )
+            self._bump(pass_name, field_index=2)  # writes
+            self._bump(pass_name, field_index=4, delta=nbytes)  # bytes
+            if baseline:
+                self._bump(pass_name, field_index=5, delta=baseline)
+
+    def lookup(self, pass_name: str, key: str) -> tuple[bool, bool]:
+        """(published this run, published by another worker).
+
+        A miss here is not authoritative for the artifact itself — the
+        segment file may predate this run — only for *this run's*
+        traffic, which is what the counters measure.  Fail-soft like
+        :meth:`publish`: lock or SHM trouble reads as "not published",
+        and the caller falls through to the plain disk path.
+        """
+        try:
+            return self._lookup_locked(pass_name, key)
+        except (OSError, ValueError):
+            return False, False
+
+    def _lookup_locked(self, pass_name: str, key: str) -> tuple[bool, bool]:
+        digest = _digest(pass_name, key)
+        with self._locked():
+            slot, _free = self._probe(digest)
+            if slot is None:
+                self._bump(pass_name, field_index=1)  # misses
+                return False, False
+            _raw, pid, _gen = _SLOT.unpack_from(
+                self._shm.buf, self._slot_offset(slot)
+            )
+            self._bump(pass_name, field_index=0)  # hits
+            cross = pid != self._pid
+            if cross:
+                self._bump(pass_name, field_index=3)  # cross-worker hits
+            return True, cross

@@ -19,13 +19,15 @@ from ..runtime.platform import Platform
 from ..runtime.profiler import TransferStats
 from ..suite.runner import BenchmarkRun, SweepResult
 
-__all__ = ["SCHEMA", "sweep_to_dict", "write_suite_json"]
+__all__ = ["SCHEMA", "run_to_dict", "sweep_to_dict", "write_suite_json"]
 
 #: Artifact schema identifier; bump on incompatible layout changes.
 #: /2 adds the vectorizer-coverage fields (``vector_strategy``,
-#: ``fallback_reason``, ``strategy_launches``) per variant; readers
-#: accept any ``ompdart-suite-perf/`` prefix.
-SCHEMA = "ompdart-suite-perf/2"
+#: ``fallback_reason``, ``strategy_launches``) per variant; /3 adds
+#: the optional top-level ``artifact_store`` block (per-pass cache
+#: traffic of the run that produced the artifact).  Readers accept any
+#: ``ompdart-suite-perf/`` prefix.
+SCHEMA = "ompdart-suite-perf/3"
 
 
 def _stats_dict(result: Any) -> dict[str, Any]:
@@ -104,8 +106,43 @@ def _run_dict(run: BenchmarkRun) -> dict[str, Any]:
     }
 
 
-def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
-    """Serialize a sweep into the JSON-safe artifact layout."""
+def run_to_dict(run: BenchmarkRun) -> dict[str, Any]:
+    """One benchmark run's JSON-safe payload (the served job result)."""
+    return _run_dict(run)
+
+
+def _store_dict(cache_stats: Any) -> dict[str, Any]:
+    """The optional ``artifact_store`` block: per-pass cache traffic.
+
+    ``cache_stats`` is an ``{pass: CacheStats}`` mapping from the run's
+    in-process cache.  Observability only — the suite-diff comparator
+    ignores the block.
+    """
+    block: dict[str, Any] = {}
+    if cache_stats:
+        block["cache"] = {
+            name: {
+                "hits": s.hits,
+                "misses": s.misses,
+                "disk_bytes_read": s.disk_bytes_read,
+                "disk_bytes_written": s.disk_bytes_written,
+                "baseline_bytes_written": s.baseline_bytes_written,
+            }
+            for name, s in sorted(cache_stats.items())
+        }
+    return block
+
+
+def sweep_to_dict(
+    sweep: SweepResult,
+    *,
+    store_stats: Any = None,
+) -> dict[str, Any]:
+    """Serialize a sweep into the JSON-safe artifact layout.
+
+    ``store_stats`` (an ``{pass: CacheStats}`` mapping) attaches the
+    producing run's artifact-store traffic to the artifact.
+    """
     results: dict[str, Any] = {}
     for platform_sweep in sweep:
         results[platform_sweep.platform.name] = {
@@ -117,18 +154,27 @@ def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
                 k: _finite(v) for k, v in platform_sweep.geomeans().items()
             },
         }
-    return {
+    payload = {
         "schema": SCHEMA,
         "tool_version": __version__,
         "platforms": [_platform_dict(p) for p in sweep.platforms],
         "benchmark_order": sweep.benchmark_names,
         "results": results,
     }
+    store_block = _store_dict(store_stats)
+    if store_block:
+        payload["artifact_store"] = store_block
+    return payload
 
 
-def write_suite_json(sweep: SweepResult, path: str) -> dict[str, Any]:
+def write_suite_json(
+    sweep: SweepResult,
+    path: str,
+    *,
+    store_stats: Any = None,
+) -> dict[str, Any]:
     """Write the artifact to ``path``; returns the serialized dict."""
-    payload = sweep_to_dict(sweep)
+    payload = sweep_to_dict(sweep, store_stats=store_stats)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")

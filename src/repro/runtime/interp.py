@@ -36,7 +36,6 @@ from typing import Any, Callable
 
 import numpy as np
 
-from ..diagnostics import ToolError
 from ..frontend import ast_nodes as A
 from ..frontend.ctypes_ import ArrayType, QualType, StructType
 from ..frontend.parser import EnumConstantDecl, fold_integer_constant, parse_source
@@ -379,7 +378,6 @@ class Interpreter:
         body = self._compile_stmt(fn.body)
         params = fn.params
         machine = self.machine
-        create = self._create_binding
 
         def invoke(args: list[Any]) -> Any:
             saved = machine.frame

@@ -9,7 +9,7 @@ modelled kernel/host time needed for the Fig. 5 speedups.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .costmodel import A100_PCIE4, CostModel
 

@@ -35,10 +35,9 @@ from typing import Any, Callable
 import numpy as np
 
 from ..frontend import ast_nodes as A
-from ..frontend.ctypes_ import ArrayType, QualType, StructType
+from ..frontend.ctypes_ import ArrayType, StructType
 from ..frontend.parser import EnumConstantDecl, fold_integer_constant
 from .interp import _BINOPS, SimulationError, _coerce_for
-from .values import Cell, StructObject
 
 __all__ = ["compile_replay"]
 

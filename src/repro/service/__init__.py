@@ -1,0 +1,37 @@
+"""Job service over the artifact store (``ompdart serve``).
+
+The pipeline's execution surface is split in three:
+
+* :mod:`repro.service.core` — the worker runtime shared by every
+  concurrent driver: per-process pass managers bound to a cache
+  directory and a :class:`~repro.pipeline.store.SharedArtifactStore`,
+  typed job specs keyed by content hash, and the ordered dispatch
+  helpers ``ompdart batch`` and the evaluation suite fan out through.
+* :mod:`repro.service.scheduler` — the asyncio front: submit/await
+  jobs with bounded concurrency; duplicate submissions (same content
+  hash) coalesce onto one running job.
+* :mod:`repro.service.server` — a small HTTP/1.1 facade over the
+  scheduler (``POST /jobs``, ``GET /jobs/<key>``, ``POST /run``,
+  ``GET /stats``).
+
+``repro.pipeline.batch`` and ``repro.suite.runner`` are thin clients
+of the same core, so a batch run, a suite sweep and a served job all
+execute through identical worker code paths — and share artifacts
+through the same store.
+"""
+
+from .core import (  # noqa: F401
+    BenchmarkJobSpec,
+    SuiteJobSpec,
+    TransformJobSpec,
+    execute_job,
+    spec_from_dict,
+)
+
+__all__ = [
+    "BenchmarkJobSpec",
+    "SuiteJobSpec",
+    "TransformJobSpec",
+    "execute_job",
+    "spec_from_dict",
+]

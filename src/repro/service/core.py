@@ -1,0 +1,478 @@
+"""Shared worker runtime + typed job specs for every concurrent driver.
+
+One process-global :class:`~repro.pipeline.manager.PassManager` per
+``(cache_dir)`` serves every job a worker process executes, optionally
+bound to the run's :class:`~repro.pipeline.store.SharedArtifactStore`
+so sibling workers share artifacts *during* the run.  The batch driver,
+the evaluation suite's process pool and the asyncio scheduler all
+dispatch through :func:`dispatch_map` / :func:`open_pool` and execute
+via the same top-level entry points, so a transform is bit-identical
+no matter which front submitted it.
+
+Job specs are frozen, picklable and content-addressed:
+:meth:`JobSpec.key` fingerprints the spec together with the package
+version, which is what the scheduler dedups on and what the HTTP front
+uses as the job id.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable
+
+from .._version import __version__
+from ..diagnostics import ToolError
+from ..pipeline.cache import ArtifactCache, fingerprint
+from ..pipeline.context import ToolOptions
+from ..pipeline.manager import PassManager
+from ..pipeline.store import SharedArtifactStore
+
+
+class BatchWorkerError(RuntimeError):
+    """A worker failure, labelled with the input that caused it.
+
+    Process pools re-raise worker exceptions as bare pickled tracebacks
+    with no hint of *which* submitted item failed; the dispatch layer
+    wraps them so the failing source filename (or benchmark name) is in
+    the message.  ``label`` and ``cause`` survive pickling.
+    """
+
+    def __init__(self, label: str, cause: str):
+        super().__init__(f"{label}: {cause}")
+        self.label = label
+        self.cause = cause
+
+    def __reduce__(self):
+        return (BatchWorkerError, (self.label, self.cause))
+
+
+def describe_exception(exc: BaseException) -> str:
+    """Compact one-line rendering of a worker exception."""
+    text = str(exc).strip()
+    name = type(exc).__name__
+    return f"{name}: {text}" if text else name
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Result of one translation unit's trip through the batch driver."""
+
+    filename: str
+    ok: bool
+    output_source: str | None = None
+    error: str | None = None
+    diagnostics: tuple[str, ...] = ()
+    directive_count: int = 0
+    elapsed_seconds: float = 0.0
+    timings: dict[str, float] = field(default_factory=dict)
+    cache_events: dict[str, str] = field(default_factory=dict)
+    #: Did the rewrite differ from the input source?  Mirrors
+    #: ``TransformResult.changed``.
+    changed: bool = False
+    #: pass name -> "memory" | "disk" | "store" for cache hits.
+    cache_origins: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe rendering (the HTTP front returns this)."""
+        return {
+            "filename": self.filename,
+            "ok": self.ok,
+            "output_source": self.output_source,
+            "error": self.error,
+            "diagnostics": list(self.diagnostics),
+            "directive_count": self.directive_count,
+            "elapsed_seconds": self.elapsed_seconds,
+            "timings": dict(self.timings),
+            "cache_events": dict(self.cache_events),
+            "cache_origins": dict(self.cache_origins),
+            "changed": self.changed,
+        }
+
+
+def _outcome_from_context(ctx: Any, elapsed: float) -> BatchOutcome:
+    from ..core.directives import count_constructs
+
+    plans, _, _ = ctx.artifact("plan")
+    output = ctx.artifact("rewrite")
+    return BatchOutcome(
+        filename=ctx.filename,
+        ok=True,
+        output_source=output,
+        diagnostics=tuple(d.render() for d in ctx.diagnostics),
+        directive_count=count_constructs(plans),
+        elapsed_seconds=elapsed,
+        timings=dict(ctx.timings),
+        cache_events=dict(ctx.cache_events),
+        changed=output != ctx.source,
+        cache_origins=dict(ctx.cache_origins),
+    )
+
+
+def transform_one(
+    manager: PassManager, source: str, filename: str, options: ToolOptions
+) -> BatchOutcome:
+    """Run one translation unit through ``manager``; never raises."""
+    start = time.perf_counter()
+    try:
+        ctx = manager.run(source, filename, options)
+    except ToolError as exc:
+        return BatchOutcome(
+            filename=filename,
+            ok=False,
+            error=str(exc),
+            diagnostics=tuple(d.render() for d in exc.diagnostics),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 - workers must not leak bare
+        # tracebacks across the process boundary; report the input.
+        return BatchOutcome(
+            filename=filename,
+            ok=False,
+            error=f"internal error: {describe_exception(exc)}",
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    return _outcome_from_context(ctx, time.perf_counter() - start)
+
+
+# ===========================================================================
+# Worker-process runtime
+# ===========================================================================
+
+#: Per-process manager, keyed by cache directory (None = memory only).
+_WORKER_MANAGERS: dict[str | None, PassManager] = {}
+
+#: The store this worker attached to at pool startup (if any).
+_WORKER_STORE: SharedArtifactStore | None = None
+
+#: (cache_dir, measure_baseline) recorded by the pool initializer so
+#: job entry points find the runtime they were spawned with.
+_WORKER_RUNTIME: tuple[str | None, bool] = (None, False)
+
+
+def worker_manager(
+    cache_dir: str | None, *, measure_baseline: bool = False
+) -> PassManager:
+    """This process's shared pass manager for ``cache_dir``."""
+    manager = _WORKER_MANAGERS.get(cache_dir)
+    if manager is None:
+        cache = ArtifactCache(disk_dir=cache_dir) if cache_dir else ArtifactCache()
+        cache.store = _WORKER_STORE
+        cache.measure_baseline = measure_baseline
+        manager = PassManager(cache=cache)
+        _WORKER_MANAGERS[cache_dir] = manager
+    return manager
+
+
+def worker_init(
+    cache_dir: str | None,
+    store_name: str | None = None,
+    measure_baseline: bool = False,
+) -> None:
+    """Pool initializer: attach the shared store, build the manager
+    eagerly, and pre-warm its private in-memory cache from ``cache_dir``.
+
+    Without the pre-warm, every forked worker started cold: duplicate
+    inputs whose artifacts a previous run had already spilled were
+    re-fetched from disk per lookup — or, before the disk check,
+    re-parsed outright.  With the store attached, artifacts produced by
+    *sibling workers during this run* are discovered (and counted) too.
+    """
+    global _WORKER_STORE, _WORKER_RUNTIME
+    _WORKER_RUNTIME = (cache_dir, measure_baseline)
+    _WORKER_STORE = (
+        SharedArtifactStore.attach(cache_dir, store_name)
+        if store_name and cache_dir
+        else None
+    )
+    manager = worker_manager(cache_dir, measure_baseline=measure_baseline)
+    # The manager may predate this run (thread runtime reusing the
+    # process, or a second scheduler binding the same cache_dir):
+    # rebind it to *this* run's store so it never publishes into a
+    # closed shared-memory segment from an earlier pool.
+    manager.cache.store = _WORKER_STORE
+    manager.cache.measure_baseline = measure_baseline
+    if cache_dir:
+        manager.cache.prewarm()
+
+
+def _runtime_manager() -> PassManager:
+    cache_dir, measure_baseline = _WORKER_RUNTIME
+    return worker_manager(cache_dir, measure_baseline=measure_baseline)
+
+
+def _warmup() -> int:
+    """No-op worker task; submitting it forces the process to spawn."""
+    return os.getpid()
+
+
+def open_pool(
+    jobs: int,
+    *,
+    cache_dir: str | None = None,
+    store_name: str | None = None,
+    measure_baseline: bool = False,
+    prespawn: bool = False,
+) -> ProcessPoolExecutor:
+    """A worker pool wired to the shared runtime (store + pre-warm).
+
+    ``prespawn`` forks every worker immediately (and surfaces sandbox
+    failures as exceptions *now*).  Long-lived fronts like the serve
+    scheduler need this: a worker forked lazily mid-request would
+    inherit the open connection sockets and hold them past the
+    parent's close.
+    """
+    pool = ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=worker_init,
+        initargs=(cache_dir, store_name, measure_baseline),
+    )
+    if prespawn:
+        try:
+            # One submit per worker: the executor spawns a process per
+            # pending item while below max_workers.
+            for future in [pool.submit(_warmup) for _ in range(jobs)]:
+                future.result(timeout=60)
+        except Exception:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    return pool
+
+
+def dispatch_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    jobs: int = 1,
+    label: Callable[[Any], str] | None = None,
+    cache_dir: str | None = None,
+    store_name: str | None = None,
+    measure_baseline: bool = False,
+) -> list[Any]:
+    """Order-preserving map — the dispatch seam every driver shares.
+
+    ``fn`` must be a picklable top-level callable when ``jobs > 1``.
+    Results always come back in input order (``ProcessPoolExecutor.map``
+    preserves ordering by construction), so parallel runs are
+    bit-identical to serial ones for deterministic workloads.
+
+    ``label`` names each item for error reporting: when a worker
+    raises, the exception is re-raised as :class:`BatchWorkerError`
+    carrying ``label(item)`` — instead of a bare pickled traceback
+    that never says which input failed.  The labelling happens on the
+    driver side (result order identifies the faulty item), so ``label``
+    need not be picklable.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        results: list[Any] = []
+        for item in items:
+            try:
+                results.append(fn(item))
+            except Exception as exc:
+                if label is None:
+                    raise
+                raise BatchWorkerError(
+                    label(item), describe_exception(exc)
+                ) from exc
+        return results
+    with open_pool(
+        min(jobs, len(items)),
+        cache_dir=cache_dir,
+        store_name=store_name,
+        measure_baseline=measure_baseline,
+    ) as pool:
+        results = []
+        result_iter = pool.map(fn, items)
+        while True:
+            try:
+                results.append(next(result_iter))
+            except StopIteration:
+                return results
+            except Exception as exc:
+                if label is None:
+                    raise
+                # pool.map yields in submission order, so the first
+                # failure corresponds to the next unfilled slot.
+                raise BatchWorkerError(
+                    label(items[len(results)]), describe_exception(exc)
+                ) from exc
+
+
+# ===========================================================================
+# Typed job specs (content-addressed)
+# ===========================================================================
+
+
+@dataclass(frozen=True)
+class TransformJobSpec:
+    """Transform one translation unit (the ``ompdart batch`` unit)."""
+
+    source: str
+    filename: str = "<input>"
+    macros: tuple[tuple[str, Any], ...] = ()
+    werror: bool = False
+
+    kind = "transform"
+
+    def key(self) -> str:
+        return fingerprint(
+            __version__, self.kind, self.source, self.filename,
+            self.macros, self.werror,
+        )
+
+    def options(self) -> ToolOptions:
+        return ToolOptions(
+            predefined_macros=dict(self.macros), werror=self.werror
+        )
+
+
+@dataclass(frozen=True)
+class BenchmarkJobSpec:
+    """Evaluate one benchmark's three variants on one platform."""
+
+    benchmark: str
+    platform: str = ""
+    vectorize: bool = True
+    verify: bool = True
+
+    kind = "benchmark"
+
+    def key(self) -> str:
+        return fingerprint(
+            __version__, self.kind, self.benchmark, self.platform,
+            self.vectorize, self.verify,
+        )
+
+
+@dataclass(frozen=True)
+class SuiteJobSpec:
+    """The nine-benchmark evaluation, optionally a platform sweep."""
+
+    platforms: tuple[str, ...] = ()
+    benchmarks: tuple[str, ...] = ()
+    vectorize: bool = True
+    verify: bool = True
+
+    kind = "suite"
+
+    def key(self) -> str:
+        return fingerprint(
+            __version__, self.kind, self.platforms, self.benchmarks,
+            self.vectorize, self.verify,
+        )
+
+
+JobSpec = TransformJobSpec | BenchmarkJobSpec | SuiteJobSpec
+
+_SPEC_KINDS: dict[str, type] = {
+    "transform": TransformJobSpec,
+    "benchmark": BenchmarkJobSpec,
+    "suite": SuiteJobSpec,
+}
+
+
+def spec_from_dict(payload: dict[str, Any]) -> JobSpec:
+    """Build a job spec from an HTTP request body.
+
+    Raises :class:`ValueError` on unknown kinds or malformed fields so
+    the server can answer 400 instead of crashing a worker.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("job spec must be a JSON object")
+    kind = payload.get("kind")
+    cls = _SPEC_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown job kind {kind!r}; expected one of "
+            f"{sorted(_SPEC_KINDS)}"
+        )
+    fields = dict(payload)
+    fields.pop("kind")
+    try:
+        if cls is TransformJobSpec:
+            macros = fields.get("macros", {})
+            if isinstance(macros, dict):
+                fields["macros"] = tuple(sorted(macros.items()))
+            else:
+                fields["macros"] = tuple(tuple(m) for m in macros)
+        else:
+            for name in ("platforms", "benchmarks"):
+                if name in fields:
+                    fields[name] = tuple(fields[name] or ())
+        return cls(**fields)
+    except TypeError as exc:
+        raise ValueError(f"bad {kind} spec: {exc}") from exc
+
+
+def spec_to_dict(spec: JobSpec) -> dict[str, Any]:
+    from dataclasses import asdict
+
+    out = asdict(spec)
+    out["kind"] = spec.kind
+    if isinstance(spec, TransformJobSpec):
+        out["macros"] = [list(m) for m in spec.macros]
+    else:
+        for name in ("platforms", "benchmarks"):
+            if name in out:
+                out[name] = list(out[name])
+    return out
+
+
+# ===========================================================================
+# Job execution (top-level: pool-picklable)
+# ===========================================================================
+
+
+def execute_job(spec: JobSpec) -> dict[str, Any]:
+    """Execute one spec on this process's runtime; JSON-safe result.
+
+    This is the single execution path behind the asyncio scheduler —
+    the results are produced by exactly the code ``ompdart batch`` and
+    ``ompdart suite`` run, so a served job is bit-identical to its CLI
+    counterpart.
+    """
+    manager = _runtime_manager()
+    if isinstance(spec, TransformJobSpec):
+        outcome = transform_one(
+            manager, spec.source, spec.filename, spec.options()
+        )
+        return outcome.as_dict()
+    if isinstance(spec, BenchmarkJobSpec):
+        from ..report.perf import run_to_dict
+        from ..runtime.platform import resolve_platform
+        from ..suite.runner import run_benchmark
+
+        platform = resolve_platform(spec.platform or None)
+        run = run_benchmark(
+            spec.benchmark,
+            platform=platform,
+            verify=spec.verify,
+            manager=manager,
+            concurrent_variants=False,
+            vectorize=spec.vectorize,
+        )
+        return {"platform": platform.name, "run": run_to_dict(run)}
+    if isinstance(spec, SuiteJobSpec):
+        from ..report.perf import sweep_to_dict
+        from ..runtime.platform import DEFAULT_PLATFORM
+        from ..suite.runner import run_sweep
+
+        sweep = run_sweep(
+            list(spec.platforms or (DEFAULT_PLATFORM,)),
+            verify=spec.verify,
+            names=list(spec.benchmarks) or None,
+            manager=manager,
+            concurrent_variants=False,
+            vectorize=spec.vectorize,
+        )
+        # No artifact_store block here: the worker runtime is long-lived
+        # and its cumulative cache counters would make the same
+        # content-addressed spec return different payloads depending on
+        # how warm the server is.  Store traffic is served by the
+        # scheduler's /stats endpoint instead; the CLI's one-shot suite
+        # run (fresh manager per invocation) does attach its stats.
+        return sweep_to_dict(sweep)
+    raise TypeError(f"unknown job spec {type(spec).__name__}")

@@ -1,0 +1,274 @@
+"""Asyncio job scheduler: submit/await content-addressed jobs.
+
+The scheduler is the async front the pipeline was shaped for: callers
+submit :mod:`repro.service.core` job specs and await results, while a
+bounded number of jobs execute concurrently on the shared worker
+runtime.  Two properties matter:
+
+* **Dedup by content hash.**  A job's identity is the fingerprint of
+  its spec (source text, benchmark list, platform set, options — plus
+  the package version).  Submitting a spec that is already queued,
+  running, or finished coalesces onto the existing job: eight clients
+  submitting the same nine-benchmark corpus cost one evaluation.
+* **Shared artifact store.**  With a cache directory, the scheduler
+  opens one :class:`~repro.pipeline.store.SharedArtifactStore` for its
+  lifetime and every worker executes against it, so even *distinct*
+  jobs share parse/analysis artifacts for identical inputs.
+
+Execution degrades gracefully: process workers (fork-safe, true
+parallelism) when the host allows them, otherwise an in-process thread
+executor over the same entry points — results are identical either
+way, because the workload is deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..pipeline.store import SharedArtifactStore
+from .core import JobSpec, execute_job, open_pool, spec_to_dict, worker_init
+
+__all__ = ["Job", "JobScheduler"]
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One scheduled (possibly coalesced) unit of work."""
+
+    key: str
+    spec: JobSpec
+    future: "asyncio.Future[Any]"
+    state: str = QUEUED
+    #: How many submissions coalesced onto this job (1 = no dedup).
+    submissions: int = 1
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+
+    def describe(self, *, include_result: bool = False) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "job": self.key,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "submissions": self.submissions,
+            "spec": spec_to_dict(self.spec),
+        }
+        if self.started_at is not None and self.finished_at is not None:
+            out["elapsed_seconds"] = self.finished_at - self.started_at
+        if self.error is not None:
+            out["error"] = self.error
+        if include_result and self.state == DONE:
+            out["result"] = self.future.result()
+        return out
+
+
+class JobScheduler:
+    """Bounded-concurrency scheduler over the shared worker runtime."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_concurrency: int = 8,
+        cache_dir: str | None = None,
+        use_processes: bool = True,
+    ):
+        self.cache_dir = cache_dir
+        self.max_concurrency = max(1, max_concurrency)
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._tasks: set[asyncio.Task] = set()
+        self._sem = asyncio.Semaphore(self.max_concurrency)
+        self._submitted = 0
+        self._deduplicated = 0
+        self._executed = 0
+        self._failed = 0
+        self._store: SharedArtifactStore | None = (
+            SharedArtifactStore.create(cache_dir)
+            if cache_dir is not None
+            else None
+        )
+        self._executor = self._make_executor(max(1, workers), use_processes)
+        self._closed = False
+
+    def _make_executor(self, workers: int, use_processes: bool) -> Executor:
+        if use_processes:
+            try:
+                # Pre-spawn every worker now, before the HTTP front
+                # opens any sockets: a worker forked mid-request would
+                # inherit live connection fds and keep them open after
+                # the parent's close (clients never see EOF).
+                pool = open_pool(
+                    workers,
+                    cache_dir=self.cache_dir,
+                    store_name=self._store.name
+                    if self._store is not None
+                    else None,
+                    prespawn=True,
+                )
+                self.executor_kind = "process"
+                return pool
+            except Exception:  # noqa: BLE001 - sandboxes block process
+                pass  # creation in assorted ways: fall through to threads
+        # The thread runtime executes the very same entry points; it
+        # must still see the store, so initialize this process too.
+        worker_init(
+            self.cache_dir,
+            self._store.name if self._store is not None else None,
+        )
+        self.executor_kind = "thread"
+        return ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="ompdart-job"
+        )
+
+    # -- submission ------------------------------------------------------
+
+    async def submit(self, spec: JobSpec) -> Job:
+        """Enqueue ``spec``; duplicate content hashes coalesce."""
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        key = spec.key()
+        self._submitted += 1
+        job = self._jobs.get(key)
+        if job is not None and job.state != FAILED:
+            job.submissions += 1
+            self._deduplicated += 1
+            return job
+        loop = asyncio.get_running_loop()
+        job = Job(key=key, spec=spec, future=loop.create_future())
+        self._jobs[key] = job
+        if key not in self._order:  # failed-job resubmits reuse the slot
+            self._order.append(key)
+        task = asyncio.create_task(self._run(job))
+        # Keep a strong reference: the event loop only holds weak ones,
+        # and a GC'd task would strand the job in "queued" forever.
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return job
+
+    async def run(self, spec: JobSpec) -> Any:
+        """Submit and await in one call (the ``POST /run`` path)."""
+        job = await self.submit(spec)
+        return await asyncio.shield(job.future)
+
+    async def _run(self, job: Job) -> None:
+        async with self._sem:
+            job.state = RUNNING
+            job.started_at = time.monotonic()
+            loop = asyncio.get_running_loop()
+            try:
+                try:
+                    result = await loop.run_in_executor(
+                        self._executor, execute_job, job.spec
+                    )
+                except BrokenProcessPool:
+                    # The pool died (worker OOM-killed, fork blocked on
+                    # respawn).  Swap in the thread runtime and retry
+                    # this job on it; genuine job errors (including
+                    # OSErrors raised inside a healthy worker) are not
+                    # BrokenProcessPool and take the failure path below.
+                    self._fall_back_to_threads()
+                    result = await loop.run_in_executor(
+                        self._executor, execute_job, job.spec
+                    )
+            except asyncio.CancelledError:
+                # Cancellation must propagate (asyncio's protocol); the
+                # job is not "failed", the server is shutting down.
+                job.state = FAILED
+                job.error = "cancelled"
+                if not job.future.done():
+                    job.future.cancel()
+                raise
+            except BaseException as exc:  # noqa: BLE001 - reported, not leaked
+                job.state = FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._failed += 1
+                if not job.future.done():
+                    job.future.set_exception(
+                        RuntimeError(job.error) if not isinstance(exc, Exception)
+                        else exc
+                    )
+                    # Awaiters may come later (POST then poll); don't
+                    # warn about unconsumed exceptions in the meantime.
+                    job.future.exception()
+                return
+            finally:
+                job.finished_at = time.monotonic()
+        job.state = DONE
+        self._executed += 1
+        if not job.future.done():
+            job.future.set_result(result)
+
+    def _fall_back_to_threads(self) -> None:
+        if self.executor_kind == "thread":
+            # A concurrent job already swapped the executor; just
+            # retry on the (healthy) thread runtime.
+            return
+        broken = self._executor
+        self._executor = self._make_executor(
+            getattr(broken, "_max_workers", 2), use_processes=False
+        )
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    def get(self, key: str) -> Job | None:
+        return self._jobs.get(key)
+
+    def jobs(self) -> list[Job]:
+        return [self._jobs[key] for key in self._order]
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        states: dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        out: dict[str, Any] = {
+            "submitted": self._submitted,
+            "deduplicated": self._deduplicated,
+            "executed": self._executed,
+            "failed": self._failed,
+            "jobs": states,
+            "max_concurrency": self.max_concurrency,
+            "executor": self.executor_kind,
+            "cache_dir": self.cache_dir,
+        }
+        if self._store is not None:
+            out["store"] = self._store.stats().as_dict()
+        return out
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Cancel nothing, wait for nothing: drop executors and store.
+
+        Pending futures raise for their awaiters via executor shutdown
+        semantics; the HTTP front closes the scheduler only after the
+        server stops accepting connections.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        executor = self._executor
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: executor.shutdown(wait=False, cancel_futures=True)
+        )
+        if self._store is not None:
+            self._store.close()
+
+    async def __aenter__(self) -> "JobScheduler":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.aclose()

@@ -1,0 +1,209 @@
+"""HTTP/1.1 facade over the job scheduler (``ompdart serve``).
+
+Stdlib-only asyncio server; one short-lived connection per request
+(``Connection: close``), JSON in, JSON out.  Routes:
+
+* ``GET  /healthz``      — liveness probe.
+* ``GET  /stats``        — scheduler + shared-store counters.
+* ``GET  /jobs``         — all jobs, submission order.
+* ``POST /jobs``         — submit a job spec; answers immediately with
+  the content-hash job id and whether the submission coalesced onto an
+  existing job.
+* ``GET  /jobs/<id>``    — job status; ``?wait=1`` blocks until done
+  and includes the result, as does polling a finished job.
+* ``POST /run``          — submit and await in one round trip.
+
+Job specs are the :mod:`repro.service.core` kinds::
+
+    {"kind": "suite", "platforms": ["a100-pcie4"]}
+    {"kind": "benchmark", "benchmark": "bfs"}
+    {"kind": "transform", "source": "...", "filename": "x.c"}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from .core import spec_from_dict
+from .scheduler import DONE, FAILED, JobScheduler
+
+__all__ = ["JobServer"]
+
+#: Request bodies above this are rejected (64 MiB: a whole TU corpus).
+_MAX_BODY = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class JobServer:
+    """Serves one :class:`JobScheduler` over HTTP."""
+
+    def __init__(self, scheduler: JobScheduler, *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.aclose()
+
+    # -- request plumbing ------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._dispatch(reader)
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a request must never
+            # take the server down; report and carry on.
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode()
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-response
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, Any]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) < 2:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, target = parts[0].upper(), parts[1]
+        path, _, query = target.partition("?")
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length") from None
+        if content_length < 0:
+            raise _HttpError(400, "bad Content-Length")
+        if content_length > _MAX_BODY:
+            raise _HttpError(413, "request body too large")
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return await self._route(method, path, query, body)
+
+    # -- routes ----------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> tuple[int, Any]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True}
+        if path == "/stats" and method == "GET":
+            return 200, self.scheduler.stats()
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": [j.describe() for j in self.scheduler.jobs()]}
+        if path == "/jobs" and method == "POST":
+            job = await self.scheduler.submit(self._parse_spec(body))
+            payload = job.describe()
+            payload["deduped"] = job.submissions > 1
+            return 202, payload
+        if path.startswith("/jobs/") and method == "GET":
+            key = path[len("/jobs/"):]
+            job = self.scheduler.get(key)
+            if job is None:
+                raise _HttpError(404, f"no job {key!r}")
+            if "wait=1" in query.split("&") and job.state not in (DONE, FAILED):
+                try:
+                    await asyncio.shield(job.future)
+                except Exception:  # noqa: BLE001 - state carries the error
+                    pass
+            return 200, job.describe(include_result=True)
+        if path == "/run" and method == "POST":
+            spec = self._parse_spec(body)
+            job = await self.scheduler.submit(spec)
+            try:
+                result = await asyncio.shield(job.future)
+            except Exception as exc:  # noqa: BLE001 - job failure is a
+                # response, not a server crash
+                return 500, {
+                    "job": job.key,
+                    "state": job.state,
+                    "error": job.error or str(exc),
+                }
+            payload = job.describe()
+            payload["result"] = result
+            return 200, payload
+        if path in ("/jobs", "/run", "/stats", "/healthz"):
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        raise _HttpError(404, f"no route {path!r}")
+
+    @staticmethod
+    def _parse_spec(body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}") from exc
+        try:
+            return spec_from_dict(payload)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from exc

@@ -45,8 +45,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..core.tool import OMPDart, ToolOptions, TransformResult
-from ..pipeline.batch import parallel_map
 from ..pipeline.manager import PassManager
+from ..service.core import dispatch_map
 from ..runtime.costmodel import CostModel
 from ..runtime.interp import SimulationResult, run_simulation
 from ..runtime.platform import Platform, resolve_platform
@@ -399,7 +399,7 @@ def run_all(
             "use jobs=1 to share one pass manager"
         )
     machine = cost_model if cost_model is not None else resolve_platform(platform)
-    runs = parallel_map(
+    runs = dispatch_map(
         _benchmark_job,
         [(name, machine, verify, vectorize) for name in names],
         jobs=jobs,
@@ -552,7 +552,7 @@ def run_sweep(
             "a shared manager cannot cross worker processes; "
             "use jobs=1 to share one pass manager"
         )
-    per_bench = parallel_map(
+    per_bench = dispatch_map(
         _sweep_job,
         [(name, tuple(resolved), verify, vectorize) for name in names],
         jobs=jobs,

@@ -1,6 +1,5 @@
 """Tests for CFG construction and the hybrid AST-CFG."""
 
-import pytest
 
 from repro.cfg import (
     ASTCFG,
@@ -163,7 +162,7 @@ class TestLoops:
         """
         cfg = cfg_for(src)
         assert len(cfg.loops) == 2
-        inner = [l for l in cfg.loops if l.parent is not None]
+        inner = [lp for lp in cfg.loops if lp.parent is not None]
         assert len(inner) == 1
         assert inner[0].depth == 2
 

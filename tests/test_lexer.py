@@ -3,7 +3,7 @@
 import pytest
 
 from repro.diagnostics import ParseError
-from repro.frontend.lexer import Lexer, tokenize
+from repro.frontend.lexer import tokenize
 from repro.frontend.source import SourceBuffer
 from repro.frontend.tokens import TokenKind
 

@@ -104,7 +104,7 @@ class TestPassManager:
 
     def test_macro_change_invalidates(self):
         manager = PassManager()
-        ctx1 = manager.run(
+        manager.run(
             MACRO_SRC, "t.c", ToolOptions(predefined_macros={"N": 16})
         )
         ctx2 = manager.run(
@@ -218,7 +218,7 @@ class TestBatchDriver:
     def test_disk_cache_dir(self, tmp_path):
         items = [_variant(i) for i in range(2)]
         transform_batch(items, jobs=1, cache_dir=str(tmp_path))
-        assert list(tmp_path.glob("*.pkl"))
+        assert list(tmp_path.glob("*.art"))
         again = transform_batch(items, jobs=1, cache_dir=str(tmp_path))
         assert set(again[0].cache_events.values()) == {"hit"}
 
@@ -227,7 +227,7 @@ class TestBatchDriver:
 
         items = [_variant(i) for i in range(2)]
         transform_batch(items, jobs=1, cache_dir=str(tmp_path))
-        spills = len(list(tmp_path.glob("*.pkl")))
+        spills = len(list(tmp_path.glob("*.art")))
         assert spills > 0
         cold = ArtifactCache(disk_dir=str(tmp_path))
         assert len(cold) == 0
@@ -254,12 +254,12 @@ class TestBatchDriver:
 
         items = [_variant(i) for i in range(3)]
         transform_batch(items, jobs=1, cache_dir=str(tmp_path))
-        (tmp_path / "parse-deadbeef.pkl").write_bytes(b"not a pickle")
+        (tmp_path / "parse-deadbeef.art").write_bytes(b"not a pickle")
         cache = ArtifactCache(disk_dir=str(tmp_path))
         assert cache.prewarm(limit=2) <= 2
         cache2 = ArtifactCache(disk_dir=str(tmp_path))
         total = cache2.prewarm()
-        assert total == len(list(tmp_path.glob("*.pkl"))) - 1
+        assert total == len(list(tmp_path.glob("*.art"))) - 1
 
     def test_worker_init_prewarms(self, tmp_path):
         from repro.pipeline import batch as batch_mod
@@ -270,7 +270,7 @@ class TestBatchDriver:
         try:
             batch_mod._worker_init(str(tmp_path))
             manager = batch_mod._WORKER_MANAGERS[str(tmp_path)]
-            assert len(manager.cache) == len(list(tmp_path.glob("*.pkl")))
+            assert len(manager.cache) == len(list(tmp_path.glob("*.art")))
         finally:
             batch_mod._WORKER_MANAGERS.clear()
 
@@ -354,3 +354,45 @@ class TestCLIAdditions:
         bad = tmp_path / "syntax.c"
         bad.write_text("double f( {}\n")
         assert main([str(bad), "--dump-cfg"]) == 3
+
+
+class TestSingleCoreVariantPoolBypass:
+    """On a single-core host the 3-worker variant pool is skipped: fork
+    latency plus per-worker re-parsing buys nothing, and the serial
+    path shares one pass manager (and its parse artifacts)."""
+
+    def test_variant_pool_declines_on_one_core(self, monkeypatch):
+        from repro.suite import runner
+
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(runner, "_VARIANT_POOL", None)
+        assert runner._variant_pool() is None
+        # The decision is latched: later calls stay on the serial path
+        # without re-probing the host.
+        assert runner._VARIANT_POOL is False
+        assert runner._variant_pool() is None
+
+    def test_cpu_count_none_counts_as_one_core(self, monkeypatch):
+        from repro.suite import runner
+
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: None)
+        monkeypatch.setattr(runner, "_VARIANT_POOL", None)
+        assert runner._variant_pool() is None
+
+    def test_benchmark_runs_serial_when_pool_bypassed(self, monkeypatch):
+        from repro.suite import runner
+
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(runner, "_VARIANT_POOL", None)
+        run = runner.run_benchmark("accuracy", concurrent_variants=True)
+        assert run.outputs_match
+        # The pool was asked for and declined, not silently unused.
+        assert runner._VARIANT_POOL is False
+
+    def test_discard_variant_pool_latches_serial_fallback(self, monkeypatch):
+        from repro.suite import runner
+
+        monkeypatch.setattr(runner, "_VARIANT_POOL", None)
+        runner._discard_variant_pool()
+        assert runner._VARIANT_POOL is False
+        assert runner._variant_pool() is None

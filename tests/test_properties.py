@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.analysis import AccessKind
 from repro.analysis.validity import VarState
-from repro.frontend.ctypes_ import DOUBLE, INT
+from repro.frontend.ctypes_ import DOUBLE
 from repro.frontend.lexer import tokenize
 from repro.frontend.source import SourceBuffer
 from repro.frontend.tokens import TokenKind

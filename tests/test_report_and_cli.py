@@ -50,7 +50,7 @@ class TestRenderers:
     def test_render_table_alignment(self):
         text = render_table(["a", "bbbb"], [["xx", "y"], ["x", "yyyyy"]])
         lines = text.splitlines()
-        assert len({len(l) for l in lines}) == 1  # rectangular
+        assert len({len(line) for line in lines}) == 1  # rectangular
 
     def test_render_barchart(self):
         text = render_barchart("title", {"one": 1.0, "two": 2.0})

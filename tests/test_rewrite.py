@@ -101,7 +101,7 @@ int main() {
         res = transform_source(src, "consol.c")
         out = res.output_source
         assert out.count("#pragma omp target update") == 1
-        upd_line = [l for l in out.splitlines() if "target update" in l][0]
+        upd_line = [line for line in out.splitlines() if "target update" in line][0]
         assert "a" in upd_line and "b" in upd_line
 
     def test_output_reparses_and_runs(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.frontend.ctypes_ import DOUBLE, INT
+from repro.frontend.ctypes_ import DOUBLE
 from repro.runtime import DeviceDataEnvironment, DeviceRuntimeError, Profiler
 from repro.runtime.values import ArrayObject, Cell
 

@@ -1,0 +1,176 @@
+"""Shared cross-process artifact store: SHM index, counters, and the
+batch driver's mid-run cross-worker sharing."""
+
+import pytest
+
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.store import SharedArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = SharedArtifactStore.create(tmp_path)
+    if store is None:
+        pytest.skip("shared memory unavailable on this host")
+    yield store
+    store.close()
+
+
+class TestStoreIndex:
+    def test_publish_then_lookup_same_process(self, store):
+        assert store.lookup("parse", "k1") == (False, False)
+        store.publish("parse", "k1", 100)
+        published, cross = store.lookup("parse", "k1")
+        assert published and not cross
+
+    def test_cross_worker_attribution(self, store, tmp_path):
+        sibling = SharedArtifactStore.attach(tmp_path, store.name)
+        assert sibling is not None
+        # Simulate a different worker process: distinct pid.
+        sibling._pid = store._pid + 1
+        store.publish("parse", "k1", 64)
+        published, cross = sibling.lookup("parse", "k1")
+        assert published and cross
+        stats = store.stats()
+        assert stats.passes["parse"].cross_worker_hits == 1
+        assert stats.passes["parse"].hits == 1
+        assert stats.passes["parse"].writes == 1
+        assert stats.cross_worker_hits == 1
+        sibling.close()
+
+    def test_counters_aggregate_bytes(self, store):
+        store.publish("plan", "a", 10, baseline=30)
+        store.publish("plan", "b", 5, baseline=12)
+        store.lookup("plan", "missing")
+        stats = store.stats().passes["plan"]
+        assert stats.bytes_written == 15
+        assert stats.baseline_bytes == 42
+        assert stats.misses == 1
+
+    def test_attach_bad_name_returns_none(self, tmp_path):
+        assert SharedArtifactStore.attach(tmp_path, "ompdart-nonexistent") is None
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = SharedArtifactStore.create(tmp_path)
+        if store is None:
+            pytest.skip("shared memory unavailable on this host")
+        store.close()
+        store.close()
+
+
+class TestCacheStoreIntegration:
+    def test_put_publishes_and_get_attributes_cross_hits(
+        self, store, tmp_path
+    ):
+        writer = ArtifactCache(disk_dir=tmp_path, store=store)
+        writer.put("rewrite", "k", "artifact-body")
+
+        sibling_store = SharedArtifactStore.attach(tmp_path, store.name)
+        sibling_store._pid = store._pid + 1
+        reader = ArtifactCache(disk_dir=tmp_path, store=sibling_store)
+        value, origin = reader.lookup("rewrite", "k")
+        assert value == "artifact-body"
+        assert origin == "store"
+        assert store.stats().passes["rewrite"].cross_worker_hits == 1
+        # Second lookup answers from the reader's memory: no new hit.
+        value, origin = reader.lookup("rewrite", "k")
+        assert origin == "memory"
+        assert store.stats().passes["rewrite"].cross_worker_hits == 1
+        sibling_store.close()
+
+    def test_same_process_disk_hit_is_not_cross(self, store, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path, store=store)
+        cache.put("rewrite", "k", "x")
+        fresh = ArtifactCache(disk_dir=tmp_path, store=store)
+        value, origin = fresh.lookup("rewrite", "k")
+        assert value == "x"
+        assert origin == "disk"
+
+    def test_measure_baseline_feeds_store_counters(self, store, tmp_path):
+        cache = ArtifactCache(
+            disk_dir=tmp_path, store=store, measure_baseline=True
+        )
+        cache.put("rewrite", "k", "y" * 4000)
+        stats = store.stats().passes["rewrite"]
+        assert stats.bytes_written > 0
+        assert stats.baseline_bytes > 0
+        assert cache.stats["rewrite"].baseline_bytes_written == stats.baseline_bytes
+
+
+BENCH_SRC = """
+int data[128];
+int main() {
+  data[1] = 2;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 128; i++) data[i] = data[i] + %d;
+  return data[1];
+}
+"""
+
+
+class TestBatchCrossWorkerSharing:
+    def test_duplicate_inputs_hit_across_workers_mid_run(self, tmp_path):
+        """The acceptance path: -j 4 over a corpus with duplicates.
+
+        Originals first, duplicates (same path => same content key)
+        last: by the time a duplicate is pulled, its original has been
+        computed — on a different worker with probability 3/4 per pair,
+        so across nine pairs at least one cross-worker store hit is
+        effectively certain.
+        """
+        from repro.pipeline.batch import BatchRunStats, transform_paths
+
+        cache_dir = tmp_path / "cache"
+        paths = []
+        for i in range(9):
+            p = tmp_path / f"input_{i}.c"
+            p.write_text(BENCH_SRC % i)
+            paths.append(str(p))
+        run_stats = BatchRunStats()
+        outcomes = transform_paths(
+            paths + paths,  # duplicates trail the originals
+            jobs=4,
+            cache_dir=str(cache_dir),
+            run_stats=run_stats,
+        )
+        assert all(o.ok for o in outcomes)
+        # Deterministic halves: duplicate outcomes mirror the originals.
+        for original, duplicate in zip(outcomes[:9], outcomes[9:]):
+            assert duplicate.output_source == original.output_source
+        if run_stats.store is None:
+            pytest.skip("shared memory unavailable on this host")
+        assert run_stats.store.cross_worker_hits > 0
+        assert run_stats.store.bytes_written > 0
+
+    def test_batch_report_cli_prints_store_and_reduction(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        paths = []
+        for i in range(3):
+            p = tmp_path / f"input_{i}.c"
+            p.write_text(BENCH_SRC % i)
+            paths.append(str(p))
+        rc = main(
+            ["batch", *paths, *paths, "-j", "2",
+             "--cache-dir", str(cache_dir), "--report"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "store" in out
+        assert "cross-worker hit(s)" in out
+        assert "compact spills" in out and "legacy whole-object" in out
+
+    def test_serial_report_quotes_reduction_from_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p = tmp_path / "input.c"
+        p.write_text(BENCH_SRC % 1)
+        rc = main(
+            ["batch", str(p), "--cache-dir", str(tmp_path / "c"), "--report"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compact spills" in out and "% smaller" in out

@@ -9,7 +9,7 @@ import zlib
 import pytest
 
 from repro.pipeline.cache import MISS, ArtifactCache
-from repro.report.diff import diff_files, diff_payloads, render_diff
+from repro.report.diff import diff_payloads, render_diff
 from repro.report.perf import sweep_to_dict
 from repro.suite.runner import run_all, run_benchmark
 
@@ -350,7 +350,7 @@ class TestCoverageGate:
     def test_committed_baseline_has_full_coverage(self):
         with open("benchmarks/suite_a100-pcie4.json", encoding="utf-8") as fh:
             payload = json.load(fh)
-        assert payload["schema"] == "ompdart-suite-perf/2"
+        assert payload["schema"] == "ompdart-suite-perf/3"
         for sweep in payload["results"].values():
             for run in sweep["benchmarks"].values():
                 for profile in run["variants"].values():

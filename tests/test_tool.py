@@ -6,7 +6,7 @@ behaviours section VI attributes to the tool on the benchmarks.
 
 import pytest
 
-from repro.core import OMPDart, ToolOptions, transform_source
+from repro.core import transform_source
 from repro.diagnostics import ToolError
 from repro.frontend import ast_nodes as A
 from repro.frontend import parse_source

@@ -193,8 +193,8 @@ class TestRAWDetection:
         }
         """
         astcfg, _, result, *_ = setup(src)
-        loop = astcfg.cfg.loops[0]  # outer host loop... order not guaranteed
-        outer = [l for l in astcfg.cfg.loops if l.head is not None and not l.head.offloaded]
+        outer = [lp for lp in astcfg.cfg.loops
+                 if lp.head is not None and not lp.head.offloaded]
         head = outer[0].head
         state = result.state_in[head]["a"]
         assert not state.valid_host  # after one iteration host copy is stale
@@ -275,7 +275,7 @@ class TestPlacementDecisions:
         assert isinstance(placement.anchor, A.ForStmt)
         # anchor must be the outer j loop (the one with lower offset)
         assert placement.anchor.begin_offset == min(
-            l.begin_offset for l in placement.hoisted_out_of
+            lp.begin_offset for lp in placement.hoisted_out_of
         )
 
     def test_loop_carried_update_stays_inside(self):
@@ -348,3 +348,43 @@ class TestPlacementDecisions:
         assert flag_updates
         assert flag_updates[0].position is UpdatePosition.BODY_END
         assert isinstance(flag_updates[0].anchor, A.DoStmt)
+
+
+class TestAlgorithm1Position:
+    def test_array_access_need_inside_host_loop(self):
+        # The paper's Listing 6 shape: a kernel inside a host loop
+        # whose per-iteration access pattern admits a hoisted update.
+        src = """
+        int a[8][8];
+        int main() {
+          for (int i = 0; i < 8; i++) {
+            #pragma omp target teams distribute parallel for
+            for (int j = 0; j < 8; j++) a[i][j] = a[i][j] + 1;
+          }
+          return 0;
+        }
+        """
+        astcfg, _, _, placer, _ = setup(src)
+        positions = [
+            placer.algorithm1_position(need)
+            for need in placer.result.needs
+            if need.access is not None and need.access.subscript is not None
+        ]
+        assert positions, "expected at least one array-access need"
+        for pos in positions:
+            assert pos is None or isinstance(pos, A.Node)
+
+    def test_need_without_subscript_returns_none(self):
+        src = """
+        int a[4];
+        int main() {
+          a[0] = 1;
+          #pragma omp target
+          for (int i = 0; i < 4; i++) a[i] += 1;
+          return a[0];
+        }
+        """
+        _, _, _, placer, _ = setup(src)
+        for need in placer.result.needs:
+            if need.access is None or need.access.subscript is None:
+                assert placer.algorithm1_position(need) is None
