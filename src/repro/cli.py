@@ -12,6 +12,8 @@ Usage::
     ompdart input.c --simulate      # modelled before/after speedup
     ompdart input.c --dump-ast      # Clang-style AST dump (Listing 5)
     ompdart input.c --dump-cfg      # DOT of each function's AST-CFG
+    ompdart ace --dump-kernel       # generated NumPy kernel source
+                                    # (file path or suite benchmark name)
     ompdart --list-platforms        # registered simulation platforms
     ompdart --version               # print the package version
 
@@ -111,6 +113,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--dump-cfg", action="store_true", help="print AST-CFG DOT graphs and exit"
+    )
+    parser.add_argument(
+        "--dump-kernel",
+        action="store_true",
+        help=(
+            "print each offload nest's generated NumPy kernel source "
+            "(with its content-hash key) and exit; the input may be a C "
+            "file or, when no such file exists, a suite benchmark name"
+        ),
     )
     _add_platform_arguments(parser)
     parser.add_argument(
@@ -318,7 +329,7 @@ def build_bench_history_arg_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
-        "artifacts", nargs="+", help="suite JSON artifacts, oldest first"
+        "artifacts", nargs="*", help="suite JSON artifacts, oldest first"
     )
     parser.add_argument(
         "--platform",
@@ -434,19 +445,93 @@ def _run_bench_history(argv: list[str]) -> int:
     from .report.history import load_artifact, render_history
 
     payloads = []
+    paths = []
     for path in args.artifacts:
         try:
-            payloads.append(load_artifact(path))
+            payload = load_artifact(path)
         except (OSError, json.JSONDecodeError, ValueError) as exc:
             print(f"ompdart bench-history: {exc}", file=sys.stderr)
             return 2
-    labels = _unique_basenames(list(args.artifacts))
+        if payload is None:
+            continue  # empty placeholder — not a data point yet
+        payloads.append(payload)
+        paths.append(path)
+    if not payloads:
+        print(
+            "bench-history: no data points yet — record one with "
+            "`ompdart suite --json benchmarks/BENCH_<date>.json`"
+        )
+        return 0
+    labels = _unique_basenames(paths)
     print(render_history(
         payloads,
-        [os.path.splitext(labels[p])[0] for p in args.artifacts],
+        [os.path.splitext(labels[p])[0] for p in paths],
         platform=args.platform,
         benchmarks=args.benchmarks,
     ))
+    return 0
+
+
+def _run_dump_kernel(input_arg: str, macros: "dict[str, object]") -> int:
+    """``--dump-kernel``: print each offload nest's generated source.
+
+    The argument is a C file or — when no such file exists — a
+    benchmark name from the evaluation suite, so miscompiles in a suite
+    application can be inspected without locating its source on disk.
+    """
+    from .pipeline.manager import PassManager
+
+    filename = input_arg
+    if os.path.exists(input_arg):
+        try:
+            with open(input_arg, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"ompdart: cannot read {input_arg}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from .suite.registry import BENCHMARK_ORDER, get_benchmark
+
+        try:
+            bench = get_benchmark(input_arg)
+        except KeyError:
+            print(
+                f"ompdart: {input_arg!r} is neither a readable file nor a "
+                f"suite benchmark (known: {', '.join(BENCHMARK_ORDER)})",
+                file=sys.stderr,
+            )
+            return 2
+        source = bench.unoptimized_source()
+        filename = f"{bench.name}_unoptimized.c"
+
+    manager = PassManager()
+    try:
+        ctx = manager.run(
+            source,
+            filename,
+            ToolOptions(predefined_macros=macros),
+            until="codegen",
+        )
+    except ToolError as exc:
+        print(f"ompdart: {filename}: parse error: {exc}", file=sys.stderr)
+        for diag in exc.diagnostics:
+            print(diag.render(), file=sys.stderr)
+        return 3
+    rows = ctx.artifact("codegen")
+    if not rows:
+        print(f"// {filename}: no offload kernels")
+        return 0
+    for node_id in sorted(rows):
+        row = rows[node_id]
+        if row["reason"] is None:
+            print(f"// {filename} kernel node {node_id} key={row['key']}")
+            print(row["source"].rstrip("\n"))
+        else:
+            print(
+                f"// {filename} kernel node {node_id} "
+                f"declined: {row['reason']}"
+            )
+        print()
     return 0
 
 
@@ -859,6 +944,10 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.dump_kernel:
+        # Resolves its own input (file or suite benchmark name) — the
+        # generic "readable file" requirement below does not apply.
+        return _run_dump_kernel(args.input, _parse_defines(args.defines))
     platform = _resolve_platform_arg(args.platform)
     if platform is None:
         return 2

@@ -272,6 +272,9 @@ SCHEMAS: dict[str, ArtifactSchema] = {
     for s in (
         ArtifactSchema("preprocess", 2, "tokens", _encode_tokens, _decode_tokens),
         ArtifactSchema("parse", 2, "pickle", _encode_pickle, _decode_pickle),
+        # Codegen rows are pure data (source text + symbolic binding
+        # descriptors) — a plain pickle round-trips them exactly.
+        ArtifactSchema("codegen", 2, "pickle", _encode_pickle, _decode_pickle),
         ArtifactSchema("constraints", 2, "diags", _encode_diags, _decode_diags),
         _refs_schema("effects"),
         _refs_schema("cfg"),

@@ -10,7 +10,9 @@ artifacts, split in two:
   diagnostics and aborting the pipeline on errors.
 
 The default chain mirrors the paper's Fig. 1 workflow: ``preprocess ->
-parse -> constraints -> effects -> cfg -> plan -> rewrite``.
+parse -> codegen -> constraints -> effects -> cfg -> plan -> rewrite``
+(``codegen`` is a reproduction-side addition: per-kernel generated
+NumPy source for the simulator's fastest execution tier).
 """
 
 from __future__ import annotations
@@ -49,6 +51,18 @@ def _build_preprocess(ctx: PipelineContext) -> Any:
 def _build_parse(ctx: PipelineContext) -> Any:
     tokens, buffer = ctx.artifact("preprocess")
     return Parser(tokens, buffer).parse_translation_unit()
+
+
+def _build_codegen(ctx: PipelineContext) -> Any:
+    """Compile every offload kernel to a pickleable codegen row.
+
+    Rows are pure data (generated Python/NumPy source keyed by content
+    hash, or the decline reason) — the artifact store shares them across
+    workers, so a batch run compiles each distinct kernel once.
+    """
+    from ..runtime.codegen import emit_rows
+
+    return emit_rows(ctx.artifact("parse"))
 
 
 def _build_constraints(ctx: PipelineContext) -> list[Diagnostic]:
@@ -116,6 +130,7 @@ def _build_rewrite(ctx: PipelineContext) -> str:
 DEFAULT_PASSES: tuple[Pass, ...] = (
     Pass("preprocess", _build_preprocess),
     Pass("parse", _build_parse),
+    Pass("codegen", _build_codegen),
     Pass("constraints", _build_constraints, _finalize_constraints),
     Pass("effects", _build_effects),
     Pass("cfg", _build_cfg),

@@ -52,6 +52,10 @@ HIGHER_IS_WORSE = (
     "host_time_s",
     "total_time_s",
     "kernel_launches",
+    # /4 additions — absent from older baselines, which ``number``
+    # tolerates (nothing to gate on until a /4 artifact is committed).
+    "map_overhead_s",
+    "launches",
 )
 
 #: Benchmark-level ratio keys where a decrease is a regression.

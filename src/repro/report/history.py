@@ -28,10 +28,19 @@ _SPARK = "▁▂▃▄▅▆▇█"
 _VARIANTS = ("unoptimized", "ompdart", "expert")
 
 
-def load_artifact(path: str) -> dict[str, Any]:
-    """Parse and schema-check one suite perf artifact."""
+def load_artifact(path: str) -> dict[str, Any] | None:
+    """Parse and schema-check one suite perf artifact.
+
+    Returns None for an empty (or whitespace-only) file: a freshly
+    seeded BENCH trajectory holds placeholders before the first CI
+    upload, and an empty data point means "nothing recorded yet", not
+    a malformed artifact.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
+        text = fh.read()
+    if not text.strip():
+        return None
+    payload = json.loads(text)
     schema = payload.get("schema", "") if isinstance(payload, dict) else ""
     if not str(schema).startswith("ompdart-suite-perf/"):
         raise ValueError(

@@ -27,7 +27,7 @@ __all__ = ["SCHEMA", "run_to_dict", "sweep_to_dict", "write_suite_json"]
 #: the optional top-level ``artifact_store`` block (per-pass cache
 #: traffic of the run that produced the artifact).  Readers accept any
 #: ``ompdart-suite-perf/`` prefix.
-SCHEMA = "ompdart-suite-perf/3"
+SCHEMA = "ompdart-suite-perf/4"
 
 
 def _stats_dict(result: Any) -> dict[str, Any]:
@@ -56,6 +56,8 @@ def _stats_dict(result: Any) -> dict[str, Any]:
         "host_time_s": stats.host_time_s,
         "total_time_s": stats.total_time_s,
         "kernel_launches": stats.kernel_launches,
+        "map_overhead_s": stats.map_overhead_s,
+        "launches": stats.launches,
         "sim_wall_s": result.wall_time_s,
         "vectorized_launches": result.vectorized_launches,
         "vector_strategy": result.vector_strategy,

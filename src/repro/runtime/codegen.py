@@ -1,0 +1,1714 @@
+"""Source-level kernel compiler: loop nests -> Python/NumPy source.
+
+Two emitters share one front door:
+
+* :class:`_ScalarEmitter` flattens a kernel body into order-exact
+  sequential Python — the retired closure-walker replay tier, one
+  statement per line instead of one closure per node.  The generated
+  function charges the same tick ledger, applies the same coercions in
+  the same order, and raises the same diagnostics, so it is
+  bit-identical to the interpreter by construction.  Its output is a
+  *serializable row* (source + content-hash key + symbolic slot specs)
+  that travels through the pipeline artifact store: codegen cost is
+  paid once per distinct kernel, across launches, batch workers, and
+  served jobs.
+
+* :class:`_VectorEmitter` compiles the common "straight" nest shape
+  (single parallel level, no masks, no scatter) into a flat NumPy
+  function, replacing the per-statement closure dispatch of the
+  vectorizer's generic executor.  It reuses the finished
+  :class:`~repro.runtime.vectorize._NestCompiler`'s slot table and
+  store-disjointness proof, so it can only ever be a faster spelling
+  of a nest the closure tier already accepted; any construct outside
+  its grammar simply declines, leaving the closure candidate in place.
+
+The launch side (signature-specialized map_enter/map_exit) lives in
+:mod:`repro.runtime.launch`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable
+
+import numpy as np
+
+from ..frontend import ast_nodes as A
+from ..frontend.ctypes_ import ArrayType, StructType
+from ..frontend.parser import EnumConstantDecl, fold_integer_constant
+from .builtins import make_math_builtins
+from .interp import SimulationError, _c_div, _c_mod, _eq
+
+CODEGEN_SCHEMA = "ompdart-codegen/1"
+
+_MATH_NAMES = frozenset(make_math_builtins())
+
+
+class _CodegenDecline(Exception):
+    """The nest uses a construct the emitter does not cover.
+
+    Carries the exact replay-tier ineligibility message so fallback
+    notes stay stable across the closure -> codegen migration.
+    """
+
+
+def _strip(expr: A.Expr) -> A.Expr:
+    while isinstance(expr, A.ParenExpr):
+        expr = expr.inner
+    return expr
+
+
+# -- runtime support injected into every generated scalar kernel ---------
+
+
+class _Unset:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+def _chk(value: Any, name: str) -> Any:
+    if value is _UNSET:
+        raise SimulationError(f"use of uninitialized variable {name!r}")
+    return value
+
+
+def _ovf(max_steps: int) -> None:
+    raise SimulationError(
+        f"simulation exceeded {max_steps} steps (runaway loop?)"
+    )
+
+
+def _prod(shape: tuple, k: int) -> int:
+    stride = 1
+    for d in shape[k:]:
+        stride *= d
+    return stride
+
+
+def _lset(data: list, pos: int, value: Any) -> None:
+    data[pos] = value
+
+
+def _cset(cell: Any, value: Any) -> None:
+    cell.value = value
+
+
+def _base_namespace() -> dict[str, Any]:
+    return {
+        "_UNSET": _UNSET,
+        "_chk": _chk,
+        "_ovf": _ovf,
+        "_prod": _prod,
+        "_lset": _lset,
+        "_cset": _cset,
+        "_c_div": _c_div,
+        "_c_mod": _c_mod,
+        "_eq": _eq,
+    }
+
+
+# -- expression spelling tables (mirror interp._BINOPS exactly) ----------
+
+_BINOP_FORMS: dict[str, Callable[[str, str], str]] = {
+    "+": lambda a, b: f"({a} + {b})",
+    "-": lambda a, b: f"({a} - {b})",
+    "*": lambda a, b: f"({a} * {b})",
+    "/": lambda a, b: f"_c_div({a}, {b})",
+    "%": lambda a, b: f"_c_mod({a}, {b})",
+    "<": lambda a, b: f"int({a} < {b})",
+    ">": lambda a, b: f"int({a} > {b})",
+    "<=": lambda a, b: f"int({a} <= {b})",
+    ">=": lambda a, b: f"int({a} >= {b})",
+    "==": lambda a, b: f"int(_eq({a}, {b}))",
+    "!=": lambda a, b: f"int(not _eq({a}, {b}))",
+    "&": lambda a, b: f"(int({a}) & int({b}))",
+    "|": lambda a, b: f"(int({a}) | int({b}))",
+    "^": lambda a, b: f"(int({a}) ^ int({b}))",
+    "<<": lambda a, b: f"(int({a}) << int({b}))",
+    ">>": lambda a, b: f"(int({a}) >> int({b}))",
+}
+
+
+def _lit(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:
+            return "float('nan')"
+        if value in (float("inf"), float("-inf")):
+            return f"float('{value}')"
+        return repr(value)
+    return repr(int(value))
+
+
+# -- symbolic bindings (the serializable half of a slot spec) ------------
+
+
+def _binding_descriptor(ref: A.DeclRefExpr) -> dict[str, Any]:
+    decl = ref.decl
+    if isinstance(decl, EnumConstantDecl):
+        return {"scope": "enum", "name": ref.name, "value": decl.value}
+    if isinstance(decl, A.ParmVarDecl) or (
+        isinstance(decl, A.VarDecl) and not decl.is_global
+    ):
+        return {"scope": "local", "name": ref.name, "node_id": decl.node_id}
+    return {
+        "scope": "global",
+        "name": ref.name,
+        "node_id": decl.node_id if decl is not None else None,
+    }
+
+
+def _bind_getter(desc: dict[str, Any]) -> Callable[[Any], Any]:
+    """Rebuild ``Interpreter._binding_getter`` from a descriptor."""
+    name = desc["name"]
+    if desc["scope"] == "enum":
+        from .values import Cell
+
+        cell = Cell(name, desc["value"])
+        return lambda m: cell
+    if desc["scope"] == "local":
+        key = desc["node_id"]
+
+        def get_local(m: Any) -> Any:
+            if m.on_device:
+                ov = m.kernel_overrides.get(name)
+                if ov is not None:
+                    return ov
+            binding = m.frame.get(key)
+            if binding is None:
+                raise SimulationError(
+                    f"use of uninitialized variable {name!r}"
+                )
+            return binding
+
+        return get_local
+    node_id = desc["node_id"]
+
+    def get_global(m: Any) -> Any:
+        if m.on_device:
+            ov = m.kernel_overrides.get(name)
+            if ov is not None:
+                return ov
+        binding = m.globals.get(name)
+        if binding is None:
+            binding = m.frame.get(node_id) if node_id is not None else None
+        if binding is None:
+            raise SimulationError(f"unbound variable {name!r}")
+        return binding
+
+    return get_global
+
+
+# -- the sequential-scalar emitter ---------------------------------------
+
+
+class _ScalarEmitter:
+    """Emit order-exact sequential Python source for one kernel.
+
+    Mirrors the closure-walker replay compiler statement for
+    statement: same tick placement, same coercions, same evaluation
+    order, same slot-allocation order, same ineligibility messages.
+    """
+
+    def __init__(
+        self, directive: Any, math_names: frozenset[str]
+    ) -> None:
+        self.directive = directive
+        self._math_names = math_names
+        self._specs: list[dict[str, Any]] = []
+        self._slot_map: dict[tuple, dict[str, Any]] = {}
+        self._local_ids: set[int] = set()
+        self._local_names: set[str] = set()
+        self._nonlocal_names: set[str] = set()
+        self._assigned: set[str] = set()
+        self._used_math: set[str] = set()
+        self._strides: set[tuple[int, int]] = set()
+        self._decl_names: list[str] = []
+        self._lines: list[str] = []
+        self._indent = 0
+        self._tmp = 0
+
+    # -- infrastructure
+
+    def _line(self, text: str) -> None:
+        self._lines.append("    " * self._indent + text)
+
+    def _fresh(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    def _emit_into(self, fn: Callable[[], None]) -> list[str]:
+        saved, self._lines = self._lines, []
+        try:
+            captured = self._lines
+            fn()
+        finally:
+            self._lines = saved
+        return captured
+
+    def _tick(self) -> None:
+        self._line("n += 1")
+        self._line("if n > _budget: _ovf(_max_steps)")
+
+    @staticmethod
+    def _coerce(qt: Any, s: str) -> str:
+        if qt is not None and qt.is_integer:
+            return f"int({s})"
+        if qt is not None and qt.is_floating:
+            return f"float({s})"
+        return s
+
+    def _is_local(self, ref: A.DeclRefExpr) -> bool:
+        return ref.decl is not None and ref.decl.node_id in self._local_ids
+
+    def _slot(
+        self, ref: A.DeclRefExpr, kind: str, *, written: bool = False
+    ) -> int:
+        key = (
+            kind,
+            ref.decl.node_id if ref.decl is not None else f"name:{ref.name}",
+        )
+        spec = self._slot_map.get(key)
+        if spec is None:
+            spec = {
+                "kind": kind,
+                "name": ref.name,
+                "written": False,
+                "members": set(),
+                "index": len(self._specs),
+                "binding": _binding_descriptor(ref),
+            }
+            self._slot_map[key] = spec
+            self._specs.append(spec)
+        spec["written"] = spec["written"] or written
+        self._nonlocal_names.add(ref.name)
+        return spec["index"]
+
+    # -- top level
+
+    def emit(self) -> str:
+        stmt = self.directive.associated_stmt
+        if stmt is None:
+            raise _CodegenDecline("kernel has no associated statement")
+        for d in stmt.walk_instances(A.VarDecl):
+            self._local_ids.add(d.node_id)
+            if d.name not in self._decl_names:
+                self._decl_names.append(d.name)
+        self._emit_stmt(stmt, ticks=True)
+        self._validate()
+        return self._assemble()
+
+    def _validate(self) -> None:
+        clause_names: set[str] = set()
+        for cls in (
+            A.OMPFirstprivateClause,
+            A.OMPPrivateClause,
+            A.OMPReductionClause,
+        ):
+            for clause in self.directive.clauses_of(cls):
+                clause_names.update(clause.var_names())
+        for clause in self.directive.map_clauses():
+            clause_names.update(item.name for item in clause.items)
+        shadowed = self._local_names & (self._nonlocal_names | clause_names)
+        if shadowed:
+            raise _CodegenDecline(
+                "kernel-local name shadows a mapped variable: "
+                f"{sorted(shadowed)[0]!r}"
+            )
+
+    def _assemble(self) -> str:
+        out = ["def _kernel(_slots, _budget, _max_steps):"]
+        for spec in self._specs:
+            i = spec["index"]
+            if spec["kind"] == "array":
+                out.append(
+                    f"    _d{i}, _o{i}, _sh{i}, _c{i} = _slots[{i}]"
+                )
+            else:
+                out.append(f"    _s{i} = _slots[{i}]")
+        for sidx, k in sorted(self._strides):
+            out.append(f"    _st{sidx}_{k} = _prod(_sh{sidx}, {k + 1})")
+        for name in self._decl_names:
+            out.append(f"    v_{name} = _UNSET")
+        out.append("    n = 0")
+        out.extend("    " + ln for ln in self._lines)
+        out.append("    return n")
+        return "\n".join(out) + "\n"
+
+    # -- statements
+
+    @staticmethod
+    def _static_ticks(stmt: A.Stmt | None) -> int | None:
+        if stmt is None or isinstance(stmt, A.NullStmt):
+            return 0
+        if isinstance(stmt, A.CompoundStmt):
+            total = 0
+            for s in stmt.stmts:
+                t = _ScalarEmitter._static_ticks(s)
+                if t is None:
+                    return None
+                total += t
+            return total
+        if isinstance(stmt, (A.DeclStmt, A.ExprStmt)):
+            return 1
+        return None
+
+    def _emit_stmt(self, stmt: A.Stmt | None, *, ticks: bool) -> None:
+        if stmt is None or isinstance(stmt, A.NullStmt):
+            return
+        if isinstance(stmt, A.CompoundStmt):
+            for s in stmt.stmts:
+                self._emit_stmt(s, ticks=ticks)
+            return
+        if isinstance(stmt, A.DeclStmt):
+            self._emit_decl(stmt, ticks=ticks)
+            return
+        if isinstance(stmt, A.ExprStmt):
+            if ticks:
+                self._tick()
+            self._emit_expr_effect(stmt.expr)
+            return
+        if isinstance(stmt, A.IfStmt):
+            self._emit_if(stmt)
+            return
+        if isinstance(stmt, A.ForStmt):
+            self._emit_for(stmt)
+            return
+        raise _CodegenDecline(
+            f"unsupported kernel statement {stmt.class_name}"
+        )
+
+    def _emit_decl(self, stmt: A.DeclStmt, *, ticks: bool) -> None:
+        if ticks:
+            self._tick()
+        for decl in stmt.decls:
+            qt = decl.qual_type
+            if (
+                qt is None
+                or qt.is_pointer
+                or isinstance(qt.type, (ArrayType, StructType))
+            ):
+                raise _CodegenDecline("kernel-local aggregate or pointer")
+            if decl.init is not None:
+                value = self._coerce(qt, self._emit_expr(decl.init))
+            else:
+                value = "0.0" if qt.is_floating else "0"
+            self._local_names.add(decl.name)
+            self._line(f"v_{decl.name} = {value}")
+            self._assigned.add(decl.name)
+
+    def _emit_if(self, stmt: A.IfStmt) -> None:
+        self._tick()
+        cond = self._emit_expr(stmt.cond)
+        self._line(f"if {cond}:")
+        before = set(self._assigned)
+        self._indent += 1
+        mark = len(self._lines)
+        self._emit_stmt(stmt.then_branch, ticks=True)
+        if len(self._lines) == mark:
+            self._line("pass")
+        self._indent -= 1
+        then_assigned = self._assigned
+        self._assigned = set(before)
+        if stmt.else_branch is not None:
+            self._line("else:")
+            self._indent += 1
+            mark = len(self._lines)
+            self._emit_stmt(stmt.else_branch, ticks=True)
+            if len(self._lines) == mark:
+                self._line("pass")
+            self._indent -= 1
+            else_assigned = self._assigned
+            self._assigned = before | (then_assigned & else_assigned)
+        else:
+            self._assigned = before
+
+    def _emit_for(self, stmt: A.ForStmt) -> None:
+        # Emission order mirrors the replay compile order (init, cond,
+        # inc, body) so slot allocation and ineligibility diagnostics
+        # match, while placement puts inc after the body.
+        if stmt.init is not None:
+            self._emit_stmt(stmt.init, ticks=True)
+        cond = (
+            self._emit_expr(stmt.cond) if stmt.cond is not None else None
+        )
+        outer = self._indent
+        self._indent = outer + 1
+        inc_lines: list[str] = []
+        if stmt.inc is not None:
+            inc_lines = self._emit_into(
+                lambda: self._emit_expr_effect(stmt.inc)
+            )
+        body_ticks = self._static_ticks(stmt.body)
+        batched = body_ticks is not None and cond is not None
+        before_body = set(self._assigned)
+        body_lines = self._emit_into(
+            lambda: self._emit_stmt(stmt.body, ticks=not batched)
+        )
+        self._assigned = before_body
+        self._indent = outer
+        self._line("while True:")
+        self._indent = outer + 1
+        self._tick()
+        if cond is not None:
+            self._line(f"if not {cond}:")
+            self._indent += 1
+            self._line("break")
+            self._indent -= 1
+        if batched and body_ticks:
+            self._line(f"n += {body_ticks}")
+            self._line("if n > _budget: _ovf(_max_steps)")
+        self._lines.extend(body_lines)
+        self._lines.extend(inc_lines)
+        self._indent = outer
+
+    # -- lvalues and statement-position side effects
+
+    def _lvalue(self, expr: A.Expr) -> tuple:
+        expr = _strip(expr)
+        if isinstance(expr, A.DeclRefExpr):
+            if self._is_local(expr):
+                return ("local", expr.name, expr.qual_type)
+            sidx = self._slot(expr, "scalar", written=True)
+            return ("cell", sidx, expr.qual_type)
+        if isinstance(expr, A.ArraySubscriptExpr):
+            sidx, pos = self._subscript(expr)
+            return ("array", sidx, pos)
+        raise _CodegenDecline(
+            f"unsupported assignment target {expr.class_name}"
+        )
+
+    def _local_load(self, name: str) -> str:
+        if name in self._assigned:
+            return f"v_{name}"
+        return f"_chk(v_{name}, {name!r})"
+
+    def _emit_expr_effect(self, expr: A.Expr) -> None:
+        expr = _strip(expr)
+        if isinstance(expr, A.BinaryOperator) and expr.is_assignment:
+            self._emit_assign_effect(expr)
+            return
+        if isinstance(expr, A.UnaryOperator) and expr.op in ("++", "--"):
+            self._emit_incdec_effect(expr)
+            return
+        self._line(self._emit_expr(expr))
+
+    def _emit_assign_effect(self, expr: A.BinaryOperator) -> None:
+        op = expr.op
+        kind = self._lvalue(expr.lhs)
+        rhs = self._emit_expr(expr.rhs)
+        if kind[0] == "local":
+            _, name, qt = kind
+            value = (
+                rhs
+                if op == "="
+                else _BINOP_FORMS[op[:-1]](self._local_load(name), rhs)
+            )
+            self._line(f"v_{name} = {self._coerce(qt, value)}")
+            self._assigned.add(name)
+        elif kind[0] == "cell":
+            _, sidx, qt = kind
+            value = (
+                rhs
+                if op == "="
+                else _BINOP_FORMS[op[:-1]](f"_s{sidx}.value", rhs)
+            )
+            self._line(f"_s{sidx}.value = {self._coerce(qt, value)}")
+        else:
+            _, sidx, pos = kind
+            t0 = self._fresh()
+            if op == "=":
+                self._line(f"{t0} = {rhs}")
+            else:
+                loaded = _BINOP_FORMS[op[:-1]](f"_d{sidx}[{pos}]", rhs)
+                self._line(f"{t0} = {loaded}")
+            t1 = self._fresh()
+            self._line(f"{t1} = {pos}")
+            self._line(f"_d{sidx}[{t1}] = _c{sidx}({t0})")
+
+    def _emit_incdec_effect(self, expr: A.UnaryOperator) -> None:
+        kind = self._lvalue(expr.operand)
+        delta = "1" if expr.op == "++" else "-1"
+        if kind[0] == "local":
+            _, name, qt = kind
+            value = self._coerce(qt, f"({self._local_load(name)} + {delta})")
+            self._line(f"v_{name} = {value}")
+            self._assigned.add(name)
+        elif kind[0] == "cell":
+            _, sidx, qt = kind
+            value = self._coerce(qt, f"(_s{sidx}.value + {delta})")
+            self._line(f"_s{sidx}.value = {value}")
+        else:
+            _, sidx, pos = kind
+            t0 = self._fresh()
+            self._line(f"{t0} = (_d{sidx}[{pos}] + {delta})")
+            t1 = self._fresh()
+            self._line(f"{t1} = {pos}")
+            self._line(f"_d{sidx}[{t1}] = _c{sidx}({t0})")
+
+    # -- expressions
+
+    def _subscript(self, expr: A.ArraySubscriptExpr) -> tuple[int, str]:
+        idx_strs: list[str] = []
+        node: A.Expr = expr
+        while isinstance(node, A.ArraySubscriptExpr):
+            idx_strs.append(self._emit_expr(node.index))
+            node = _strip(node.base)
+        if not isinstance(node, A.DeclRefExpr) or self._is_local(node):
+            raise _CodegenDecline("unsupported subscript base")
+        idx_strs.reverse()
+        sidx = self._slot(node, "array", written=True)
+        if len(idx_strs) == 1:
+            pos = f"_o{sidx} + int({idx_strs[0]})"
+        else:
+            terms = [f"_o{sidx}"]
+            for k, ix in enumerate(idx_strs):
+                self._strides.add((sidx, k))
+                terms.append(f"int({ix}) * _st{sidx}_{k}")
+            pos = " + ".join(terms)
+        return sidx, pos
+
+    def _emit_expr(self, expr: A.Expr) -> str:
+        expr = _strip(expr)
+        folded = fold_integer_constant(expr)
+        if folded is not None:
+            return _lit(folded)
+        if isinstance(
+            expr,
+            (A.IntegerLiteral, A.FloatingLiteral, A.CharacterLiteral),
+        ):
+            return _lit(expr.value)
+        if isinstance(expr, A.DeclRefExpr):
+            return self._emit_ref(expr)
+        if isinstance(expr, A.ArraySubscriptExpr):
+            sidx, pos = self._subscript(expr)
+            return f"_d{sidx}[{pos}]"
+        if isinstance(expr, A.MemberExpr):
+            return self._emit_member(expr)
+        if isinstance(expr, A.BinaryOperator):
+            return self._emit_binop(expr)
+        if isinstance(expr, A.UnaryOperator):
+            return self._emit_unop(expr)
+        if isinstance(expr, A.ConditionalOperator):
+            cond = self._emit_expr(expr.cond)
+            t = self._emit_expr(expr.true_expr)
+            f = self._emit_expr(expr.false_expr)
+            return f"({t} if {cond} else {f})"
+        if isinstance(expr, A.CStyleCastExpr):
+            if expr.target_type.is_pointer:
+                raise _CodegenDecline("pointer cast in kernel")
+            operand = self._emit_expr(expr.operand)
+            return self._coerce(expr.target_type, operand)
+        if isinstance(expr, A.CallExpr):
+            name = expr.callee_name or "<indirect>"
+            if name not in self._math_names or not name.isidentifier():
+                raise _CodegenDecline(f"call to {name!r} in kernel")
+            args = [self._emit_expr(a) for a in expr.args]
+            self._used_math.add(name)
+            return f"_m_{name}({', '.join(args)})"
+        raise _CodegenDecline(
+            f"unsupported kernel expression {expr.class_name}"
+        )
+
+    def _emit_ref(self, ref: A.DeclRefExpr) -> str:
+        if isinstance(ref.decl, EnumConstantDecl):
+            return _lit(ref.decl.value)
+        if isinstance(ref.decl, A.FunctionDecl):
+            raise _CodegenDecline("function reference in kernel")
+        name = ref.name
+        if self._is_local(ref):
+            return self._local_load(name)
+        qt = ref.qual_type
+        if qt is not None and (
+            qt.is_pointer or isinstance(qt.type, (ArrayType, StructType))
+        ):
+            raise _CodegenDecline(
+                f"non-scalar value {name!r} used as a scalar"
+            )
+        sidx = self._slot(ref, "scalar")
+        return f"_s{sidx}.value"
+
+    def _emit_member(self, expr: A.MemberExpr) -> str:
+        base = _strip(expr.base)
+        if expr.is_arrow:
+            raise _CodegenDecline("pointer member access in kernel")
+        if not isinstance(base, A.DeclRefExpr) or self._is_local(base):
+            raise _CodegenDecline("unsupported member access base")
+        sidx = self._slot(base, "struct")
+        self._specs[sidx]["members"].add(expr.member)
+        return f"_s{sidx}.fields[{expr.member!r}]"
+
+    def _emit_binop(self, expr: A.BinaryOperator) -> str:
+        op = expr.op
+        if op == ",":
+            raise _CodegenDecline("comma expression in kernel")
+        if op in ("&&", "||"):
+            lhs = self._emit_expr(expr.lhs)
+            rhs = self._emit_expr(expr.rhs)
+            joiner = "and" if op == "&&" else "or"
+            return f"int(bool({lhs}) {joiner} bool({rhs}))"
+        if expr.is_assignment:
+            return self._emit_assign_expr(expr)
+        form = _BINOP_FORMS.get(op)
+        if form is None:
+            raise _CodegenDecline(f"unsupported operator {op!r} in kernel")
+        lhs = self._emit_expr(expr.lhs)
+        rhs = self._emit_expr(expr.rhs)
+        return form(lhs, rhs)
+
+    def _emit_assign_expr(self, expr: A.BinaryOperator) -> str:
+        op = expr.op
+        kind = self._lvalue(expr.lhs)
+        rhs = self._emit_expr(expr.rhs)
+        t0 = self._fresh()
+        if kind[0] == "local":
+            _, name, qt = kind
+            src = (
+                rhs
+                if op == "="
+                else _BINOP_FORMS[op[:-1]](self._local_load(name), rhs)
+            )
+            stored = self._coerce(qt, t0)
+            return f"(({t0} := {src}), (v_{name} := {stored}))[0]"
+        if kind[0] == "cell":
+            _, sidx, qt = kind
+            src = (
+                rhs
+                if op == "="
+                else _BINOP_FORMS[op[:-1]](f"_s{sidx}.value", rhs)
+            )
+            stored = self._coerce(qt, t0)
+            return f"(({t0} := {src}), _cset(_s{sidx}, {stored}))[0]"
+        _, sidx, pos = kind
+        src = (
+            rhs
+            if op == "="
+            else _BINOP_FORMS[op[:-1]](f"_d{sidx}[{pos}]", rhs)
+        )
+        t1 = self._fresh()
+        return (
+            f"(({t0} := {src}), ({t1} := {pos}), "
+            f"_lset(_d{sidx}, {t1}, _c{sidx}({t0})))[0]"
+        )
+
+    def _emit_unop(self, expr: A.UnaryOperator) -> str:
+        op = expr.op
+        if op in ("&", "*"):
+            raise _CodegenDecline(
+                f"unsupported unary operator {op!r} in kernel"
+            )
+        if op in ("++", "--"):
+            return self._emit_incdec_expr(expr)
+        operand = self._emit_expr(expr.operand)
+        if op == "-":
+            return f"(- {operand})"
+        if op == "+":
+            return operand
+        if op == "!":
+            return f"int(not {operand})"
+        if op == "~":
+            return f"(~ int({operand}))"
+        raise _CodegenDecline(
+            f"unsupported unary operator {op!r} in kernel"
+        )
+
+    def _emit_incdec_expr(self, expr: A.UnaryOperator) -> str:
+        kind = self._lvalue(expr.operand)
+        delta = "1" if expr.op == "++" else "-1"
+        prefix = expr.is_prefix
+        t0 = self._fresh()
+        if kind[0] == "local":
+            _, name, qt = kind
+            load = self._local_load(name)
+            if prefix:
+                stored = self._coerce(qt, t0)
+                return (
+                    f"(({t0} := ({load} + {delta})), "
+                    f"(v_{name} := {stored}))[0]"
+                )
+            stored = self._coerce(qt, f"({t0} + {delta})")
+            return f"(({t0} := {load}), (v_{name} := {stored}))[0]"
+        if kind[0] == "cell":
+            _, sidx, qt = kind
+            load = f"_s{sidx}.value"
+            if prefix:
+                stored = self._coerce(qt, t0)
+                return (
+                    f"(({t0} := ({load} + {delta})), "
+                    f"_cset(_s{sidx}, {stored}))[0]"
+                )
+            stored = self._coerce(qt, f"({t0} + {delta})")
+            return f"(({t0} := {load}), _cset(_s{sidx}, {stored}))[0]"
+        _, sidx, pos = kind
+        t1 = self._fresh()
+        if prefix:
+            return (
+                f"(({t0} := (_d{sidx}[{pos}] + {delta})), "
+                f"({t1} := {pos}), "
+                f"_lset(_d{sidx}, {t1}, _c{sidx}({t0})))[0]"
+            )
+        return (
+            f"(({t0} := _d{sidx}[{pos}]), ({t1} := {pos}), "
+            f"_lset(_d{sidx}, {t1}, _c{sidx}(({t0} + {delta}))))[0]"
+        )
+
+
+# -- rows: the serializable codegen artifact -----------------------------
+
+
+def emit_scalar_row(
+    directive: Any, math_names: frozenset[str] | None = None
+) -> dict[str, Any]:
+    """Compile one directive to a serializable codegen row.
+
+    A row either carries generated source (``reason is None``) or the
+    exact ineligibility message the closure replay tier would have
+    raised.  Rows are pure data — pickleable, store-cacheable — and
+    bind to a live interpreter via :func:`bind_specs`.
+    """
+    names = _MATH_NAMES if math_names is None else frozenset(math_names)
+    emitter = _ScalarEmitter(directive, names)
+    reason: str | None = None
+    source: str | None = None
+    try:
+        source = emitter.emit()
+    except _CodegenDecline as exc:
+        reason = str(exc)
+    except Exception as exc:  # noqa: BLE001 - fallback is always correct
+        reason = f"codegen error: {exc!r}"
+    row: dict[str, Any] = {
+        "schema": CODEGEN_SCHEMA,
+        "node_id": directive.node_id,
+        "reason": reason,
+        "source": source,
+        "key": None,
+        "specs": [],
+        "math": [],
+    }
+    if reason is None:
+        row["key"] = hashlib.sha256(
+            (CODEGEN_SCHEMA + "\0" + source).encode()
+        ).hexdigest()
+        row["specs"] = [
+            {
+                "kind": s["kind"],
+                "name": s["name"],
+                "written": s["written"],
+                "members": sorted(s["members"]),
+                "index": s["index"],
+                "binding": s["binding"],
+            }
+            for s in emitter._specs
+        ]
+        row["math"] = sorted(emitter._used_math)
+    return row
+
+
+def emit_rows(tu: Any) -> dict[int, dict[str, Any]]:
+    """Codegen rows for every offload kernel in a translation unit."""
+    rows: dict[int, dict[str, Any]] = {}
+    for node in tu.walk_instances(A.OMPExecutableDirective):
+        if node.is_offload_kernel:
+            rows[node.node_id] = emit_scalar_row(node)
+    return rows
+
+
+def bind_specs(row: dict[str, Any]) -> list[dict[str, Any]]:
+    """Turn a row's symbolic slot specs into live preflight specs."""
+    specs = []
+    for s in row["specs"]:
+        specs.append(
+            {
+                "kind": s["kind"],
+                "getter": _bind_getter(s["binding"]),
+                "name": s["name"],
+                "written": s["written"],
+                "members": list(s["members"]),
+                "index": s["index"],
+            }
+        )
+    return specs
+
+
+_CODE_CACHE: dict[str, Any] = {}
+
+
+def compiled_kernel(row: dict[str, Any], math: dict[str, Any]) -> Any:
+    """exec-compile a row's source; code objects memoized by key."""
+    key = row["key"]
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        code = compile(
+            row["source"], f"<ompdart-codegen:{key[:12]}>", "exec"
+        )
+        _CODE_CACHE[key] = code
+    ns = _base_namespace()
+    for name in row["math"]:
+        ns[f"_m_{name}"] = math[name]
+    exec(code, ns)  # noqa: S102 - our own generated source
+    return ns["_kernel"]
+
+
+# -- preflight memoization -----------------------------------------------
+
+
+def _preflight_memo(
+    machine: Any, specs: list[dict[str, Any]], cache: dict[str, Any]
+) -> list | None:
+    """``_preflight`` with an identity fast path.
+
+    When every binding (and the storage behind it) is the same object
+    as on the previous launch, the alias analysis and slot rebuild are
+    skipped.  The storage pool in :mod:`repro.runtime.device` keeps
+    device arrays identity-stable across map cycles, so many-launch
+    benchmarks hit this on every launch after the first.
+    """
+    from .vectorize import _SCALAR_TYPES, _preflight
+
+    probes = cache.get("probes")
+    if probes is not None:
+        for probe in probes:
+            if not probe(machine):
+                break
+        else:
+            return cache["slots"]
+    slots = _preflight(machine, specs)
+    if slots is None:
+        cache.pop("probes", None)
+        return None
+    from .values import ArrayObject, Cell, Pointer, StructObject
+
+    probes = []
+    ok = True
+    for spec, slot in zip(specs, slots):
+        getter = spec["getter"]
+        binding = getter(machine)
+        if spec["kind"] == "scalar":
+
+            def probe_scalar(
+                m: Any, g: Callable = getter, cell: Any = binding
+            ) -> bool:
+                return g(m) is cell and isinstance(
+                    cell.value, _SCALAR_TYPES
+                )
+
+            probes.append(probe_scalar)
+        elif spec["kind"] == "array":
+            storage = slot[0]
+            if isinstance(binding, Cell):
+                ptr = binding.value
+                if not isinstance(ptr, Pointer):
+                    ok = False
+                    break
+
+                def probe_cellptr(
+                    m: Any,
+                    g: Callable = getter,
+                    cell: Any = binding,
+                    ptr: Any = ptr,
+                    storage: Any = storage,
+                ) -> bool:
+                    return (
+                        g(m) is cell
+                        and cell.value is ptr
+                        and m.storage_of(ptr.obj) is storage
+                    )
+
+                probes.append(probe_cellptr)
+            elif isinstance(binding, ArrayObject):
+
+                def probe_array(
+                    m: Any,
+                    g: Callable = getter,
+                    obj: Any = binding,
+                    storage: Any = storage,
+                ) -> bool:
+                    return (
+                        g(m) is obj and m.storage_of(obj) is storage
+                    )
+
+                probes.append(probe_array)
+            else:
+                ok = False
+                break
+        else:
+            members = tuple(spec["members"])
+            if not isinstance(binding, StructObject):
+                ok = False
+                break
+
+            def probe_struct(
+                m: Any,
+                g: Callable = getter,
+                obj: Any = binding,
+                members: tuple = members,
+            ) -> bool:
+                if g(m) is not obj:
+                    return False
+                fields = obj.fields
+                return all(
+                    isinstance(fields.get(mem), _SCALAR_TYPES)
+                    for mem in members
+                )
+
+            probes.append(probe_struct)
+    if ok:
+        cache["probes"] = probes
+        cache["slots"] = slots
+    else:
+        cache.pop("probes", None)
+    return slots
+
+
+# -- the straight-nest vector emitter ------------------------------------
+
+
+class _VectorEmitter:
+    """Emit a flat NumPy function for a single-level straight nest.
+
+    Consumes a finished ``_NestCompiler`` — its slot table, parallel
+    header, taint facts, and store-disjointness proof — and re-spells
+    the body the closure executor already accepted.  Anything outside
+    the covered grammar raises :class:`_CodegenDecline`; the caller
+    then simply omits the codegen candidate.
+    """
+
+    def __init__(self, compiler: Any) -> None:
+        from . import vectorize as V
+
+        self.V = V
+        self.c = compiler
+        self._ns: dict[str, Any] = {}
+        self._inj_map: dict[tuple, str] = {}
+        self._lines: list[str] = []
+        self._indent = 0
+        self._tmp = 0
+        self._assigned: set[str] = set()
+        self._used_slots: set[int] = set()
+        self._strides: set[tuple[int, int]] = set()
+        self._seq_depth = 0
+        self._pc_keys = 0
+        # Shared scalar slots assigned by statements emitted so far: a
+        # later position expression reading one would see a mid-kernel
+        # value the launch-stability check cannot observe.
+        self._shared_written: set[int] = set()
+        # Locals currently holding a launch-invariant value (assigned
+        # at top level from a stable expression, not reassigned since).
+        self._stable_locals: set[str] = set()
+
+    def _line(self, text: str) -> None:
+        self._lines.append("    " * self._indent + text)
+
+    def _fresh(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    def _inject(self, stem: str, value: Any) -> str:
+        key = (stem, id(value))
+        name = self._inj_map.get(key)
+        if name is None:
+            name = f"_{stem}{len(self._inj_map)}"
+            self._inj_map[key] = name
+            self._ns[name] = value
+        return name
+
+    def _decline(self, what: str) -> _CodegenDecline:
+        return _CodegenDecline(f"vector codegen: {what}")
+
+    # -- top level
+
+    def emit(self) -> tuple[str, dict[str, Any]]:
+        V, c = self.V, self.c
+        stmt = V._unwrap_for(c.directive.associated_stmt)
+        if not isinstance(stmt, A.ForStmt):
+            raise self._decline("no for statement")
+        if len(c.pvars) != 1:
+            raise self._decline("not a single-level nest")
+        header = c.pvars[0]
+        for e in (header.init_expr, header.bound_expr):
+            for r in e.walk_instances(A.DeclRefExpr):
+                if (
+                    not isinstance(r.decl, EnumConstantDecl)
+                    and r.decl is not None
+                    and r.decl.node_id in c._local_ids
+                ):
+                    raise self._decline("kernel-local in loop header")
+        init_src = self._emit_bound_fn(header.init_expr)
+        bound_src = self._emit_bound_fn(header.bound_expr)
+        self._assigned.add(header.var)
+        self._line(f"v_{header.var} = _pv")
+        for s in V._stmts_of(stmt.body):
+            self._emit_stmt(s)
+        return self._assemble(init_src, bound_src), dict(self._ns)
+
+    def _emit_bound_fn(self, expr: A.Expr) -> str:
+        return self._emit_expr(expr, bound=True)
+
+    def _assemble(self, init_src: str, bound_src: str) -> str:
+        out = []
+        for fn_name, src in (("_vinit", init_src), ("_vbound", bound_src)):
+            out.append(f"def {fn_name}(_slots):")
+            for i in sorted(self._used_slots):
+                spec = self.c._specs[i]
+                if spec["kind"] == "array":
+                    out.append(
+                        f"    _d{i}, _o{i}, _sh{i} = _slots[{i}]"
+                    )
+                else:
+                    out.append(f"    _s{i} = _slots[{i}]")
+            out.append(f"    return {src}")
+            out.append("")
+        out.append("def _vbody(_slots, _charge, _lanes, _pv, _pc):")
+        for i in sorted(self._used_slots):
+            spec = self.c._specs[i]
+            if spec["kind"] == "array":
+                out.append(f"    _d{i}, _o{i}, _sh{i} = _slots[{i}]")
+            else:
+                out.append(f"    _s{i} = _slots[{i}]")
+        for sidx, k in sorted(self._strides):
+            out.append(f"    _st{sidx}_{k} = _vprod(_sh{sidx}, {k + 1})")
+        out.extend("    " + ln for ln in self._lines)
+        out.append("    return None")
+        return "\n".join(out) + "\n"
+
+    # -- statements (mirror _NestCompiler closures, active == None)
+
+    def _emit_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.NullStmt):
+            return
+        if isinstance(stmt, A.CompoundStmt):
+            for s in stmt.stmts:
+                self._emit_stmt(s)
+            return
+        if isinstance(stmt, A.DeclStmt):
+            self._emit_decl(stmt)
+            return
+        if isinstance(stmt, A.ExprStmt):
+            self._emit_expr_stmt(stmt)
+            return
+        if isinstance(stmt, A.ForStmt):
+            self._emit_seq_for(stmt)
+            return
+        raise self._decline(f"statement {stmt.class_name}")
+
+    def _emit_decl(self, stmt: A.DeclStmt) -> None:
+        self._line("_charge(_lanes)")
+        for decl in stmt.decls:
+            qt = decl.qual_type
+            if (
+                qt is None
+                or qt.is_pointer
+                or isinstance(qt.type, (ArrayType, StructType))
+            ):
+                raise self._decline("aggregate decl")
+            if decl.init is not None:
+                co = self._inject("co", self.V._coercer(qt))
+                value = f"{co}({self._emit_expr(decl.init)})"
+                if self._seq_depth == 0 and self._expr_stable(decl.init):
+                    value = self._pc_wrap(value)
+                    self._stable_locals.add(decl.name)
+                else:
+                    self._stable_locals.discard(decl.name)
+            else:
+                value = "0.0" if qt.is_floating else "0"
+                if self._seq_depth == 0:
+                    self._stable_locals.add(decl.name)
+                else:
+                    self._stable_locals.discard(decl.name)
+            self._line(f"v_{decl.name} = {value}")
+            self._assigned.add(decl.name)
+
+    def _emit_expr_stmt(self, stmt: A.ExprStmt) -> None:
+        expr = _strip(stmt.expr)
+        if not isinstance(expr, A.BinaryOperator) or not expr.is_assignment:
+            raise self._decline("non-assignment statement")
+        target = _strip(expr.lhs)
+        if isinstance(target, A.DeclRefExpr) and self._is_local(target):
+            self._emit_local_assign(expr, target)
+            return
+        if isinstance(target, A.DeclRefExpr):
+            self._emit_shared_assign(expr, target)
+            return
+        if isinstance(target, A.ArraySubscriptExpr):
+            self._emit_array_store(expr, target)
+            return
+        raise self._decline(f"assignment target {target.class_name}")
+
+    def _is_local(self, ref: A.DeclRefExpr) -> bool:
+        return (
+            ref.decl is not None
+            and ref.decl.node_id in self.c._local_ids
+        )
+
+    def _local_load(self, name: str) -> str:
+        if name in self._assigned:
+            return f"v_{name}"
+        return f"_vchk(v_{name}, {name!r})"
+
+    def _emit_local_assign(
+        self, expr: A.BinaryOperator, target: A.DeclRefExpr
+    ) -> None:
+        name = target.name
+        if name in self.c.pvar_index:
+            raise self._decline("assignment to the parallel index")
+        op = expr.op
+        co = self._inject("co", self.V._coercer(target.qual_type))
+        if op == "=":
+            rhs = self._emit_expr(expr.rhs)
+            value = f"{co}({rhs})"
+            if self._seq_depth == 0 and self._expr_stable(expr.rhs):
+                # A launch-invariant local (e.g. clamped stencil
+                # neighbor indices): compute its lane vector once and
+                # reuse it on every input-stable launch.
+                value = self._pc_wrap(value)
+                self._stable_locals.add(name)
+            else:
+                self._stable_locals.discard(name)
+            self._line("_charge(_lanes)")
+            self._line(f"v_{name} = {value}")
+            self._assigned.add(name)
+            return
+        base_op = self.V._COMPOUND.get(op)
+        if base_op is None:
+            raise self._decline(f"operator {op!r}")
+        fn = self._inject("vb", self.V._VEC_BINOPS[base_op])
+        rhs = self._emit_expr(expr.rhs)
+        value = f"{co}({fn}({self._local_load(name)}, {rhs}))"
+        if (
+            self._seq_depth == 0
+            and name in self._stable_locals
+            and self._expr_stable(expr.rhs)
+        ):
+            value = self._pc_wrap(value)
+        else:
+            self._stable_locals.discard(name)
+        self._line("_charge(_lanes)")
+        self._line(f"v_{name} = {value}")
+        self._assigned.add(name)
+
+    def _emit_shared_assign(
+        self, expr: A.BinaryOperator, target: A.DeclRefExpr
+    ) -> None:
+        # Only the top-level accumulator forms; everything else declines
+        # and the closure candidate handles it.
+        c, V = self.c, self.V
+        key = (
+            "scalar",
+            target.decl.node_id
+            if target.decl is not None
+            else f"name:{target.name}",
+        )
+        spec = c._slot_map.get(key)
+        if spec is None:
+            raise self._decline("unknown shared slot")
+        sidx = spec["index"]
+        self._used_slots.add(sidx)
+        op = expr.op
+        qt = target.qual_type
+        if op in ("+=", "-="):
+            if qt is None or not qt.is_floating:
+                raise self._decline("non-float shared accumulation")
+            rhs = self._emit_expr(expr.rhs)
+            if op == "-=":
+                rhs = f"(- _vbroadcast({rhs}, _lanes))"
+            else:
+                rhs = f"_vbroadcast({rhs}, _lanes)"
+            self._line("_charge(_lanes)")
+            self._line(
+                f"_s{sidx}.value = _vseqsum(float(_s{sidx}.value), {rhs})"
+            )
+            self._shared_written.add(sidx)
+            return
+        if op != "=":
+            raise self._decline(f"shared operator {op!r}")
+        co = self._inject("co", V._coercer(qt))
+        rhs = self._emit_expr(expr.rhs)
+        self._line("_charge(_lanes)")
+        self._line(f"_s{sidx}.value = {co}(_vlast({rhs}))")
+        self._shared_written.add(sidx)
+
+    def _emit_array_store(
+        self, expr: A.BinaryOperator, target: A.ArraySubscriptExpr
+    ) -> None:
+        sidx, indices = self._subscript_chain(target)
+        op = expr.op
+        idx_strs = [self._emit_expr(ix) for ix in indices]
+        rhs = self._emit_expr(expr.rhs)
+        pos = self._pos(sidx, idx_strs, indices)
+        self._line("_charge(_lanes)")
+        p = self._fresh()
+        self._line(f"{p} = {pos}")
+        if op == "=":
+            if self._seq_depth == 0 and self._expr_stable(expr.rhs):
+                # The store must still run every launch (the array may
+                # have changed), but a launch-invariant value vector is
+                # computed once.
+                rhs = self._pc_wrap(rhs)
+            self._line(f"_d{sidx}[{p}] = {rhs}")
+            return
+        base_op = self.V._COMPOUND.get(op)
+        if base_op is None:
+            raise self._decline(f"store operator {op!r}")
+        tq = getattr(target, "qual_type", None)
+        rq = getattr(expr.rhs, "qual_type", None)
+        if (
+            base_op in ("+", "-", "*")
+            and tq is not None
+            and rq is not None
+            and tq.is_floating
+            and rq.is_floating
+        ):
+            # Same passthrough argument as _emit_vbinop: float lanes
+            # never take the exact-integer escalation.
+            self._line(
+                f"_d{sidx}[{p}] = _vwiden(_d{sidx}[{p}]) {base_op} ({rhs})"
+            )
+            return
+        fn = self._inject("vb", self.V._VEC_BINOPS[base_op])
+        self._line(f"_d{sidx}[{p}] = {fn}(_vwiden(_d{sidx}[{p}]), {rhs})")
+
+    def _subscript_chain(
+        self, expr: A.ArraySubscriptExpr
+    ) -> tuple[int, list[A.Expr]]:
+        indices: list[A.Expr] = []
+        node: A.Expr = expr
+        while isinstance(node, A.ArraySubscriptExpr):
+            indices.append(node.index)
+            node = _strip(node.base)
+        if not isinstance(node, A.DeclRefExpr) or self._is_local(node):
+            raise self._decline("subscript base")
+        indices.reverse()
+        key = (
+            "array",
+            node.decl.node_id
+            if node.decl is not None
+            else f"name:{node.name}",
+        )
+        spec = self.c._slot_map.get(key)
+        if spec is None:
+            raise self._decline("unknown array slot")
+        sidx = spec["index"]
+        self._used_slots.add(sidx)
+        return sidx, indices
+
+    def _pos(
+        self, sidx: int, idx_strs: list[str], indices: list[A.Expr]
+    ) -> str:
+        if len(idx_strs) == 1:
+            pos = f"(_o{sidx} + ({idx_strs[0]}))"
+        else:
+            terms = [f"_o{sidx}"]
+            for k, ix in enumerate(idx_strs):
+                self._strides.add((sidx, k))
+                terms.append(f"({ix}) * _st{sidx}_{k}")
+            pos = "(" + " + ".join(terms) + ")"
+        if self._indices_stable(indices):
+            # Index arithmetic built only from the lane vector, shared
+            # scalars, and constants yields the exact same position
+            # vector on every launch whose inputs are unchanged — the
+            # runner hands in a persistent cache dict exactly when that
+            # holds (and a throwaway one otherwise), so the stencil's
+            # integer ops run once instead of per launch.
+            pos = self._pc_wrap(pos)
+        return pos
+
+    def _pc_wrap(self, src: str) -> str:
+        key = self._pc_keys
+        self._pc_keys += 1
+        return f"(_pc[{key}] if {key} in _pc else _pc.setdefault({key}, {src}))"
+
+    def _indices_stable(self, indices: list[A.Expr]) -> bool:
+        if self._seq_depth:
+            return False
+        return all(self._expr_stable(e) for e in indices)
+
+    def _expr_stable(self, e: A.Expr) -> bool:
+        """True when the expression is launch-invariant given stable
+        inputs: built only from the parallel lane vector, constants,
+        stable locals, and shared scalars neither assigned by the
+        kernel so far (a later read would see a mid-kernel value the
+        stability check cannot observe) nor hidden from the runner's
+        value comparison.  Array and struct contents are excluded —
+        they are validated by identity, not by value."""
+        c = self.c
+        for node in e.walk():
+            if isinstance(node, A.DeclRefExpr):
+                if isinstance(node.decl, EnumConstantDecl):
+                    continue
+                if node.name in c.pvar_index:
+                    continue
+                if self._is_local(node):
+                    if node.name in self._stable_locals:
+                        continue
+                    return False
+                qt = node.qual_type
+                if qt is None or not (qt.is_integer or qt.is_floating):
+                    return False
+                key = (
+                    "scalar",
+                    node.decl.node_id
+                    if node.decl is not None
+                    else f"name:{node.name}",
+                )
+                spec = c._slot_map.get(key)
+                if spec is None or spec["index"] in self._shared_written:
+                    return False
+            elif isinstance(
+                node,
+                (A.CallExpr, A.MemberExpr, A.ArraySubscriptExpr),
+            ):
+                return False
+            elif isinstance(node, A.BinaryOperator) and (
+                node.is_assignment or node.op == ","
+            ):
+                return False
+        return True
+
+    def _emit_seq_for(self, stmt: A.ForStmt) -> None:
+        c, V = self.c, self.V
+        # Bail on anything resembling the ragged shape: lane-varying or
+        # array-dependent bounds stay with the closure executor.
+        try:
+            header = c._loop_header(stmt, parallel=False)
+        except Exception as exc:  # noqa: BLE001 - decline, don't diagnose
+            raise self._decline(f"loop header: {exc}") from None
+        for e in (header.init_expr, header.bound_expr):
+            for r in e.walk_instances(A.DeclRefExpr):
+                if isinstance(r.decl, EnumConstantDecl):
+                    continue
+                if r.name in c._tainted:
+                    raise self._decline("lane-varying loop bound")
+            if any(e.walk_instances(A.ArraySubscriptExpr)):
+                raise self._decline("array access in a loop bound")
+        cmp_op = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "!=": "!="}.get(
+            header.op
+        )
+        if cmp_op is None:
+            raise self._decline(f"loop comparison {header.op!r}")
+        init = self._emit_expr(header.init_expr, bound=True)
+        bound = self._emit_expr(header.bound_expr, bound=True)
+        lv = self._fresh()
+        lb = self._fresh()
+        self._line("_charge(_lanes)")
+        self._line(f"{lv} = int({init})")
+        self._line(f"{lb} = int({bound})")
+        var = header.var
+        self._assigned.add(var)
+        self._stable_locals.discard(var)
+        self._line("while True:")
+        self._indent += 1
+        self._line("_charge(_lanes)")
+        self._line(f"if not ({lv} {cmp_op} {lb}): break")
+        self._line(f"v_{var} = {lv}")
+        self._seq_depth += 1
+        try:
+            for s in V._stmts_of(stmt.body):
+                self._emit_stmt(s)
+        finally:
+            self._seq_depth -= 1
+        step = header.step
+        self._line(f"{lv} += {step}")
+        self._indent -= 1
+
+    # -- expressions (vector grammar, active == None)
+
+    def _emit_expr(self, expr: A.Expr, *, bound: bool = False) -> str:
+        V = self.V
+        expr = _strip(expr)
+        folded = fold_integer_constant(expr)
+        if folded is not None:
+            return _lit(folded)
+        if isinstance(
+            expr,
+            (A.IntegerLiteral, A.FloatingLiteral, A.CharacterLiteral),
+        ):
+            return _lit(expr.value)
+        if isinstance(expr, A.DeclRefExpr):
+            return self._emit_ref(expr, bound=bound)
+        if isinstance(expr, A.ArraySubscriptExpr):
+            if bound:
+                raise self._decline("array access in a loop bound")
+            sidx, indices = self._subscript_chain(expr)
+            idx_strs = [self._emit_expr(ix) for ix in indices]
+            return f"_vwiden(_d{sidx}[{self._pos(sidx, idx_strs, indices)}])"
+        if isinstance(expr, A.MemberExpr):
+            return self._emit_vmember(expr)
+        if isinstance(expr, A.BinaryOperator):
+            return self._emit_vbinop(expr, bound=bound)
+        if isinstance(expr, A.UnaryOperator):
+            return self._emit_vunop(expr, bound=bound)
+        if isinstance(expr, A.ConditionalOperator):
+            if V._NestCompiler._branch_can_fault(
+                expr.true_expr
+            ) or V._NestCompiler._branch_can_fault(expr.false_expr):
+                raise self._decline("faulting ternary branch")
+            cond = self._emit_expr(expr.cond, bound=bound)
+            t = self._emit_expr(expr.true_expr, bound=bound)
+            f = self._emit_expr(expr.false_expr, bound=bound)
+            return f"_vwhere(({cond}), ({t}), ({f}))"
+        if isinstance(expr, A.CStyleCastExpr):
+            if expr.target_type.is_pointer:
+                raise self._decline("pointer cast")
+            co = self._inject("co", V._coercer(expr.target_type))
+            return f"{co}({self._emit_expr(expr.operand, bound=bound)})"
+        raise self._decline(f"expression {expr.class_name}")
+
+    def _emit_ref(self, ref: A.DeclRefExpr, *, bound: bool) -> str:
+        if isinstance(ref.decl, EnumConstantDecl):
+            return _lit(ref.decl.value)
+        if isinstance(ref.decl, A.FunctionDecl):
+            raise self._decline("function reference")
+        name = ref.name
+        if self._is_local(ref):
+            if bound and name in self.c._tainted:
+                raise self._decline("lane-varying loop bound")
+            return self._local_load(name)
+        qt = ref.qual_type
+        if qt is not None and (
+            qt.is_pointer or isinstance(qt.type, (ArrayType, StructType))
+        ):
+            raise self._decline("non-scalar ref")
+        key = (
+            "scalar",
+            ref.decl.node_id
+            if ref.decl is not None
+            else f"name:{name}",
+        )
+        spec = self.c._slot_map.get(key)
+        if spec is None:
+            raise self._decline("unknown scalar slot")
+        sidx = spec["index"]
+        self._used_slots.add(sidx)
+        return f"_s{sidx}.value"
+
+    def _emit_vmember(self, expr: A.MemberExpr) -> str:
+        base = _strip(expr.base)
+        if expr.is_arrow:
+            raise self._decline("pointer member access")
+        if not isinstance(base, A.DeclRefExpr) or self._is_local(base):
+            raise self._decline("member access base")
+        key = (
+            "struct",
+            base.decl.node_id
+            if base.decl is not None
+            else f"name:{base.name}",
+        )
+        spec = self.c._slot_map.get(key)
+        if spec is None:
+            raise self._decline("unknown struct slot")
+        sidx = spec["index"]
+        self._used_slots.add(sidx)
+        return f"_s{sidx}.fields[{expr.member!r}]"
+
+    def _emit_vbinop(self, expr: A.BinaryOperator, *, bound: bool) -> str:
+        op = expr.op
+        if expr.is_assignment or op in (",", "&&", "||"):
+            raise self._decline(f"operator {op!r}")
+        fn = self.V._VEC_BINOPS.get(op)
+        if fn is None:
+            raise self._decline(f"operator {op!r}")
+        lhs = self._emit_expr(expr.lhs, bound=bound)
+        rhs = self._emit_expr(expr.rhs, bound=bound)
+        if op in ("+", "-", "*") and self._both_float(expr):
+            # Float operands take ``_grow_op``'s passthrough branch (the
+            # exact-integer escalation only triggers on int lanes), so
+            # the raw operator is semantically identical — and skips a
+            # Python call plus four isinstance checks per op per launch.
+            return f"(({lhs}) {op} ({rhs}))"
+        name = self._inject("vb", fn)
+        return f"{name}(({lhs}), ({rhs}))"
+
+    @staticmethod
+    def _both_float(expr: A.BinaryOperator) -> bool:
+        lq = getattr(expr.lhs, "qual_type", None)
+        rq = getattr(expr.rhs, "qual_type", None)
+        return (
+            lq is not None
+            and rq is not None
+            and lq.is_floating
+            and rq.is_floating
+        )
+
+    def _emit_vunop(self, expr: A.UnaryOperator, *, bound: bool) -> str:
+        op = expr.op
+        if op in ("++", "--", "&", "*"):
+            raise self._decline(f"unary operator {op!r}")
+        operand = self._emit_expr(expr.operand, bound=bound)
+        if op == "-":
+            return f"(- ({operand}))"
+        if op == "+":
+            return operand
+        if op == "!":
+            return f"_vnot(({operand}))"
+        if op == "~":
+            return f"_vinv(({operand}))"
+        raise self._decline(f"unary operator {op!r}")
+
+
+def _vnot(v: Any) -> Any:
+    if isinstance(v, np.ndarray):
+        return (v == 0).astype(np.int64)
+    return int(not v)
+
+
+def _vinv(v: Any) -> Any:
+    if isinstance(v, np.ndarray):
+        from .vectorize import _as_int
+
+        return ~_as_int(v)
+    return ~int(v)
+
+
+def _vlast(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value[-1].item() if value.ndim else value.item()
+    return value
+
+
+def _vwhere(c: Any, t: Any, f: Any) -> Any:
+    if isinstance(c, np.ndarray):
+        return np.where(c != 0, t, f)
+    return t if c else f
+
+
+#: Emitted-and-exec'd vector functions per directive statement.  The
+#: emitter consumes only AST-derived facts (slot order is deterministic
+#: for a given nest), so the compiled functions are reusable across
+#: interpreter instances — a suite run simulating the same translation
+#: unit repeatedly pays the emit/compile/exec cost once.  Keyed by
+#: ``id(stmt)`` with a strong reference to the statement held in the
+#: value, so the id can never be recycled while the entry lives.
+_VECTOR_CACHE: dict[int, tuple[Any, tuple[Any, Any, Any] | None]] = {}
+
+
+def compile_straight_candidate(
+    interp: Any,
+    stmt: Any,
+    compiler: Any,
+    label: str,
+    features: set[str],
+) -> Any:
+    """A generated-source fast path for an already-compiled nest.
+
+    Returns a ``VectorCandidate`` with strategy ``"codegen"``, or None
+    when the nest falls outside the vector emitter's grammar (the
+    closure candidate then runs exactly as before).
+    """
+    from . import vectorize as V
+
+    if label != "straight" or "merge" in features:
+        return None
+    if compiler.wavefront or len(compiler.pvars) != 1:
+        return None
+    cached = _VECTOR_CACHE.get(id(stmt))
+    if cached is not None and cached[0] is stmt:
+        funcs = cached[1]
+        if funcs is None:
+            return None
+        vinit, vbound, vbody = funcs
+    else:
+        try:
+            emitter = _VectorEmitter(compiler)
+            source, ns = emitter.emit()
+        except _CodegenDecline:
+            _VECTOR_CACHE[id(stmt)] = (stmt, None)
+            return None
+        except Exception:  # noqa: BLE001 - fallback is always correct
+            _VECTOR_CACHE[id(stmt)] = (stmt, None)
+            return None
+        ns.update(
+            {
+                "np": np,
+                "_vchk": _chk,
+                "_vwiden": V._widen,
+                "_vbroadcast": V._broadcast,
+                "_vseqsum": V._seq_sum,
+                "_vprod": _prod,
+                "_vlast": _vlast,
+                "_vwhere": _vwhere,
+                "_vnot": _vnot,
+                "_vinv": _vinv,
+            }
+        )
+        code = compile(source, "<ompdart-codegen:vector>", "exec")
+        exec(code, ns)  # noqa: S102 - our own generated source
+        vinit, vbound, vbody = ns["_vinit"], ns["_vbound"], ns["_vbody"]
+        _VECTOR_CACHE[id(stmt)] = (stmt, (vinit, vbound, vbody))
+    specs = compiler._specs
+    header = compiler.pvars[0]
+    op, step = header.op, header.step
+    stores_disjoint = compiler._stores_disjoint_fn()
+    cache: dict[str, Any] = {}
+    scalar_idx = [i for i, s in enumerate(specs) if s["kind"] == "scalar"]
+    # One launch's derived state: [slots, scalar_values, lo, t, pv, pc].
+    # Bounds, trip count, disjointness, the lane vector, and the
+    # position cache all depend only on slot identities plus scalar
+    # values, so a launch whose inputs are unchanged reuses everything.
+    # (NaN scalars compare unequal to themselves — conservatively
+    # recomputed every launch.)
+    launch_state: list[Any] = []
+
+    def run(machine: Any) -> bool:
+        slots = _preflight_memo(machine, specs, cache)
+        if slots is None:
+            return False
+        svals = tuple(slots[i].value for i in scalar_idx)
+        if launch_state and launch_state[0] is slots and launch_state[1] == svals:
+            lo, t, pv, pc = launch_state[2:]
+        else:
+            lo = int(vinit(slots))
+            bound = int(vbound(slots))
+            t = V._trip_count(lo, bound, op, step)
+            if t is None:
+                return False
+            if not stores_disjoint(slots, [t]):
+                return False
+            pv = lo + step * np.arange(t, dtype=np.int64) if t else None
+            pc: dict[int, Any] = {}
+            launch_state[:] = [slots, svals, lo, t, pv, pc]
+        ch = cache.get("charge")
+        if ch is not None and ch[0] is machine and ch[1] == machine.on_device:
+            charge = ch[2]
+        else:
+            charge = V._NestCompiler._make_charge(machine)
+            cache["charge"] = (machine, machine.on_device, charge)
+        steps0 = machine.steps
+        dev0 = machine.profiler.device_work
+        host0 = machine.profiler.host_work
+        try:
+            charge(1 + t + 1)
+            if not t:
+                return True
+            vbody(slots, charge, t, pv, pc)
+        except V._RuntimeDecline:
+            machine.steps = steps0
+            machine.profiler.device_work = dev0
+            machine.profiler.host_work = host0
+            return False
+        return True
+
+    return V.VectorCandidate(run, "codegen")
+
+
+def render_rows(rows: dict[int, dict[str, Any]]) -> str:
+    """Human-readable dump of codegen rows (``--dump-kernel``)."""
+    out = []
+    for node_id in sorted(rows):
+        row = rows[node_id]
+        out.append(f"== kernel node {node_id} ==")
+        if row["reason"] is not None:
+            out.append(f"ineligible: {row['reason']}")
+        else:
+            out.append(f"key: {row['key']}")
+            out.append(f"schema: {row['schema']}")
+            if row["math"]:
+                out.append(f"math: {', '.join(row['math'])}")
+            out.append(row["source"].rstrip("\n"))
+        out.append("")
+    if not out:
+        return "no offload kernels found\n"
+    return "\n".join(out)

@@ -239,12 +239,17 @@ class Interpreter:
         platform: Platform | str | None = None,
         max_steps: int = 200_000_000,
         vectorize: bool = True,
+        codegen_rows: dict[int, Any] | None = None,
     ):
         if cost_model is None:
             cost_model = resolve_platform(platform).effective_cost_model
         elif platform is not None:
             raise ValueError("pass either cost_model or platform, not both")
         self.tu = tu
+        #: Precompiled kernel-source rows from the pipeline's ``codegen``
+        #: pass, keyed by directive node id; when absent, the replay
+        #: tier emits rows on first use.
+        self._codegen_rows = codegen_rows
         self.profiler = Profiler(cost_model)
         self.machine = Machine(self.profiler, max_steps)
         self.vectorize = vectorize
@@ -749,60 +754,26 @@ class Interpreter:
             for name in clause.var_names():
                 reductions.append((name, clause.operator))  # type: ignore[attr-defined]
         reduction_names = {name for name, _ in reductions}
-        resolve = self._resolve_name
-        mappable = self._mappable_of
+        from .launch import KernelLaunchPlan
+
+        plan = KernelLaunchPlan(
+            refs=refs,
+            explicit_map=explicit_map,
+            private=private,
+            firstprivate=firstprivate,
+            reduction_names=reduction_names,
+            resolve=self._resolve_name,
+            mappable=self._mappable_of,
+        )
 
         def run(m: Machine) -> None:
             m.profiler.record_kernel_launch()
-            mapped: list[tuple[Any, str]] = []
-            overrides: dict[str, Any] = {}
-            red_cells: dict[str, tuple[Cell, Cell]] = {}
-
-            for name, decl in refs:
-                binding = resolve(m, name, decl)
-                if name in private:
-                    overrides[name] = Cell(name, 0)
-                    continue
-                if name in firstprivate:
-                    if isinstance(binding, Cell):
-                        overrides[name] = Cell(name, binding.value, binding.byte_size)
-                    else:
-                        overrides[name] = binding  # aggregates: by reference
-                    continue
-                if name in reduction_names:
-                    host_cell = binding if isinstance(binding, Cell) else Cell(name, 0)
-                    local = Cell(name, host_cell.value, host_cell.byte_size)
-                    overrides[name] = local
-                    red_cells[name] = (host_cell, local)
-                    continue
-                obj = mappable(binding)
-                map_type, always = explicit_map.get(name, ("tofrom", False))
-                cause = "implicit" if name not in explicit_map else "map"
-                m.device.map_enter(obj, map_type, cause=cause, always=always)
-                mapped.append((obj, map_type, always))
-                if isinstance(obj, (Cell, StructObject)):
-                    # Scalars and structs are not routed through
-                    # storage_of(); rebind them to the device copy.
-                    overrides[name] = m.device.device_storage(obj)
-
-            # Map items that are never referenced directly (e.g. expert
-            # maps of structs accessed via pointers) still count.
-            ref_names = {name for name, _ in refs}
-            for name, (map_type, always) in explicit_map.items():
-                if name in ref_names:
-                    continue
-                try:
-                    binding = resolve(m, name, None)
-                except SimulationError:
-                    continue
-                obj = mappable(binding)
-                m.device.map_enter(obj, map_type, always=always)
-                mapped.append((obj, map_type, always))
+            token = plan.enter(m)
 
             prev_device = m.on_device
             prev_overrides = m.kernel_overrides
             m.on_device = True
-            m.kernel_overrides = overrides
+            m.kernel_overrides = token.overrides
             try:
                 # Every vectorized strategy is bit-identical to the
                 # interpreted body (values, transfers, step accounting);
@@ -841,10 +812,7 @@ class Interpreter:
             finally:
                 m.on_device = prev_device
                 m.kernel_overrides = prev_overrides
-            for name, (host_cell, local) in red_cells.items():
-                host_cell.value = local.value
-            for obj, map_type, always in reversed(mapped):
-                m.device.map_exit(obj, map_type, always=always)
+            plan.exit(m, token)
 
         return run
 
@@ -1440,6 +1408,7 @@ def run_simulation(
     entry: str = "main",
     tu: A.TranslationUnit | None = None,
     vectorize: bool = True,
+    codegen_rows: dict[int, Any] | None = None,
 ) -> SimulationResult:
     """Parse and execute a mini-C OpenMP program on the simulated machine.
 
@@ -1466,5 +1435,6 @@ def run_simulation(
         platform=platform,
         max_steps=max_steps,
         vectorize=vectorize,
+        codegen_rows=codegen_rows,
     )
     return interp.run(entry)

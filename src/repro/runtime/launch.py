@@ -1,0 +1,242 @@
+"""Launch-signature specialization for kernel data environments.
+
+Every kernel launch used to rebuild its data environment from
+scratch: resolve each referenced name, allocate private/firstprivate/
+reduction cells, build the override dict, then walk the map clauses.
+For many-launch programs (ace: 480 launches over the same six arrays)
+that setup dominates the launch cost while computing nothing new — the
+bindings resolve to the same objects every time.
+
+:class:`KernelLaunchPlan` records the first launch's resolution as a
+*signature* (binding and mappable-object identities, in resolution
+order) plus a replayable action list.  Subsequent launches validate
+the signature with a handful of ``is`` checks and replay the actions:
+reset the cached override cells, re-enter the maps (reference-count
+semantics and transfer ledger are fully preserved — the actions call
+the same ``map_enter`` in the same order with the same causes), and
+refresh device-storage overrides.  Any mismatch — a rebound pointer, a
+different frame, a vanished global — discards the record and falls
+back to the full slow path, which re-records.  Reentrant launches
+(a target region reached recursively) bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .values import Cell, StructObject
+
+_SKIPPED = object()  # an unreferenced map item whose resolution failed
+
+
+class _LaunchRecord:
+    """One recorded launch: signature checks + replayable actions."""
+
+    __slots__ = (
+        "overrides",
+        "mapped",
+        "red_cells",
+        "checks",
+        "extra_checks",
+        "actions",
+        "cacheable",
+    )
+
+    def __init__(self) -> None:
+        self.overrides: dict[str, Any] = {}
+        self.mapped: list[tuple[Any, str, bool]] = []
+        self.red_cells: dict[str, tuple[Cell, Cell]] = {}
+        # (name, decl, expected_binding, expected_obj | None)
+        self.checks: list[tuple] = []
+        # (name, expected_obj | _SKIPPED)
+        self.extra_checks: list[tuple] = []
+        # (kind, *payload) executed in recording order
+        self.actions: list[tuple] = []
+        self.cacheable = True
+
+
+class KernelLaunchPlan:
+    """Per-directive data-environment setup with a recorded fast path."""
+
+    __slots__ = (
+        "_refs",
+        "_explicit_map",
+        "_private",
+        "_firstprivate",
+        "_reduction_names",
+        "_resolve",
+        "_mappable",
+        "_record",
+        "_active",
+    )
+
+    def __init__(
+        self,
+        *,
+        refs: list[tuple[str, Any]],
+        explicit_map: dict[str, tuple[str, bool]],
+        private: set[str],
+        firstprivate: set[str],
+        reduction_names: set[str],
+        resolve: Callable[[Any, str, Any], Any],
+        mappable: Callable[[Any], Any],
+    ) -> None:
+        self._refs = refs
+        self._explicit_map = explicit_map
+        self._private = private
+        self._firstprivate = firstprivate
+        self._reduction_names = reduction_names
+        self._resolve = resolve
+        self._mappable = mappable
+        self._record: _LaunchRecord | None = None
+        self._active = False
+
+    # -- entry -----------------------------------------------------------
+
+    def enter(self, m: Any) -> _LaunchRecord:
+        rec = self._record
+        if rec is not None and not self._active:
+            if self._signature_holds(m, rec):
+                self._active = True
+                self._replay(m, rec)
+                return rec
+            self._record = None  # mid-run signature change: re-record
+        fresh = self._slow_enter(m)
+        if not self._active and fresh.cacheable:
+            self._record = fresh
+            self._active = True
+        return fresh
+
+    def exit(self, m: Any, rec: _LaunchRecord) -> None:
+        for host_cell, local in rec.red_cells.values():
+            host_cell.value = local.value
+        for obj, map_type, always in reversed(rec.mapped):
+            m.device.map_exit(obj, map_type, always=always)
+        if rec is self._record:
+            self._active = False
+
+    # -- fast path -------------------------------------------------------
+
+    def _signature_holds(self, m: Any, rec: _LaunchRecord) -> bool:
+        resolve, mappable = self._resolve, self._mappable
+        for name, decl, expected, expected_obj in rec.checks:
+            binding = resolve(m, name, decl)
+            if binding is not expected:
+                return False
+            if expected_obj is not None and mappable(binding) is not expected_obj:
+                return False
+        if rec.extra_checks:
+            from .interp import SimulationError
+
+            for name, expected_obj in rec.extra_checks:
+                try:
+                    binding = resolve(m, name, None)
+                except SimulationError:
+                    if expected_obj is not _SKIPPED:
+                        return False
+                    continue
+                if expected_obj is _SKIPPED:
+                    return False
+                if mappable(binding) is not expected_obj:
+                    return False
+        return True
+
+    @staticmethod
+    def _replay(m: Any, rec: _LaunchRecord) -> None:
+        device = m.device
+        overrides = rec.overrides
+        for action in rec.actions:
+            kind = action[0]
+            if kind == "map":
+                _, obj, map_type, cause, always, name = action
+                device.map_enter(obj, map_type, cause=cause, always=always)
+                if name is not None:
+                    overrides[name] = device.device_storage(obj)
+            elif kind == "reset0":
+                action[1].value = 0
+            elif kind == "copy":
+                cell, binding = action[1], action[2]
+                cell.value = binding.value
+            elif kind == "red":
+                local, host_cell = action[1], action[2]
+                local.value = host_cell.value
+            else:  # "xmap": unreferenced explicit map item
+                _, obj, map_type, always = action
+                device.map_enter(obj, map_type, always=always)
+
+    # -- slow path (records as it goes) ----------------------------------
+
+    def _slow_enter(self, m: Any) -> _LaunchRecord:
+        resolve, mappable = self._resolve, self._mappable
+        explicit_map = self._explicit_map
+        rec = _LaunchRecord()
+        overrides = rec.overrides
+
+        for name, decl in self._refs:
+            binding = resolve(m, name, decl)
+            if name in self._private:
+                cell = Cell(name, 0)
+                overrides[name] = cell
+                rec.checks.append((name, decl, binding, None))
+                rec.actions.append(("reset0", cell))
+                continue
+            if name in self._firstprivate:
+                if isinstance(binding, Cell):
+                    cell = Cell(name, binding.value, binding.byte_size)
+                    overrides[name] = cell
+                    rec.actions.append(("copy", cell, binding))
+                else:
+                    overrides[name] = binding  # aggregates: by reference
+                rec.checks.append((name, decl, binding, None))
+                continue
+            if name in self._reduction_names:
+                if isinstance(binding, Cell):
+                    host_cell = binding
+                else:
+                    host_cell = Cell(name, 0)
+                    # A synthetic host cell must start at the identity
+                    # value every launch; reusing one would carry the
+                    # previous launch's result. Never cache this shape.
+                    rec.cacheable = False
+                local = Cell(name, host_cell.value, host_cell.byte_size)
+                overrides[name] = local
+                rec.red_cells[name] = (host_cell, local)
+                rec.checks.append((name, decl, binding, None))
+                rec.actions.append(("red", local, host_cell))
+                continue
+            obj = mappable(binding)
+            map_type, always = explicit_map.get(name, ("tofrom", False))
+            cause = "implicit" if name not in explicit_map else "map"
+            m.device.map_enter(obj, map_type, cause=cause, always=always)
+            rec.mapped.append((obj, map_type, always))
+            override_name = None
+            if isinstance(obj, (Cell, StructObject)):
+                # Scalars and structs are not routed through
+                # storage_of(); rebind them to the device copy.
+                overrides[name] = m.device.device_storage(obj)
+                override_name = name
+            rec.checks.append((name, decl, binding, obj))
+            rec.actions.append(
+                ("map", obj, map_type, cause, always, override_name)
+            )
+
+        # Map items that are never referenced directly (e.g. expert
+        # maps of structs accessed via pointers) still count.
+        if explicit_map:
+            from .interp import SimulationError
+
+            ref_names = {name for name, _ in self._refs}
+            for name, (map_type, always) in explicit_map.items():
+                if name in ref_names:
+                    continue
+                try:
+                    binding = resolve(m, name, None)
+                except SimulationError:
+                    rec.extra_checks.append((name, _SKIPPED))
+                    continue
+                obj = mappable(binding)
+                m.device.map_enter(obj, map_type, always=always)
+                rec.mapped.append((obj, map_type, always))
+                rec.extra_checks.append((name, obj))
+                rec.actions.append(("xmap", obj, map_type, always))
+        return rec

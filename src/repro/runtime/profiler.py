@@ -37,6 +37,13 @@ class TransferStats:
     kernel_time_s: float
     host_time_s: float
     kernel_launches: int
+    #: Modelled seconds spent purely on launch overhead (the
+    #: ``kernel_launch_s`` share of ``kernel_time_s``) — the quantity
+    #: the launch-signature fast path attacks.  Appended with defaults
+    #: so positional construction of the older 8-field shape still
+    #: works.
+    map_overhead_s: float = 0.0
+    launches: int = 0
 
     @property
     def total_calls(self) -> int:
@@ -129,4 +136,6 @@ class Profiler:
             kernel_time_s=self.kernel_time_s,
             host_time_s=self.host_time_s,
             kernel_launches=self.kernel_launches,
+            map_overhead_s=self._kernel_launch_time,
+            launches=self.kernel_launches,
         )

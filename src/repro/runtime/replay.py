@@ -1,31 +1,20 @@
-"""Sequential scalar replay: the unit-slice degenerate wavefront.
+"""Sequential scalar replay over generated Python source.
 
-Kernels whose loop-carried dependences leave no parallelism at all —
-hotspot's in-place stencil reads ``temp[i-1]`` *after* lane ``i-1``
-updated it, a distance-1 chain — degenerate to wavefront slices of one
-lane each.  Executing those through per-slice NumPy expressions would
-trade the interpreter's closure overhead for NumPy scalar-op overhead
-and win nothing, so this module compiles the nest into plain-Python
-closures instead and replays it in exact sequential order:
+The replay tier is the vectorizer's launch-time safety net: when every
+NumPy strategy declines a launch (data-dependent shapes, overflow
+escalation, aliased slots), the kernel still has to run — in exact C
+evaluation order, charging the exact tick ledger — without falling
+back to the tree-walking interpreter and its per-launch costs.
 
-* array storage is materialized to Python lists once per launch
-  (``tolist`` widens float32/int elements exactly the way the
-  interpreter's per-element ``.item()`` does) and written back once at
-  the end — every intermediate read sees every earlier write, like the
-  interpreter;
-* arithmetic reuses the interpreter's own operator table and math
-  builtins, so each lane performs the same IEEE operation sequence on
-  the same Python scalars — bit-identical by identity, not by analysis;
-* the step ledger is charged through a local counter with the same
-  tick placement as the interpreter (one tick per declaration,
-  expression statement, ``if``, and loop condition check) and flushed
-  to the profiler in one call, preserving ``max_steps`` semantics
-  while skipping the per-tick attribute traffic that dominates the
-  interpreted path.
-
-The result is a ~5-20x faster executor that is order-exact by
-construction, needing no dependence analysis at all — the safety net
-that lets every remaining corpus kernel leave the interpreter.
+Since PR 6 the tier executes *generated source*: the closure-per-node
+walkers are gone, replaced by :mod:`repro.runtime.codegen`, which
+flattens the kernel body into one Python function per nest.  This
+module keeps only the launch harness — preflight the slots, lower
+arrays to Python lists with a C element codec, run the compiled
+kernel, flush its tick count, write arrays back — plus the codec
+itself.  The generated function is compiled once per distinct kernel
+(content-hash memo, shared through the pipeline artifact store) and
+reused across launches, batch workers, and served jobs.
 """
 
 from __future__ import annotations
@@ -34,13 +23,6 @@ from typing import Any, Callable
 
 import numpy as np
 
-from ..frontend import ast_nodes as A
-from ..frontend.ctypes_ import ArrayType, StructType
-from ..frontend.parser import EnumConstantDecl, fold_integer_constant
-from .interp import _BINOPS, SimulationError, _coerce_for
-
-__all__ = ["compile_replay"]
-
 
 def _ineligible(reason: str) -> Exception:
     from .vectorize import _Ineligible
@@ -48,44 +30,14 @@ def _ineligible(reason: str) -> Exception:
     return _Ineligible(reason)
 
 
-def _strip(expr: A.Expr) -> A.Expr:
-    while isinstance(expr, A.ParenExpr):
-        expr = expr.inner
-    return expr
-
-
-def _stmts_of(body: A.Stmt | None) -> list[A.Stmt]:
-    if body is None:
-        return []
-    if isinstance(body, A.CompoundStmt):
-        return list(body.stmts)
-    return [body]
-
-
-class _RCtx:
-    """Run state: scalar environment, materialized slots, tick counter."""
-
-    __slots__ = ("env", "slots", "n", "budget", "max_steps")
-
-    def __init__(self) -> None:
-        self.env: dict[str, Any] = {}
-        self.slots: list[Any] = []
-        self.n = 0
-        self.budget = 0
-        self.max_steps = 0
-
-    def tick(self) -> None:
-        self.n += 1
-        if self.n > self.budget:
-            raise SimulationError(
-                f"simulation exceeded {self.max_steps} steps (runaway loop?)"
-            )
-
-
 def _elem_codec(dtype: np.dtype) -> Callable[[Any], Any] | None:
-    """Store-side conversion matching what numpy element assignment
-    would do to the same Python scalar (truncation, range checks,
-    float32 narrowing) — the lists must stay bit-faithful mirrors."""
+    """Store-side element conversion for one array dtype.
+
+    Mirrors the interpreter's per-element semantics: float stores
+    narrow through the array dtype, integer stores range-check like
+    CPython's C-long conversion.  Returns None for dtypes the replay
+    tier does not model (the launch then declines).
+    """
     kind = dtype.kind
     if kind == "f":
         if dtype == np.float64:
@@ -109,490 +61,82 @@ def _elem_codec(dtype: np.dtype) -> Callable[[Any], Any] | None:
     return None
 
 
-class _ReplayCompiler:
-    """Compiles one kernel's associated statement for sequential replay."""
+def _make_replay_runner(
+    specs: list[dict[str, Any]], kernel: Callable[[list, int, int], int]
+) -> Callable[[Any], bool]:
+    """Launch harness around one generated sequential kernel.
 
-    def __init__(self, interp: Any, directive: A.OMPExecutableDirective):
-        self.interp = interp
-        self.directive = directive
-        self._math = interp._math
-        self._specs: list[dict[str, Any]] = []
-        self._slot_map: dict[Any, dict[str, Any]] = {}
-        self._local_ids: set[int] = set()
-        self._local_names: set[str] = set()
-        self._nonlocal_names: set[str] = set()
+    ``kernel(slots, budget, max_steps)`` returns the tick count it
+    consumed; the harness charges it to the machine ledger and writes
+    mutated arrays back, exactly as the closure walkers did.
+    """
 
-    # -- entry ----------------------------------------------------------
-
-    def compile(self) -> Callable[[Any], bool]:
-        stmt = self.directive.associated_stmt
-        if stmt is None:
-            raise _ineligible("kernel has no associated statement")
-        self._local_ids = {
-            d.node_id for d in stmt.walk_instances(A.VarDecl)
-        }
-        body = self._compile_stmt(stmt)
-        self._validate()
-        return self._build_runner(body)
-
-    def _validate(self) -> None:
-        clause_names: set[str] = set()
-        for cls in (A.OMPFirstprivateClause, A.OMPPrivateClause,
-                    A.OMPReductionClause):
-            for clause in self.directive.clauses_of(cls):
-                clause_names.update(clause.var_names())  # type: ignore[attr-defined]
-        for clause in self.directive.map_clauses():
-            clause_names.update(item.name for item in clause.items)
-        shadowed = self._local_names & (self._nonlocal_names | clause_names)
-        if shadowed:
-            raise _ineligible(
-                f"kernel-local name shadows a mapped variable: "
-                f"{sorted(shadowed)[0]!r}"
-            )
-
-    def _build_runner(
-        self, body: Callable[[_RCtx], None]
-    ) -> Callable[[Any], bool]:
+    def run(machine: Any) -> bool:
         from .vectorize import _preflight
 
-        specs = self._specs
-
-        def run(machine: Any) -> bool:
-            slots = _preflight(machine, specs)
-            if slots is None:
-                return False
-            rslots: list[Any] = []
-            written: list[tuple[np.ndarray, list]] = []
-            for spec, slot in zip(specs, slots):
-                if spec["kind"] == "array":
-                    storage, offset, shape = slot
-                    codec = _elem_codec(storage.dtype)
-                    if codec is None:
-                        return False
-                    data = storage.tolist()
-                    rslots.append((data, offset, shape, codec))
-                    if spec["written"]:
-                        written.append((storage, data))
-                else:
-                    rslots.append(slot)
-            ctx = _RCtx()
-            ctx.slots = rslots
-            ctx.max_steps = machine.max_steps
-            ctx.budget = machine.max_steps - machine.steps
-            body(ctx)
-            machine.steps += ctx.n
-            if machine.on_device:
-                machine.profiler.tick_device(ctx.n)
+        slots = _preflight(machine, specs)
+        if slots is None:
+            return False
+        rslots: list[Any] = []
+        written: list[tuple[Any, list]] = []
+        for spec, slot in zip(specs, slots):
+            if spec["kind"] == "array":
+                storage, offset, shape = slot
+                codec = _elem_codec(storage.dtype)
+                if codec is None:
+                    return False
+                data = storage.tolist()
+                rslots.append((data, offset, shape, codec))
+                if spec["written"]:
+                    written.append((storage, data))
             else:
-                machine.profiler.tick_host(ctx.n)
-            for storage, data in written:
-                storage[:] = data
-            return True
-
-        return run
-
-    # -- slots (shared layout with the vector preflight) -----------------
-
-    def _slot(
-        self, ref: A.DeclRefExpr, kind: str, *, written: bool = False
-    ) -> int:
-        key = (
-            kind,
-            ref.decl.node_id if ref.decl is not None else f"name:{ref.name}",
+                rslots.append(slot)
+        count = kernel(
+            rslots, machine.max_steps - machine.steps, machine.max_steps
         )
-        spec = self._slot_map.get(key)
-        if spec is None:
-            spec = {
-                "kind": kind,
-                "getter": self.interp._binding_getter(ref),
-                "name": ref.name,
-                "written": False,
-                "members": set(),
-                "index": len(self._specs),
-            }
-            self._slot_map[key] = spec
-            self._specs.append(spec)
-        spec["written"] = spec["written"] or written
-        self._nonlocal_names.add(ref.name)
-        return spec["index"]
+        machine.steps += count
+        if machine.on_device:
+            machine.profiler.tick_device(count)
+        else:
+            machine.profiler.tick_host(count)
+        for storage, data in written:
+            storage[:] = data
+        return True
 
-    def _is_local(self, ref: A.DeclRefExpr) -> bool:
-        return ref.decl is not None and ref.decl.node_id in self._local_ids
-
-    # -- statements -----------------------------------------------------
-
-    def _compile_stmt(self, stmt: A.Stmt | None) -> Callable[[_RCtx], None]:
-        """Compile one statement.
-
-        Closures for branch-free statements carry two attributes the
-        loop compiler exploits: ``work`` (the statement minus its tick)
-        and ``static_ticks`` (its constant tick count), letting a
-        straight-line loop body charge one batched tick per iteration
-        instead of one attribute round-trip per statement.
-        """
-        if stmt is None or isinstance(stmt, A.NullStmt):
-            fn = lambda ctx: None  # noqa: E731
-            fn.work = fn
-            fn.static_ticks = 0
-            return fn
-        if isinstance(stmt, A.CompoundStmt):
-            parts = [self._compile_stmt(s) for s in stmt.stmts]
-
-            def run_block(ctx: _RCtx) -> None:
-                for part in parts:
-                    part(ctx)
-
-            ticks = [getattr(p, "static_ticks", None) for p in parts]
-            if all(t is not None for t in ticks):
-                works = [p.work for p in parts]
-
-                def block_work(ctx: _RCtx) -> None:
-                    for work in works:
-                        work(ctx)
-
-                run_block.work = block_work
-                run_block.static_ticks = sum(ticks)
-            return run_block
-        if isinstance(stmt, A.DeclStmt):
-            return self._compile_decl(stmt)
-        if isinstance(stmt, A.ExprStmt):
-            expr = self._compile_expr(stmt.expr)
-
-            def run_expr(ctx: _RCtx) -> None:
-                ctx.tick()
-                expr(ctx)
-
-            run_expr.work = lambda ctx: expr(ctx)
-            run_expr.static_ticks = 1
-            return run_expr
-        if isinstance(stmt, A.IfStmt):
-            cond = self._compile_expr(stmt.cond)
-            then_cl = self._compile_stmt(stmt.then_branch)
-            else_cl = (
-                self._compile_stmt(stmt.else_branch)
-                if stmt.else_branch is not None else None
-            )
-
-            def run_if(ctx: _RCtx) -> None:
-                ctx.tick()
-                if cond(ctx):
-                    then_cl(ctx)
-                elif else_cl is not None:
-                    else_cl(ctx)
-
-            return run_if
-        if isinstance(stmt, A.ForStmt):
-            init = (
-                self._compile_stmt(stmt.init) if stmt.init is not None else None
-            )
-            cond = (
-                self._compile_expr(stmt.cond) if stmt.cond is not None else None
-            )
-            inc = (
-                self._compile_expr(stmt.inc) if stmt.inc is not None else None
-            )
-            body = self._compile_stmt(stmt.body)
-            body_ticks = getattr(body, "static_ticks", None)
-            if body_ticks is not None and cond is not None:
-                # Branch-free body: one batched charge per iteration
-                # (condition tick + the body's constant tick count)
-                # replaces per-statement ledger traffic.  The final
-                # failing condition check still ticks on its own.
-                work = body.work
-
-                def run_for_batched(ctx: _RCtx) -> None:
-                    if init is not None:
-                        init(ctx)
-                    while True:
-                        ctx.tick()  # the condition-check tick
-                        if not cond(ctx):
-                            return
-                        n = ctx.n + body_ticks
-                        if n > ctx.budget:
-                            ctx.n = n
-                            raise SimulationError(
-                                f"simulation exceeded {ctx.max_steps} "
-                                f"steps (runaway loop?)"
-                            )
-                        ctx.n = n
-                        work(ctx)
-                        if inc is not None:
-                            inc(ctx)
-
-                return run_for_batched
-
-            def run_for(ctx: _RCtx) -> None:
-                if init is not None:
-                    init(ctx)
-                while True:
-                    ctx.tick()
-                    if cond is not None and not cond(ctx):
-                        return
-                    body(ctx)
-                    if inc is not None:
-                        inc(ctx)
-
-            return run_for
-        raise _ineligible(f"unsupported kernel statement {stmt.class_name}")
-
-    def _compile_decl(self, stmt: A.DeclStmt) -> Callable[[_RCtx], None]:
-        entries = []
-        for decl in stmt.decls:
-            qt = decl.qual_type
-            if qt is None or qt.is_pointer or isinstance(
-                qt.type, (ArrayType, StructType)
-            ):
-                raise _ineligible("kernel-local aggregate or pointer")
-            init_cl = (
-                self._compile_expr(decl.init) if decl.init is not None else None
-            )
-            self._local_names.add(decl.name)
-            default = 0.0 if qt.is_floating else 0
-            entries.append((decl.name, init_cl, _coerce_for(qt), default))
-
-        def run(ctx: _RCtx) -> None:
-            ctx.tick()
-            for name, init_cl, coerce, default in entries:
-                ctx.env[name] = (
-                    coerce(init_cl(ctx)) if init_cl is not None else default
-                )
-
-        def work(ctx: _RCtx) -> None:
-            for name, init_cl, coerce, default in entries:
-                ctx.env[name] = (
-                    coerce(init_cl(ctx)) if init_cl is not None else default
-                )
-
-        run.work = work
-        run.static_ticks = 1
-        return run
-
-    # -- lvalues ---------------------------------------------------------
-
-    def _compile_lvalue(
-        self, expr: A.Expr
-    ) -> tuple[Callable[[_RCtx], Any], Callable[[_RCtx, Any], None]]:
-        expr = _strip(expr)
-        if isinstance(expr, A.DeclRefExpr):
-            name = expr.name
-            if self._is_local(expr):
-                coerce = _coerce_for(expr.qual_type)
-
-                def load_local(ctx: _RCtx) -> Any:
-                    try:
-                        return ctx.env[name]
-                    except KeyError:
-                        raise SimulationError(
-                            f"use of uninitialized variable {name!r}"
-                        ) from None
-
-                def store_local(ctx: _RCtx, value: Any) -> None:
-                    ctx.env[name] = coerce(value)
-
-                return load_local, store_local
-            sidx = self._slot(expr, "scalar", written=True)
-            coerce = _coerce_for(expr.qual_type)
-
-            def load_cell(ctx: _RCtx) -> Any:
-                return ctx.slots[sidx].value
-
-            def store_cell(ctx: _RCtx, value: Any) -> None:
-                ctx.slots[sidx].value = coerce(value)
-
-            return load_cell, store_cell
-        if isinstance(expr, A.ArraySubscriptExpr):
-            return self._subscript_lvalue(expr)
-        raise _ineligible(f"unsupported assignment target {expr.class_name}")
-
-    def _subscript_lvalue(self, expr: A.ArraySubscriptExpr):
-        indices: list[Callable[[_RCtx], Any]] = []
-        node: A.Expr = expr
-        while isinstance(node, A.ArraySubscriptExpr):
-            indices.append(self._compile_expr(node.index))
-            node = _strip(node.base)
-        if not isinstance(node, A.DeclRefExpr) or self._is_local(node):
-            raise _ineligible("unsupported subscript base")
-        indices.reverse()
-        sidx = self._slot(node, "array", written=True)
-        ndims = len(indices)
-
-        def resolve(ctx: _RCtx) -> tuple[list, int, Callable[[Any], Any]]:
-            data, offset, shape, codec = ctx.slots[sidx]
-            if ndims == 1:
-                flat = int(indices[0](ctx))
-            else:
-                flat = 0
-                for k, ix in enumerate(indices):
-                    stride = 1
-                    for d in shape[k + 1:]:
-                        stride *= d
-                    flat += int(ix(ctx)) * stride
-            return data, offset + flat, codec
-
-        def load(ctx: _RCtx) -> Any:
-            data, pos, _ = resolve(ctx)
-            return data[pos]
-
-        def store(ctx: _RCtx, value: Any) -> None:
-            data, pos, codec = resolve(ctx)
-            data[pos] = codec(value)
-
-        return load, store
-
-    # -- expressions ----------------------------------------------------
-
-    def _compile_expr(self, expr: A.Expr) -> Callable[[_RCtx], Any]:
-        expr = _strip(expr)
-        folded = fold_integer_constant(expr)
-        if folded is not None:
-            return lambda ctx: folded
-        if isinstance(expr, (A.IntegerLiteral, A.FloatingLiteral,
-                             A.CharacterLiteral)):
-            value = expr.value
-            return lambda ctx: value
-        if isinstance(expr, A.DeclRefExpr):
-            return self._compile_ref(expr)
-        if isinstance(expr, A.ArraySubscriptExpr):
-            load, _ = self._subscript_lvalue(expr)
-            return load
-        if isinstance(expr, A.MemberExpr):
-            return self._compile_member(expr)
-        if isinstance(expr, A.BinaryOperator):
-            return self._compile_binop(expr)
-        if isinstance(expr, A.UnaryOperator):
-            return self._compile_unop(expr)
-        if isinstance(expr, A.ConditionalOperator):
-            cond = self._compile_expr(expr.cond)
-            t_cl = self._compile_expr(expr.true_expr)
-            f_cl = self._compile_expr(expr.false_expr)
-            return lambda ctx: t_cl(ctx) if cond(ctx) else f_cl(ctx)
-        if isinstance(expr, A.CStyleCastExpr):
-            if expr.target_type.is_pointer:
-                raise _ineligible("pointer cast in kernel")
-            operand = self._compile_expr(expr.operand)
-            coerce = _coerce_for(expr.target_type)
-            return lambda ctx: coerce(operand(ctx))
-        if isinstance(expr, A.CallExpr):
-            name = expr.callee_name or "<indirect>"
-            math_fn = self._math.get(name)
-            if math_fn is None:
-                raise _ineligible(f"call to {name!r} in kernel")
-            arg_cls = [self._compile_expr(a) for a in expr.args]
-            return lambda ctx: math_fn(*(c(ctx) for c in arg_cls))
-        raise _ineligible(f"unsupported kernel expression {expr.class_name}")
-
-    def _compile_ref(self, ref: A.DeclRefExpr) -> Callable[[_RCtx], Any]:
-        if isinstance(ref.decl, EnumConstantDecl):
-            value = ref.decl.value
-            return lambda ctx: value
-        if isinstance(ref.decl, A.FunctionDecl):
-            raise _ineligible("function reference in kernel")
-        name = ref.name
-        if self._is_local(ref):
-            def load_local(ctx: _RCtx) -> Any:
-                try:
-                    return ctx.env[name]
-                except KeyError:
-                    raise SimulationError(
-                        f"use of uninitialized variable {name!r}"
-                    ) from None
-
-            return load_local
-        qt = ref.qual_type
-        if qt is not None and (
-            qt.is_pointer or isinstance(qt.type, (ArrayType, StructType))
-        ):
-            raise _ineligible(f"non-scalar value {name!r} used as a scalar")
-        sidx = self._slot(ref, "scalar")
-        return lambda ctx: ctx.slots[sidx].value
-
-    def _compile_member(self, expr: A.MemberExpr) -> Callable[[_RCtx], Any]:
-        base = _strip(expr.base)
-        if expr.is_arrow:
-            raise _ineligible("pointer member access in kernel")
-        if not isinstance(base, A.DeclRefExpr) or self._is_local(base):
-            raise _ineligible("unsupported member access base")
-        member = expr.member
-        sidx = self._slot(base, "struct")
-        self._specs[sidx]["members"].add(member)
-        return lambda ctx: ctx.slots[sidx].fields[member]
-
-    def _compile_binop(self, expr: A.BinaryOperator) -> Callable[[_RCtx], Any]:
-        op = expr.op
-        if op == ",":
-            raise _ineligible("comma expression in kernel")
-        if op == "&&":
-            lhs = self._compile_expr(expr.lhs)
-            rhs = self._compile_expr(expr.rhs)
-            return lambda ctx: int(bool(lhs(ctx)) and bool(rhs(ctx)))
-        if op == "||":
-            lhs = self._compile_expr(expr.lhs)
-            rhs = self._compile_expr(expr.rhs)
-            return lambda ctx: int(bool(lhs(ctx)) or bool(rhs(ctx)))
-        if expr.is_assignment:
-            load, store = self._compile_lvalue(expr.lhs)
-            rhs = self._compile_expr(expr.rhs)
-            if op == "=":
-                def run_assign(ctx: _RCtx) -> Any:
-                    value = rhs(ctx)
-                    store(ctx, value)
-                    return value
-
-                return run_assign
-            base_op = op[:-1]
-            fn = _BINOPS[base_op]
-
-            def run_compound(ctx: _RCtx) -> Any:
-                value = fn(load(ctx), rhs(ctx))
-                store(ctx, value)
-                return value
-
-            return run_compound
-        fn = _BINOPS.get(op)
-        if fn is None:
-            raise _ineligible(f"unsupported operator {op!r} in kernel")
-        lhs = self._compile_expr(expr.lhs)
-        rhs = self._compile_expr(expr.rhs)
-        return lambda ctx: fn(lhs(ctx), rhs(ctx))
-
-    def _compile_unop(self, expr: A.UnaryOperator) -> Callable[[_RCtx], Any]:
-        op = expr.op
-        if op in ("&", "*"):
-            raise _ineligible(f"unsupported unary operator {op!r} in kernel")
-        if op in ("++", "--"):
-            load, store = self._compile_lvalue(expr.operand)
-            delta = 1 if op == "++" else -1
-            prefix = expr.is_prefix
-
-            def run_incdec(ctx: _RCtx) -> Any:
-                old = load(ctx)
-                new = old + delta
-                store(ctx, new)
-                return new if prefix else old
-
-            return run_incdec
-        operand = self._compile_expr(expr.operand)
-        if op == "-":
-            return lambda ctx: -operand(ctx)
-        if op == "+":
-            return operand
-        if op == "!":
-            return lambda ctx: int(not operand(ctx))
-        if op == "~":
-            return lambda ctx: ~int(operand(ctx))
-        raise _ineligible(f"unsupported unary operator {op!r} in kernel")
+    return run
 
 
-def compile_replay(
-    interp: Any, stmt: A.OMPExecutableDirective
-) -> Callable[[Any], bool]:
-    """Compile ``stmt`` for sequential scalar replay.
+def compile_replay(interp: Any, stmt: Any) -> Callable[[Any], bool]:
+    """Compile one kernel directive into a sequential replay runner.
 
-    Returns ``run(machine) -> bool``; False means the launch-time
-    binding resolution declined (pointer/struct shapes the lists cannot
-    mirror) and the caller falls to the interpreted body.  Raises the
-    vectorizer's ``_Ineligible`` when the statement uses constructs the
-    replay grammar does not cover (``while``, ``printf``, user calls,
-    pointer arithmetic).
+    Prefers a precompiled codegen row (pipeline artifact, keyed by
+    directive node id) when the interpreter carries one; host-loop
+    shims and cold interpreters emit locally.  Raises the vectorizer's
+    ``_Ineligible`` with the historical message when the nest uses a
+    construct outside the sequential grammar.
     """
-    return _ReplayCompiler(interp, stmt).compile()
+    from .codegen import (
+        CODEGEN_SCHEMA,
+        bind_specs,
+        compiled_kernel,
+        emit_scalar_row,
+    )
+
+    row = None
+    rows = getattr(interp, "_codegen_rows", None)
+    if rows:
+        cached = rows.get(stmt.node_id)
+        if (
+            cached is not None
+            and cached.get("schema") == CODEGEN_SCHEMA
+            and all(
+                name in interp._math for name in cached.get("math", ())
+            )
+        ):
+            row = cached
+    if row is None:
+        row = emit_scalar_row(stmt, frozenset(interp._math))
+    if row["reason"] is not None:
+        raise _ineligible(row["reason"])
+    kernel = compiled_kernel(row, interp._math)
+    return _make_replay_runner(bind_specs(row), kernel)

@@ -117,6 +117,7 @@ STRATEGY_RANK: dict[str, int] = {
     "collapse": 3,
     "ufunc": 4,
     "straight": 5,
+    "codegen": 6,
 }
 
 
@@ -2500,17 +2501,20 @@ def compile_kernel_candidates(
     interpreter when it accepts a launch, so order affects only speed.
     """
     nest: tuple[Callable[[Any], bool], str, set[str]] | None = None
+    nest_compiler: _NestCompiler | None = None
     first_err: str | None = None
     try:
         compiler = _NestCompiler(interp, stmt, collapse=True)
         nest = (compiler.compile(), compiler.strategy_label(),
                 set(compiler._features))
+        nest_compiler = compiler
     except _Ineligible as exc:
         first_err = str(exc)
         try:
             compiler = _NestCompiler(interp, stmt, collapse=False)
             nest = (compiler.compile(), compiler.strategy_label(),
                     set(compiler._features))
+            nest_compiler = compiler
         except _Ineligible as exc2:
             first_err = str(exc2)
     except Exception as exc:  # noqa: BLE001 - fallback is always correct
@@ -2528,6 +2532,14 @@ def compile_kernel_candidates(
 
     candidates: list[VectorCandidate] = []
     if nest is not None and not (nest[2] & {"scatter"}):
+        if nest_compiler is not None:
+            from .codegen import compile_straight_candidate
+
+            fast = compile_straight_candidate(
+                interp, stmt, nest_compiler, nest[1], nest[2]
+            )
+            if fast is not None:
+                candidates.append(fast)
         candidates.append(VectorCandidate(nest[0], nest[1]))
         if wave is not None:
             candidates.append(VectorCandidate(*wave))

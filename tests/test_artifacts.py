@@ -21,7 +21,8 @@ int main() { a[0] = 3; work(); return a[0]; }
 """
 
 PASS_NAMES = (
-    "preprocess", "parse", "constraints", "effects", "cfg", "plan", "rewrite"
+    "preprocess", "parse", "codegen", "constraints", "effects", "cfg",
+    "plan", "rewrite",
 )
 
 

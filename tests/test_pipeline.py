@@ -84,8 +84,8 @@ class TestPassManager:
     def test_default_chain_names(self):
         names = [p.name for p in DEFAULT_PASSES]
         assert names == [
-            "preprocess", "parse", "constraints", "effects", "cfg",
-            "plan", "rewrite",
+            "preprocess", "parse", "codegen", "constraints", "effects",
+            "cfg", "plan", "rewrite",
         ]
 
     def test_first_run_misses_second_hits(self):

@@ -185,6 +185,31 @@ class TestBenchHistory:
         assert main(["bench-history", old, "--platform", "h100-sxm5"]) == 0
         assert "no sim_wall_s samples" in capsys.readouterr().out
 
+    def test_empty_trajectory_is_friendly(self, tmp_path, capsys):
+        """No artifacts at all (a fresh checkout's unmatched glob) and
+        zero-byte placeholders both mean "nothing recorded yet", not an
+        error."""
+        from repro.cli import main
+
+        assert main(["bench-history"]) == 0
+        assert "no data points yet" in capsys.readouterr().out
+        placeholder = tmp_path / "BENCH_empty.json"
+        placeholder.write_text("")
+        assert main(["bench-history", str(placeholder)]) == 0
+        assert "no data points yet" in capsys.readouterr().out
+
+    def test_empty_placeholder_skipped_among_real_artifacts(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        placeholder = tmp_path / "BENCH_empty.json"
+        placeholder.write_text("\n")
+        real = self._artifact(tmp_path, "real.json", 0.08)
+        assert main(["bench-history", str(placeholder), real]) == 0
+        out = capsys.readouterr().out
+        assert "xsbench" in out and "80.0" in out
+
     def test_rejects_non_artifact(self, tmp_path, capsys):
         from repro.cli import main
 

@@ -286,10 +286,10 @@ class TestCoverageGate:
             "xsbench"
         ]["variants"]
         for profile in variants.values():
-            assert profile["vector_strategy"] == "straight"
+            assert profile["vector_strategy"] == "codegen"
             assert profile["fallback_reason"] is None
             assert profile["strategy_launches"] == {
-                "straight": profile["kernel_launches"]
+                "codegen": profile["kernel_launches"]
             }
 
     def test_regression_to_interpreter_fails(self, baseline_payload):
@@ -350,7 +350,7 @@ class TestCoverageGate:
     def test_committed_baseline_has_full_coverage(self):
         with open("benchmarks/suite_a100-pcie4.json", encoding="utf-8") as fh:
             payload = json.load(fh)
-        assert payload["schema"] == "ompdart-suite-perf/3"
+        assert payload["schema"] == "ompdart-suite-perf/4"
         for sweep in payload["results"].values():
             for run in sweep["benchmarks"].values():
                 for profile in run["variants"].values():

@@ -396,7 +396,7 @@ def test_collapse_declines_to_sequential_inner_when_not_injective():
     """
     interp, vec = both(src)
     assert_identical(interp, vec)
-    assert vec.vector_strategy == "straight"
+    assert vec.vector_strategy == "codegen"
     assert vec.vectorized_launches == 1
 
 
@@ -552,7 +552,7 @@ def test_host_loop_around_kernel_stays_interpreted_kernel_vectorizes():
     interp, vec = both(src)
     assert_identical(interp, vec)
     assert vec.vectorized_launches == vec.stats.kernel_launches == 3
-    assert vec.vector_strategy == "straight"
+    assert vec.vector_strategy == "codegen"
 
 
 # ---------------------------------------------------------------------------
@@ -563,6 +563,7 @@ def test_host_loop_around_kernel_stays_interpreted_kernel_vectorizes():
 def test_strategy_rank_covers_all_labels():
     assert set(V.STRATEGY_RANK) == {
         "interpreter", "wavefront", "masked", "collapse", "ufunc", "straight",
+        "codegen",
     }
     assert V.STRATEGY_RANK["interpreter"] == 0
     assert (
@@ -588,7 +589,7 @@ def test_no_vectorize_reports_interpreter_strategy():
     assert off.vector_strategy == "interpreter"
     assert off.fallback_reason == "vectorization disabled (--no-vectorize)"
     on = run_simulation(src, "<t>", vectorize=True)
-    assert on.vector_strategy == "straight"
+    assert on.vector_strategy == "codegen"
     assert on.fallback_reason is None
 
 
