@@ -33,10 +33,20 @@ artifact store: submit/await transform and evaluation jobs over HTTP,
 deduplicated by content hash, with bounded concurrency::
 
     ompdart serve --port 8571 --workers 4 --cache-dir .ompdart-cache
+    ompdart serve --max-queue 32 --job-timeout 60 --max-finished 128
     curl -XPOST localhost:8571/run -d '{"kind": "suite"}'
     curl -XPOST localhost:8571/jobs -d '{"kind": "benchmark", "benchmark": "bfs"}'
     curl localhost:8571/jobs/<id>?wait=1
     curl localhost:8571/stats
+    curl localhost:8571/metrics          # Prometheus text format
+
+Load mode drives a running server with N concurrent keep-alive
+clients over a mixed job workload, measures throughput and p50/p99
+latency, and emits an ``ompdart-load-perf/1`` artifact CI can gate::
+
+    ompdart load --clients 8 --requests 400 --json load.json
+    ompdart load --mode both           # close-vs-keepalive comparison
+    ompdart load --max-p99 0.5 --baseline benchmarks/load_baseline.json
 
 Suite mode runs the paper's nine-benchmark evaluation, optionally as a
 cross-platform sweep, and can emit a machine-readable perf artifact::
@@ -66,7 +76,9 @@ bad usage, 3 parse error in ``--dump-ast``/``--dump-cfg``.  Batch mode
 exits 0 only when every input transformed cleanly; suite mode exits 1
 when any benchmark's variants diverge; suite-diff exits 1 when the
 candidate regresses beyond the tolerance; bench-history exits 2 on a
-non-artifact input.
+non-artifact input; load mode exits 1 when a gate (failed requests,
+p99 budget, baseline regression) trips and 2 when the server is
+unreachable.
 """
 
 from __future__ import annotations
@@ -384,7 +396,212 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute jobs on in-process threads instead of processes",
     )
+    parser.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help=(
+            "admission bound: queued+running jobs a new submission may "
+            "not exceed; past it the server answers 429 with "
+            "Retry-After (default 64)"
+        ),
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "soft per-job timeout: the job fails (awaiters released) "
+            "but the server keeps serving (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--max-finished", type=int, default=256, metavar="N",
+        help=(
+            "finished jobs retained before LRU eviction; evicted ids "
+            "answer 410 Gone (default 256)"
+        ),
+    )
+    parser.add_argument(
+        "--finished-ttl", type=float, default=None, metavar="SECONDS",
+        help="also evict finished jobs older than this (default: none)",
+    )
+    parser.add_argument(
+        "--read-timeout", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "per-read deadline inside a request; a stalled client gets "
+            "408 and the connection closes (default 30)"
+        ),
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=75.0, metavar="SECONDS",
+        help="keep-alive idle deadline between requests (default 75)",
+    )
+    parser.add_argument(
+        "--max-requests", type=int, default=1000, metavar="N",
+        help="requests served per connection before close (default 1000)",
+    )
     return parser
+
+
+def build_load_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart load",
+        description=(
+            "Drive a running ompdart serve with N concurrent keep-alive "
+            "clients and a mixed job workload; measure throughput and "
+            "p50/p99 latency, emit an ompdart-load-perf/1 artifact, and "
+            "optionally gate against a budget or baseline."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="server host (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8571, help="server port (default 8571)"
+    )
+    parser.add_argument(
+        "-c", "--clients", type=int, default=8, metavar="N",
+        help="concurrent clients (default 8)",
+    )
+    parser.add_argument(
+        "-n", "--requests", type=int, default=400, metavar="N",
+        help="total requests across all clients (default 400)",
+    )
+    parser.add_argument(
+        "--mode", choices=("keepalive", "close", "both"), default="both",
+        help=(
+            "transport mode: keepalive (persistent pipelined "
+            "connections), close (one connection per request — the "
+            "legacy baseline), or both for an in-artifact comparison "
+            "(default both)"
+        ),
+    )
+    parser.add_argument(
+        "--mix", default=None, metavar="SLOT=W,...",
+        help=(
+            "workload mix weights over ping,transform,stats,jobs "
+            "(default ping=4,transform=4,stats=1,jobs=1)"
+        ),
+    )
+    parser.add_argument(
+        "--pipeline-depth", type=int, default=4, metavar="N",
+        help="requests in flight per keep-alive connection (default 4)",
+    )
+    parser.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip the cache-priming pass (measure cold-path latency)",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the ompdart-load-perf/1 artifact here",
+    )
+    parser.add_argument(
+        "--max-p99", type=float, default=None, metavar="SECONDS",
+        help="fail (exit 1) when any mode's p99 exceeds this budget",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help=(
+            "gate against a prior ompdart-load-perf artifact: fail on "
+            "throughput/p99 regressions beyond --tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="relative regression tolerated vs --baseline (default 0.25)",
+    )
+    return parser
+
+
+def _run_load(argv: list[str]) -> int:
+    args = build_load_arg_parser().parse_args(argv)
+    if args.clients < 1 or args.requests < 1 or args.pipeline_depth < 1:
+        print(
+            "ompdart load: --clients, --requests and --pipeline-depth "
+            "must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    import asyncio
+    import json
+
+    from .service.loadgen import (
+        DEFAULT_MIX,
+        LoadConfig,
+        gate_load,
+        render_load,
+        run_load,
+    )
+
+    mix = dict(DEFAULT_MIX)
+    if args.mix:
+        try:
+            mix = {
+                name: int(weight)
+                for name, _, weight in (
+                    item.partition("=") for item in args.mix.split(",")
+                )
+            }
+        except ValueError:
+            print(
+                f"ompdart load: bad --mix {args.mix!r} "
+                "(expected slot=weight,...)",
+                file=sys.stderr,
+            )
+            return 2
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"ompdart load: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        if not str(baseline.get("schema", "")).startswith("ompdart-load-perf/"):
+            print(
+                f"ompdart load: {args.baseline} is not an "
+                "ompdart-load-perf artifact",
+                file=sys.stderr,
+            )
+            return 2
+    config = LoadConfig(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        requests=args.requests,
+        mix=mix,
+        pipeline_depth=args.pipeline_depth,
+        warmup=not args.no_warmup,
+    )
+    modes = (
+        ("close", "keepalive") if args.mode == "both" else (args.mode,)
+    )
+    try:
+        payload = asyncio.run(run_load(config, modes=modes))
+    except ValueError as exc:
+        print(f"ompdart load: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"ompdart load: cannot reach {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_load(payload))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    problems = gate_load(
+        payload,
+        max_p99=args.max_p99,
+        baseline=baseline,
+        tolerance=args.tolerance,
+    )
+    for problem in problems:
+        print(f"REGRESSION {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def _run_serve(argv: list[str]) -> int:
@@ -406,8 +623,19 @@ def _run_serve(argv: list[str]) -> int:
             max_concurrency=args.max_jobs,
             cache_dir=args.cache_dir,
             use_processes=not args.threads,
+            max_queue=args.max_queue,
+            job_timeout=args.job_timeout,
+            max_finished=args.max_finished,
+            finished_ttl=args.finished_ttl,
         )
-        server = JobServer(scheduler, host=args.host, port=args.port)
+        server = JobServer(
+            scheduler,
+            host=args.host,
+            port=args.port,
+            read_timeout=args.read_timeout,
+            idle_timeout=args.idle_timeout,
+            max_requests=args.max_requests,
+        )
         try:
             host, port = await server.start()
         except OSError as exc:
@@ -930,6 +1158,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench_history(argv[1:])
     if argv and argv[0] == "serve":
         return _run_serve(argv[1:])
+    if argv and argv[0] == "load":
+        return _run_load(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -11,6 +11,13 @@ across CI history without spreadsheet work.
 The artifacts need not agree on platforms or benchmarks: rows are the
 union, and runs that lack a cell show ``-``.  Schema versions are
 mixed freely (any ``ompdart-suite-perf/`` artifact qualifies).
+
+``ompdart-load-perf/`` artifacts (the ``ompdart load`` serve harness)
+fold into the same table: each mode's p50/p99 request latency becomes
+a row under the pseudo-platform ``serve``, so served-latency history
+gets the same longitudinal view as kernel perf.  Suite and load
+artifacts mix freely on one command line — rows a run lacks show
+``-`` as usual.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ _VARIANTS = ("unoptimized", "ompdart", "expert")
 
 
 def load_artifact(path: str) -> dict[str, Any] | None:
-    """Parse and schema-check one suite perf artifact.
+    """Parse and schema-check one suite or load perf artifact.
 
     Returns None for an empty (or whitespace-only) file: a freshly
     seeded BENCH trajectory holds placeholders before the first CI
@@ -42,16 +49,43 @@ def load_artifact(path: str) -> dict[str, Any] | None:
         return None
     payload = json.loads(text)
     schema = payload.get("schema", "") if isinstance(payload, dict) else ""
-    if not str(schema).startswith("ompdart-suite-perf/"):
+    if not str(schema).startswith(
+        ("ompdart-suite-perf/", "ompdart-load-perf/")
+    ):
         raise ValueError(
-            f"{path} is not an ompdart-suite-perf artifact (schema={schema!r})"
+            f"{path} is not an ompdart-suite-perf or ompdart-load-perf "
+            f"artifact (schema={schema!r})"
         )
     return payload
+
+
+def _load_cells(payload: dict[str, Any]) -> dict[tuple[str, str, str], float]:
+    """Serve-latency cells of one ``ompdart-load-perf`` artifact.
+
+    Each mode's p50/p99 request latency lands under the ``serve``
+    pseudo-platform — seconds, like ``sim_wall_s``, so the shared
+    renderer's ms scaling applies unchanged.
+    """
+    cells: dict[tuple[str, str, str], float] = {}
+    modes = payload.get("modes")
+    if not isinstance(modes, dict):
+        return cells
+    for mode, result in modes.items():
+        if not isinstance(result, dict):
+            continue
+        for metric in ("p50_s", "p99_s"):
+            value = result.get(metric)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                label = metric[:-2]  # "p50_s" -> "p50"
+                cells[("serve", str(mode), label)] = float(value)
+    return cells
 
 
 def _cells(payload: dict[str, Any]) -> dict[tuple[str, str, str], float]:
     """(platform, benchmark, variant) -> sim_wall_s for one artifact."""
     cells: dict[tuple[str, str, str], float] = {}
+    if str(payload.get("schema", "")).startswith("ompdart-load-perf/"):
+        return _load_cells(payload)
     results = payload.get("results")
     if not isinstance(results, dict):
         return cells
@@ -131,6 +165,10 @@ def history_rows(
         if p not in platforms:
             platforms.append(p)
     for p in platforms:
+        if p == "serve":
+            # Latency percentiles don't sum into a meaningful total the
+            # way per-benchmark wall times do.
+            continue
         totals: list[float | None] = []
         for cells in per_run:
             # Only the displayed (filter-surviving) rows contribute —
@@ -162,7 +200,7 @@ def render_history(
         table.append([p, b, v] + cells + [sparkline(values)])
     header = ["platform", "app", "variant"] + labels + ["trend"]
     text = (
-        "BENCH trajectory: per-variant simulation wall time (ms), "
-        "oldest artifact first\n"
+        "BENCH trajectory: per-variant simulation wall time and serve "
+        "latency (ms), oldest artifact first\n"
     )
     return text + render_table(header, table)

@@ -1,0 +1,213 @@
+"""Stdlib Prometheus-style metrics for the serve front.
+
+A tiny subset of the Prometheus client model — counters, gauges, and
+cumulative-bucket histograms with label support — rendered in the text
+exposition format (``text/plain; version=0.0.4``) that every scraper
+speaks.  The serve front owns one :class:`MetricsRegistry`; the HTTP
+layer records request counts and per-route latency, the scheduler
+records queue depth, job latency, dedup and eviction traffic, and
+``GET /metrics`` renders the lot.
+
+Nothing here locks: the registry is only touched from the event loop
+(and, read-only, from the render path on the same loop), so plain
+dicts are safe.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+]
+
+#: Histogram bucket upper bounds for request/job latency (seconds).
+#: Spans sub-millisecond cached responses through multi-second suite
+#: jobs; +Inf is implicit.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{_escape(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+class Counter:
+    """Monotonically increasing metric, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: tuple[str, ...] = ()):
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = labelnames
+        self._values: dict[tuple[str, ...], float] = {}
+        if not labelnames:
+            self._values[()] = 0.0
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        return self._values.get(key, 0.0)
+
+    def render(self) -> Iterable[str]:
+        yield f"# HELP {self.name} {self.help_text}"
+        yield f"# TYPE {self.name} {self.kind}"
+        for key in sorted(self._values):
+            labels = _format_labels(self.labelnames, key)
+            yield f"{self.name}{labels} {_format_value(self._values[key])}"
+
+
+class Gauge:
+    """Point-in-time value; either set directly or read via callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str,
+                 fn: Callable[[], float] | None = None):
+        self.name = name
+        self.help_text = help_text
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+    def render(self) -> Iterable[str]:
+        yield f"# HELP {self.name} {self.help_text}"
+        yield f"# TYPE {self.name} {self.kind}"
+        yield f"{self.name} {_format_value(self.value())}"
+
+
+class Histogram:
+    """Cumulative-bucket histogram with labels (Prometheus layout)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: tuple[str, ...] = (),
+                 buckets: tuple[float, ...] = LATENCY_BUCKETS):
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = labelnames
+        self.buckets = tuple(sorted(buckets))
+        #: label values -> (per-bucket counts (non-cumulative), sum, count)
+        self._series: dict[tuple[str, ...], list[Any]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        series = self._series.get(key)
+        if series is None:
+            series = [[0] * (len(self.buckets) + 1), 0.0, 0]
+            self._series[key] = series
+        idx = bisect_left(self.buckets, value)
+        series[0][idx] += 1
+        series[1] += value
+        series[2] += 1
+
+    def snapshot(self, **labels: str) -> dict[str, float]:
+        """Count/sum/mean for one series (the /stats rendering)."""
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        series = self._series.get(key)
+        if series is None:
+            return {"count": 0, "sum": 0.0, "mean": 0.0}
+        count = series[2]
+        return {
+            "count": count,
+            "sum": series[1],
+            "mean": series[1] / count if count else 0.0,
+        }
+
+    def render(self) -> Iterable[str]:
+        yield f"# HELP {self.name} {self.help_text}"
+        yield f"# TYPE {self.name} {self.kind}"
+        for key in sorted(self._series):
+            counts, total, count = self._series[key]
+            cumulative = 0
+            for bound, n in zip(self.buckets, counts):
+                cumulative += n
+                labels = _format_labels(
+                    self.labelnames + ("le",), key + (_format_value(bound),)
+                )
+                yield f"{self.name}_bucket{labels} {cumulative}"
+            labels = _format_labels(self.labelnames + ("le",), key + ("+Inf",))
+            yield f"{self.name}_bucket{labels} {count}"
+            plain = _format_labels(self.labelnames, key)
+            yield f"{self.name}_sum{plain} {_format_value(total)}"
+            yield f"{self.name}_count{plain} {count}"
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with a text-format renderer."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, help_text: str,
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Counter(name, help_text, labelnames)
+            self._metrics[name] = metric
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help_text: str,
+              fn: Callable[[], float] | None = None) -> Gauge:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Gauge(name, help_text, fn)
+            self._metrics[name] = metric
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, help_text: str,
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help_text, labelnames, buckets)
+            self._metrics[name] = metric
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def render(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -24,6 +24,7 @@ way, because the workload is deterministic.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from concurrent.futures import Executor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -32,14 +33,36 @@ from typing import Any
 
 from ..pipeline.store import SharedArtifactStore
 from .core import JobSpec, execute_job, open_pool, spec_to_dict, worker_init
+from .metrics import MetricsRegistry
 
-__all__ = ["Job", "JobScheduler"]
+__all__ = ["Job", "JobScheduler", "QueueSaturated"]
 
 #: Job lifecycle states.
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+
+#: Most recent evicted job keys remembered for 410 Gone answers; older
+#: evictions fall back to 404 (the set itself must not grow forever).
+_EVICTED_KEYS_KEPT = 4096
+
+
+class QueueSaturated(RuntimeError):
+    """Admission control: a new job would exceed the queue bound.
+
+    ``retry_after`` is the scheduler's estimate (seconds, >= 1) of when
+    capacity frees up — the HTTP front turns it into a 429 with a
+    ``Retry-After`` header instead of queueing unboundedly.
+    """
+
+    def __init__(self, depth: int, bound: int, retry_after: int):
+        super().__init__(
+            f"job queue saturated ({depth} active >= bound {bound})"
+        )
+        self.depth = depth
+        self.bound = bound
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -56,6 +79,45 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     error: str | None = None
+    #: Memoized JSON encoding of the result (filled by the HTTP front
+    #: the first time a finished job's result is served; evicting the
+    #: job drops the bytes with it).
+    encoded_result: bytes | None = None
+    #: Memoized ``spec_to_dict`` — the spec is frozen, so the dict is
+    #: computed once instead of per poll/listing (it shows up hot in
+    #: the serve profile otherwise).
+    _spec_dict: dict[str, Any] | None = None
+    #: Memoized describe() JSON, split around the submissions count —
+    #: the only field that changes between polls of a settled state.
+    _env_state: str | None = None
+    _env_head: bytes = b""
+    _env_tail: bytes = b""
+
+    def spec_dict(self) -> dict[str, Any]:
+        if self._spec_dict is None:
+            self._spec_dict = spec_to_dict(self.spec)
+        return self._spec_dict
+
+    def encoded_envelope(self) -> bytes:
+        """``json.dumps(describe())`` bytes, head/tail cached per state.
+
+        Byte-identical to a fresh dump: everything except the
+        submissions count is immutable within one job state, so polls
+        and duplicate awaiters splice an integer instead of
+        re-serializing the spec (which can embed KBs of source).
+        """
+        if self._env_state != self.state:
+            desc = self.describe()
+            keys = list(desc)
+            cut = keys.index("submissions")
+            head = json.dumps({k: desc[k] for k in keys[:cut]})
+            tail = json.dumps({k: desc[k] for k in keys[cut + 1:]})
+            self._env_head = (head[:-1] + ', "submissions": ').encode()
+            self._env_tail = (", " + tail[1:]).encode()
+            self._env_state = self.state
+        return (
+            self._env_head + str(self.submissions).encode() + self._env_tail
+        )
 
     def describe(self, *, include_result: bool = False) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -63,7 +125,7 @@ class Job:
             "kind": self.spec.kind,
             "state": self.state,
             "submissions": self.submissions,
-            "spec": spec_to_dict(self.spec),
+            "spec": self.spec_dict(),
         }
         if self.started_at is not None and self.finished_at is not None:
             out["elapsed_seconds"] = self.finished_at - self.started_at
@@ -84,17 +146,48 @@ class JobScheduler:
         max_concurrency: int = 8,
         cache_dir: str | None = None,
         use_processes: bool = True,
+        max_queue: int = 64,
+        job_timeout: float | None = None,
+        max_finished: int = 256,
+        finished_ttl: float | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.cache_dir = cache_dir
         self.max_concurrency = max(1, max_concurrency)
+        #: Admission bound: queued+running jobs a new submission may
+        #: not push past (coalescing submissions are always admitted).
+        self.max_queue = max(1, max_queue)
+        #: Soft per-job timeout (seconds): the job FAILs and its
+        #: awaiters are released, but the worker computation is not
+        #: killed (executors cannot interrupt a running function).
+        self.job_timeout = job_timeout
+        #: Finished-job retention: at most ``max_finished`` DONE/FAILED
+        #: jobs kept (LRU by finish time), each for at most
+        #: ``finished_ttl`` seconds.  Evicted keys answer 410 Gone.
+        self.max_finished = max(0, max_finished)
+        self.finished_ttl = finished_ttl
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
+        self._finished_order: list[str] = []
+        self._evicted_keys: dict[str, float] = {}
         self._tasks: set[asyncio.Task] = set()
         self._sem = asyncio.Semaphore(self.max_concurrency)
         self._submitted = 0
         self._deduplicated = 0
         self._executed = 0
         self._failed = 0
+        self._rejected = 0
+        self._evicted = 0
+        self._timed_out = 0
+        self._active = 0
+        self._wait_seconds = 0.0
+        self._wait_samples = 0
+        self._run_seconds = 0.0
+        self._run_samples = 0
+        self.metrics: MetricsRegistry | None = None
+        self._job_latency = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
         self._store: SharedArtifactStore | None = (
             SharedArtifactStore.create(cache_dir)
             if cache_dir is not None
@@ -136,7 +229,12 @@ class JobScheduler:
     # -- submission ------------------------------------------------------
 
     async def submit(self, spec: JobSpec) -> Job:
-        """Enqueue ``spec``; duplicate content hashes coalesce."""
+        """Enqueue ``spec``; duplicate content hashes coalesce.
+
+        Raises :class:`QueueSaturated` when admitting a *new* job would
+        push the queued+running depth past ``max_queue``; coalescing
+        onto an existing job never adds load and is always admitted.
+        """
         if self._closed:
             raise RuntimeError("scheduler is closed")
         key = spec.key()
@@ -145,12 +243,23 @@ class JobScheduler:
         if job is not None and job.state != FAILED:
             job.submissions += 1
             self._deduplicated += 1
+            self._count_job("deduplicated")
             return job
+        if self._active >= self.max_queue:
+            self._submitted -= 1  # rejected, not accepted-then-lost
+            self._rejected += 1
+            self._count_job("rejected")
+            raise QueueSaturated(
+                self._active, self.max_queue, self._retry_after()
+            )
         loop = asyncio.get_running_loop()
         job = Job(key=key, spec=spec, future=loop.create_future())
         self._jobs[key] = job
+        self._evicted_keys.pop(key, None)  # resubmit revives the key
         if key not in self._order:  # failed-job resubmits reuse the slot
             self._order.append(key)
+        self._active += 1
+        self._count_job("accepted")
         task = asyncio.create_task(self._run(job))
         # Keep a strong reference: the event loop only holds weak ones,
         # and a GC'd task would strand the job in "queued" forever.
@@ -158,21 +267,67 @@ class JobScheduler:
         task.add_done_callback(self._tasks.discard)
         return job
 
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Register scheduler metrics on ``registry``.
+
+        Called from ``__init__`` when a registry is passed, or later by
+        the HTTP front when it creates the shared registry itself.
+        """
+        self.metrics = registry
+        self._job_latency = registry.histogram(
+            "ompdart_job_duration_seconds",
+            "Job execution latency by kind and outcome.",
+            ("kind", "outcome"),
+        )
+        registry.gauge(
+            "ompdart_queue_depth",
+            "Jobs queued or running right now.",
+            lambda: self._active,
+        )
+        registry.counter(
+            "ompdart_jobs_total",
+            "Job submissions by disposition.",
+            ("disposition",),
+        )
+
+    def _count_job(self, disposition: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "ompdart_jobs_total",
+                "Job submissions by disposition.",
+                ("disposition",),
+            ).inc(disposition=disposition)
+
+    def _retry_after(self) -> int:
+        """Seconds a 429'd client should back off: roughly one mean
+        job execution, floored at 1s."""
+        if self._run_samples:
+            return max(1, round(self._run_seconds / self._run_samples))
+        return 1
+
     async def run(self, spec: JobSpec) -> Any:
         """Submit and await in one call (the ``POST /run`` path)."""
         job = await self.submit(spec)
+        if job.future.done():
+            # Deduped onto a finished job: skip the shield wrapper
+            # (result() raises for failed jobs, same as awaiting).
+            return job.future.result()
         return await asyncio.shield(job.future)
 
     async def _run(self, job: Job) -> None:
+        result: Any = None
+        ok = False
         async with self._sem:
             job.state = RUNNING
             job.started_at = time.monotonic()
+            self._wait_seconds += job.started_at - job.submitted_at
+            self._wait_samples += 1
             loop = asyncio.get_running_loop()
             try:
                 try:
-                    result = await loop.run_in_executor(
+                    result = await self._bounded(loop.run_in_executor(
                         self._executor, execute_job, job.spec
-                    )
+                    ))
                 except BrokenProcessPool:
                     # The pool died (worker OOM-killed, fork blocked on
                     # respawn).  Swap in the thread runtime and retry
@@ -180,14 +335,31 @@ class JobScheduler:
                     # OSErrors raised inside a healthy worker) are not
                     # BrokenProcessPool and take the failure path below.
                     self._fall_back_to_threads()
-                    result = await loop.run_in_executor(
+                    result = await self._bounded(loop.run_in_executor(
                         self._executor, execute_job, job.spec
-                    )
+                    ))
+                ok = True
+            except TimeoutError:
+                # Soft timeout: the job fails (awaiters released), the
+                # server carries on.  The worker computation itself
+                # cannot be interrupted; its eventual result is dropped.
+                job.state = FAILED
+                job.error = (
+                    f"job timed out after {self.job_timeout:g}s "
+                    "(soft limit; result discarded)"
+                )
+                self._failed += 1
+                self._timed_out += 1
+                if not job.future.done():
+                    job.future.set_exception(RuntimeError(job.error))
+                    job.future.exception()
             except asyncio.CancelledError:
                 # Cancellation must propagate (asyncio's protocol); the
                 # job is not "failed", the server is shutting down.
                 job.state = FAILED
                 job.error = "cancelled"
+                job.finished_at = time.monotonic()
+                self._active -= 1
                 if not job.future.done():
                     job.future.cancel()
                 raise
@@ -203,13 +375,72 @@ class JobScheduler:
                     # Awaiters may come later (POST then poll); don't
                     # warn about unconsumed exceptions in the meantime.
                     job.future.exception()
-                return
-            finally:
-                job.finished_at = time.monotonic()
-        job.state = DONE
-        self._executed += 1
-        if not job.future.done():
-            job.future.set_result(result)
+            job.finished_at = time.monotonic()
+            self._active -= 1
+        if ok:
+            job.state = DONE
+            self._executed += 1
+            if not job.future.done():
+                job.future.set_result(result)
+        self._record_finish(job)
+
+    async def _bounded(self, awaitable: "asyncio.Future[Any]") -> Any:
+        """Apply the per-job soft timeout, when one is configured."""
+        if self.job_timeout is None:
+            return await awaitable
+        return await asyncio.wait_for(
+            asyncio.ensure_future(awaitable), self.job_timeout
+        )
+
+    def _record_finish(self, job: Job) -> None:
+        if job.started_at is not None and job.finished_at is not None:
+            elapsed = job.finished_at - job.started_at
+            self._run_seconds += elapsed
+            self._run_samples += 1
+            if self._job_latency is not None:
+                self._job_latency.observe(
+                    elapsed, kind=job.spec.kind, outcome=job.state
+                )
+        self._finished_order.append(job.key)
+        self._evict()
+
+    # -- eviction --------------------------------------------------------
+
+    def _evict(self, *, now: float | None = None) -> None:
+        """Drop finished jobs past the LRU bound or their TTL."""
+        if now is None:
+            now = time.monotonic()
+        while len(self._finished_order) > self.max_finished:
+            self._evict_one(self._finished_order[0])
+        if self.finished_ttl is not None:
+            while self._finished_order:
+                job = self._jobs.get(self._finished_order[0])
+                if job is None or job.finished_at is None:
+                    self._finished_order.pop(0)
+                    continue
+                if now - job.finished_at < self.finished_ttl:
+                    break
+                self._evict_one(self._finished_order[0])
+
+    def _evict_one(self, key: str) -> None:
+        self._finished_order.pop(0)
+        job = self._jobs.get(key)
+        if job is None or job.state not in (DONE, FAILED):
+            return  # key was resubmitted and is live again
+        del self._jobs[key]
+        try:
+            self._order.remove(key)
+        except ValueError:
+            pass
+        self._evicted += 1
+        self._count_job("evicted")
+        self._evicted_keys[key] = time.monotonic()
+        while len(self._evicted_keys) > _EVICTED_KEYS_KEPT:
+            self._evicted_keys.pop(next(iter(self._evicted_keys)))
+
+    def was_evicted(self, key: str) -> bool:
+        """Did ``key`` hold a finished job that retention dropped?"""
+        return key in self._evicted_keys
 
     def _fall_back_to_threads(self) -> None:
         if self.executor_kind == "thread":
@@ -239,10 +470,26 @@ class JobScheduler:
             "deduplicated": self._deduplicated,
             "executed": self._executed,
             "failed": self._failed,
+            "rejected": self._rejected,
+            "evicted": self._evicted,
+            "timed_out": self._timed_out,
+            "queue_depth": self._active,
+            "max_queue": self.max_queue,
             "jobs": states,
             "max_concurrency": self.max_concurrency,
             "executor": self.executor_kind,
             "cache_dir": self.cache_dir,
+            "latency": {
+                "queue_wait_mean_s": (
+                    self._wait_seconds / self._wait_samples
+                    if self._wait_samples else 0.0
+                ),
+                "run_mean_s": (
+                    self._run_seconds / self._run_samples
+                    if self._run_samples else 0.0
+                ),
+                "samples": self._run_samples,
+            },
         }
         if self._store is not None:
             out["store"] = self._store.stats().as_dict()

@@ -35,23 +35,14 @@ def _scheduler(**kw):
 
 
 async def _request(host, port, method, path, payload=None):
-    reader, writer = await asyncio.open_connection(host, port)
-    body = json.dumps(payload).encode() if payload is not None else b""
-    head = (
-        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
-        f"Content-Length: {len(body)}\r\n\r\n"
-    ).encode()
-    writer.write(head + body)
-    await writer.drain()
-    data = await reader.read()
-    writer.close()
+    from repro.service.loadgen import LoadClient
+
+    client = LoadClient(host, port, keep_alive=False)
     try:
-        await writer.wait_closed()
-    except (ConnectionError, OSError):
-        pass
-    head_raw, _, body_raw = data.partition(b"\r\n\r\n")
-    status = int(head_raw.split()[1])
-    return status, json.loads(body_raw)
+        response = await client.request(method, path, payload)
+    finally:
+        await client.aclose()
+    return response.status, response.json()
 
 
 class TestSpecs:
@@ -216,6 +207,7 @@ class TestServer:
                 reader, writer = await asyncio.open_connection(host, port)
                 writer.write(
                     b"POST /run HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n"
                     b"Content-Length: 7\r\n\r\nnotjson"
                 )
                 await writer.drain()
