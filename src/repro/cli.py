@@ -48,6 +48,15 @@ latency, and emits an ``ompdart-load-perf/1`` artifact CI can gate::
     ompdart load --mode both           # close-vs-keepalive comparison
     ompdart load --max-p99 0.5 --baseline benchmarks/load_baseline.json
 
+Chaos mode serves one seeded job mix twice — under a deterministic
+fault plan (worker kills, spill corruption) and fault-free — and
+fails unless the served results match byte for byte, the server
+survives every crash, and a DELETEd job dies within the kill grace::
+
+    ompdart chaos --jobs 200 --seed 0 --json chaos.json
+    ompdart chaos --plan 'kill-worker:p=0.1' --cancel-grace 0.5
+    ompdart serve --fault-inject 'kill-worker:p=0.05' --fault-seed 1
+
 Suite mode runs the paper's nine-benchmark evaluation, optionally as a
 cross-platform sweep, and can emit a machine-readable perf artifact::
 
@@ -78,7 +87,8 @@ when any benchmark's variants diverge; suite-diff exits 1 when the
 candidate regresses beyond the tolerance; bench-history exits 2 on a
 non-artifact input; load mode exits 1 when a gate (failed requests,
 p99 budget, baseline regression) trips and 2 when the server is
-unreachable.
+unreachable; chaos mode exits 1 when any fault-tolerance gate
+(divergence, server death, cancel overrun) trips.
 """
 
 from __future__ import annotations
@@ -407,9 +417,55 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         help=(
-            "soft per-job timeout: the job fails (awaiters released) "
-            "but the server keeps serving (default: none)"
+            "per-job timeout: on process workers the job is hard-"
+            "cancelled (SIGINT, then SIGKILL after --cancel-grace); "
+            "on --threads it fails softly (default: none)"
         ),
+    )
+    parser.add_argument(
+        "--job-retries", type=int, default=1, metavar="N",
+        help=(
+            "times a job that crashed its worker is re-dispatched "
+            "before being quarantined as poison (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help=(
+            "base of the exponential backoff between crash retries "
+            "(default 0.05)"
+        ),
+    )
+    parser.add_argument(
+        "--max-worker-restarts", type=int, default=16, metavar="N",
+        help=(
+            "worker respawns allowed over the server's lifetime; once "
+            "spent and no worker remains, submissions answer 503 "
+            "(default 16)"
+        ),
+    )
+    parser.add_argument(
+        "--cancel-grace", type=float, default=2.0, metavar="SECONDS",
+        help=(
+            "grace between a cancel's SIGINT and the SIGKILL "
+            "escalation (default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-after-max", type=int, default=60, metavar="SECONDS",
+        help="ceiling for the 429 Retry-After estimate (default 60)",
+    )
+    parser.add_argument(
+        "--fault-inject", default=None, metavar="PLAN",
+        help=(
+            "deterministic fault plan for testing, e.g. "
+            "'kill-worker:p=0.05,corrupt-spill:p=0.02' "
+            "(kinds: kill-worker, corrupt-spill, wedge)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for --fault-inject decisions (default 0)",
     )
     parser.add_argument(
         "--max-finished", type=int, default=256, metavar="N",
@@ -513,6 +569,108 @@ def build_load_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_chaos_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart chaos",
+        description=(
+            "Fault-injection harness: serve one seeded job mix twice "
+            "— under a deterministic fault plan and fault-free — and "
+            "fail unless the served results are byte-identical, the "
+            "server survives every worker crash, and a DELETEd job "
+            "dies within the kill grace."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "-n", "--jobs", type=int, default=200, metavar="N",
+        help="jobs in the workload (default 200)",
+    )
+    parser.add_argument(
+        "-w", "--workers", type=int, default=2, metavar="N",
+        help="worker processes per server (default 2)",
+    )
+    parser.add_argument(
+        "-c", "--clients", type=int, default=4, metavar="N",
+        help="concurrent submitting clients (default 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="fault-plan seed; same seed, same kills (default 0)",
+    )
+    parser.add_argument(
+        "--plan", default=None, metavar="PLAN",
+        help=(
+            "fault plan (default 'kill-worker:p=0.05,"
+            "corrupt-spill:p=0.02')"
+        ),
+    )
+    parser.add_argument(
+        "--job-retries", type=int, default=2, metavar="N",
+        help="crash retries per job before poison (default 2)",
+    )
+    parser.add_argument(
+        "--cancel-grace", type=float, default=1.0, metavar="SECONDS",
+        help="SIGINT-to-SIGKILL grace for the DELETE probe (default 1)",
+    )
+    parser.add_argument(
+        "--no-cancel-probe", action="store_true",
+        help="skip the DELETE-a-running-job probe",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the ompdart-chaos/1 artifact here",
+    )
+    return parser
+
+
+def _run_chaos(argv: list[str]) -> int:
+    args = build_chaos_arg_parser().parse_args(argv)
+    if args.jobs < 1 or args.workers < 1 or args.clients < 1:
+        print(
+            "ompdart chaos: --jobs, --workers and --clients must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    import asyncio
+    import json
+
+    from .service.chaos import (
+        DEFAULT_PLAN,
+        ChaosConfig,
+        gate_chaos,
+        render_chaos,
+        run_chaos,
+    )
+
+    config = ChaosConfig(
+        jobs=args.jobs,
+        workers=args.workers,
+        clients=args.clients,
+        seed=args.seed,
+        plan=args.plan if args.plan is not None else DEFAULT_PLAN,
+        job_retries=args.job_retries,
+        cancel_grace=args.cancel_grace,
+        cancel_probe=not args.no_cancel_probe,
+    )
+    try:
+        payload = asyncio.run(run_chaos(config))
+    except ValueError as exc:
+        print(f"ompdart chaos: {exc}", file=sys.stderr)
+        return 2
+    print(render_chaos(payload))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    problems = gate_chaos(payload)
+    for problem in problems:
+        print(f"CHAOS {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _run_load(argv: list[str]) -> int:
     args = build_load_arg_parser().parse_args(argv)
     if args.clients < 1 or args.requests < 1 or args.pipeline_depth < 1:
@@ -614,8 +772,21 @@ def _run_serve(argv: list[str]) -> int:
         return 2
     import asyncio
 
+    from .service.faults import parse_fault_plan
     from .service.scheduler import JobScheduler
     from .service.server import JobServer
+
+    fault_plan = None
+    if args.fault_inject:
+        try:
+            fault_plan = parse_fault_plan(
+                args.fault_inject, seed=args.fault_seed
+            )
+        except ValueError as exc:
+            print(
+                f"ompdart serve: bad --fault-inject: {exc}", file=sys.stderr
+            )
+            return 2
 
     async def _serve() -> int:
         scheduler = JobScheduler(
@@ -627,6 +798,12 @@ def _run_serve(argv: list[str]) -> int:
             job_timeout=args.job_timeout,
             max_finished=args.max_finished,
             finished_ttl=args.finished_ttl,
+            job_retries=args.job_retries,
+            retry_backoff=args.retry_backoff,
+            max_worker_restarts=args.max_worker_restarts,
+            cancel_grace=args.cancel_grace,
+            retry_after_max=args.retry_after_max,
+            fault_plan=fault_plan,
         )
         server = JobServer(
             scheduler,
@@ -1160,6 +1337,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(argv[1:])
     if argv and argv[0] == "load":
         return _run_load(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _run_chaos(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -27,19 +27,28 @@ workers discover — and count — artifacts produced by their siblings
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from . import artifacts as artifact_schemas
 from .artifacts import ArtifactDecodeError
 from .store import SharedArtifactStore
 
+_LOG = logging.getLogger(__name__)
+
 #: Sentinel distinguishing "not cached" from a cached None.
 _MISS = object()
+
+#: Fault-injection seam: called with the final spill path after every
+#: successful disk write (None = disabled).  The chaos harness installs
+#: a deterministic truncator here to exercise the corrupt-spill-as-miss
+#: recovery path; production never sets it.
+spill_fault_hook: Callable[[Path], None] | None = None
 
 #: Lookup-origin labels recorded by the pass manager.
 ORIGIN_MEMORY = "memory"
@@ -76,6 +85,9 @@ class CacheStats:
     #: Bytes the legacy whole-object format would have written for the
     #: same artifacts (populated only under ``measure_baseline``).
     baseline_bytes_written: int = 0
+    #: Spill files that failed to decode (truncated, corrupt, or
+    #: legacy-unpicklable) and were quarantined as misses.
+    corrupt_spills: int = 0
 
     @property
     def lookups(self) -> int:
@@ -261,6 +273,7 @@ class ArtifactCache:
             try:
                 value = artifact_schemas.decode_spill(raw, pass_name)
             except ArtifactDecodeError:
+                self._quarantine(pass_name, path)
                 continue
             if pass_name == "parse":
                 parse_by_group[_group_of(skey)] = value
@@ -279,6 +292,9 @@ class ArtifactCache:
                     raw, pass_name, {"parse": parse}
                 )
             except ArtifactDecodeError:
+                self._quarantine(
+                    pass_name, self._compact_path(pass_name, skey)
+                )
                 continue
             with self._lock:
                 self._remember(pass_name, skey, value)
@@ -326,20 +342,26 @@ class ArtifactCache:
         if self.disk_dir is None:
             return _MISS, 0, False
         raw: bytes | None = None
+        src = self._compact_path(pass_name, skey)
         try:
-            raw = self._compact_path(pass_name, skey).read_bytes()
+            raw = src.read_bytes()
         except OSError:
             # Fall back to a spill written by a pre-schema revision
             # (named by the raw fingerprint, whole-object payload).
+            src = self._disk_path(pass_name, key)
             try:
-                raw = self._disk_path(pass_name, key).read_bytes()
+                raw = src.read_bytes()
             except OSError:
                 return _MISS, 0, False
         try:
             value = artifact_schemas.decode_spill(raw, pass_name, deps)
         except ArtifactDecodeError:
             # Unreadable or version-skewed spill files are misses, not
-            # crashes (e.g. a cached class moved between releases).
+            # crashes (e.g. a cached class moved between releases, or a
+            # writer was killed mid-spill).  Quarantine so the broken
+            # file never costs a second decode attempt and the pass's
+            # re-derived artifact can re-spill at the original path.
+            self._quarantine(pass_name, src)
             return _MISS, 0, False
         cross = False
         if self.store is not None:
@@ -348,6 +370,19 @@ class ArtifactCache:
             # cross-worker counters the batch report gates on.
             _published, cross = self.store.lookup(pass_name, skey)
         return value, len(raw), cross
+
+    def _quarantine(self, pass_name: str, path: Path) -> None:
+        """Move a corrupt spill aside and count it — never raise."""
+        with self._lock:
+            self._stat(pass_name).corrupt_spills += 1
+        bad = path.with_suffix(path.suffix + ".bad")
+        try:
+            path.replace(bad)
+        except OSError:
+            return  # racing reader already moved/removed it
+        _LOG.warning(
+            "quarantined corrupt artifact spill %s (re-deriving)", path.name
+        )
 
     def _disk_put(self, pass_name: str, skey: str, value: Any) -> int:
         """Spill the artifact; returns compressed bytes written (0 = none)."""
@@ -362,6 +397,9 @@ class ArtifactCache:
             with open(tmp, "wb") as fh:
                 fh.write(raw)
             tmp.replace(path)
+            hook = spill_fault_hook
+            if hook is not None:
+                hook(path)
             return len(raw)
         except Exception:  # noqa: BLE001 - unspillable artifacts stay in memory
             tmp.unlink(missing_ok=True)

@@ -25,6 +25,16 @@ a lockfile next to the segments; payload I/O stays outside the lock.
 Creation degrades gracefully: where shared memory or file locking is
 unavailable (sandboxes), :meth:`SharedArtifactStore.create` returns
 ``None`` and the batch driver runs exactly as before.
+
+**Crash safety.**  Workers die (OOM kills, injected faults), and a
+death mid-operation must not wedge the survivors: the lock acquisition
+is *bounded* — after ``lock_timeout`` seconds the waiter inspects the
+pid stamped into the lockfile and, if that writer is dead, rotates the
+lockfile (unlink + recreate: a fresh inode no stale open file
+description can hold an flock on) and retries.  The supervisor calls
+:meth:`reclaim_dead` after every worker death to zero index slots
+stamped by dead pids (a kill mid-``pack_into`` leaves torn garbage in
+them) and to sweep the dead writer's orphaned spill ``*.tmp`` files.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ import hashlib
 import os
 import secrets
 import struct
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
@@ -62,11 +73,46 @@ _DEFAULT_SLOTS = 4096
 _COUNTER_ROWS = 32
 _MAX_PROBE = 32
 
+#: Bounded lock wait before dead-writer recovery kicks in, and the
+#: poll interval while waiting.  Two seconds is orders of magnitude
+#: past any legitimate critical section (a few SHM reads/writes).
+_LOCK_TIMEOUT = 2.0
+_LOCK_POLL = 0.01
+
 
 def _digest(pass_name: str, key: str) -> bytes:
     return hashlib.blake2b(
         f"{pass_name}\x1f{key}".encode(), digest_size=16
     ).digest()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness: only a definite ESRCH counts as dead."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # EPERM etc.: it exists, just isn't ours
+    return True
+
+
+def _tmp_writer_pid(name: str) -> int | None:
+    """Writer pid embedded in a cache spill tmp filename.
+
+    The cache writes ``{pass}-{skey}.{pid}-{tid}.tmp`` and atomically
+    renames on completion, so any ``.tmp`` left by a dead pid is a
+    half-written orphan.
+    """
+    parts = name.rsplit(".", 2)
+    if len(parts) != 3 or parts[2] != "tmp":
+        return None
+    try:
+        return int(parts[1].split("-", 1)[0])
+    except ValueError:
+        return None
 
 
 @dataclass
@@ -147,6 +193,14 @@ class SharedArtifactStore:
         self._pid = os.getpid()
         self._lock_path = self.directory / ".store.lock"
         self._closed = False
+        #: Bounded lock wait (seconds) before dead-writer recovery.
+        self.lock_timeout = _LOCK_TIMEOUT
+        # recovery counters (this process's view; the supervisor is
+        # the interesting observer)
+        self.lock_timeouts = 0
+        self.lock_rotations = 0
+        self.slots_reclaimed = 0
+        self.tmp_files_reclaimed = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -223,14 +277,83 @@ class SharedArtifactStore:
 
     @contextlib.contextmanager
     def _locked(self) -> Iterator[None]:
-        fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        fd = self._acquire_lock()
         try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
             yield
         finally:
             with contextlib.suppress(OSError):
                 fcntl.flock(fd, fcntl.LOCK_UN)
             os.close(fd)
+
+    def _acquire_lock(self) -> int:
+        """flock the lockfile with a bounded wait and stale recovery.
+
+        An flock vanishes when its holder's last fd closes — but a
+        worker that forked children (or whose fds leaked into a
+        sibling) can die while the lock lives on in an inherited open
+        file description.  After ``lock_timeout`` seconds: if the pid
+        stamped into the lockfile is dead, rotate the file (unlink +
+        recreate — flocks attach to the inode, so a fresh inode cannot
+        be held by any stale description) and retry; if the holder is
+        alive or unknown, raise — callers are fail-soft by contract.
+        """
+        deadline = time.monotonic() + self.lock_timeout
+        rotated = False
+        fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                if time.monotonic() < deadline:
+                    time.sleep(_LOCK_POLL)
+                    continue
+                if not rotated and self._holder_is_dead(fd):
+                    os.close(fd)
+                    with contextlib.suppress(OSError):
+                        os.unlink(self._lock_path)
+                    self.lock_rotations += 1
+                    rotated = True
+                    deadline = time.monotonic() + self.lock_timeout
+                    fd = os.open(
+                        self._lock_path, os.O_CREAT | os.O_RDWR, 0o644
+                    )
+                    continue
+                os.close(fd)
+                self.lock_timeouts += 1
+                raise OSError(
+                    f"store lock held past {self.lock_timeout:g}s by a "
+                    "live process"
+                )
+            # Locked — but a concurrent waiter may have rotated the
+            # file between our open and flock: a lock on the *old*
+            # inode excludes nobody.  Verify and retry on mismatch.
+            if self._lock_is_current(fd):
+                self._stamp_lock(fd)
+                return fd
+            with contextlib.suppress(OSError):
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+            fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+
+    def _lock_is_current(self, fd: int) -> bool:
+        try:
+            return os.fstat(fd).st_ino == os.stat(self._lock_path).st_ino
+        except OSError:
+            return False  # path unlinked mid-rotation: retry
+
+    def _stamp_lock(self, fd: int) -> None:
+        """Record the holder's pid so waiters can detect a dead one."""
+        with contextlib.suppress(OSError):
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, f"{self._pid}\n".encode(), 0)
+
+    def _holder_is_dead(self, fd: int) -> bool:
+        try:
+            raw = os.pread(fd, 32, 0).split(b"\n")[0].strip()
+            pid = int(raw)
+        except (OSError, ValueError):
+            return False  # no stamp: cannot prove death, do not rotate
+        return pid != self._pid and not _pid_alive(pid)
 
     # -- counters --------------------------------------------------------
 
@@ -296,6 +419,80 @@ class SharedArtifactStore:
                     cross_worker_hits=cross, bytes_written=nbytes,
                     baseline_bytes=baseline,
                 )
+
+    # -- crash recovery --------------------------------------------------
+
+    def health(self) -> dict[str, int]:
+        """Recovery counters (this process's view)."""
+        return {
+            "lock_timeouts": self.lock_timeouts,
+            "lock_rotations": self.lock_rotations,
+            "slots_reclaimed": self.slots_reclaimed,
+            "tmp_files_reclaimed": self.tmp_files_reclaimed,
+        }
+
+    def reclaim_dead(self) -> dict[str, int]:
+        """Reclaim state a dead writer left behind; returns counts.
+
+        * **Index slots** stamped with a dead pid are zeroed: a worker
+          killed mid-``pack_into`` leaves torn digests that occupy a
+          slot forever and can poison its probe window.  Zeroing may
+          orphan a colliding live entry further down the probe chain —
+          harmless, the store is a presence *hint* and the disk spill
+          still serves.
+        * **Spill tmp files** whose embedded writer pid is dead are
+          unlinked; completed spills were atomically renamed, so any
+          surviving ``.tmp`` from a dead pid is a half-written orphan.
+
+        Called by the pool supervisor after each worker death; safe to
+        call from anywhere (fail-soft, like every store operation).
+        """
+        out = {"slots": 0, "tmp_files": 0}
+        try:
+            out["slots"] = self._reclaim_slots()
+        except (OSError, ValueError):
+            pass
+        out["tmp_files"] = self._sweep_tmp_files()
+        self.slots_reclaimed += out["slots"]
+        self.tmp_files_reclaimed += out["tmp_files"]
+        return out
+
+    def _reclaim_slots(self) -> int:
+        liveness: dict[int, bool] = {}
+        count = 0
+        with self._locked():
+            for slot in range(self._slots):
+                offset = self._slot_offset(slot)
+                _raw, pid, _gen = _SLOT.unpack_from(self._shm.buf, offset)
+                if pid == 0 or pid == self._pid:
+                    continue
+                alive = liveness.get(pid)
+                if alive is None:
+                    alive = _pid_alive(pid)
+                    liveness[pid] = alive
+                if not alive:
+                    _SLOT.pack_into(
+                        self._shm.buf, offset, b"\x00" * 16, 0, 0
+                    )
+                    count += 1
+        return count
+
+    def _sweep_tmp_files(self) -> int:
+        count = 0
+        try:
+            candidates = list(self.directory.glob("*.tmp"))
+        except OSError:
+            return 0
+        for path in candidates:
+            pid = _tmp_writer_pid(path.name)
+            if pid is None or pid == self._pid or _pid_alive(pid):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            count += 1
+        return count
 
     # -- index -----------------------------------------------------------
 

@@ -390,16 +390,22 @@ class PingJobSpec:
     without pipeline cost drowning the signal.  Distinct ``token``
     values defeat dedup when independent jobs are wanted; identical
     tokens exercise the coalescing and memoized-result paths.
+
+    ``sleep_s`` turns the ping into a deterministic long-running job —
+    the cancellation tests and the chaos harness's DELETE probe need a
+    job that is reliably *still executing* when the cancel arrives.
     """
 
     token: str = ""
     payload_bytes: int = 0
+    sleep_s: float = 0.0
 
     kind = "ping"
 
     def key(self) -> str:
         return _memoized_key(
-            self, __version__, self.kind, self.token, self.payload_bytes
+            self, __version__, self.kind, self.token, self.payload_bytes,
+            self.sleep_s,
         )
 
 
@@ -475,6 +481,8 @@ def execute_job(spec: JobSpec) -> dict[str, Any]:
     """
     if isinstance(spec, PingJobSpec):
         # No pipeline, no manager: the answer is the round trip.
+        if spec.sleep_s > 0:
+            time.sleep(spec.sleep_s)
         return {
             "pong": True,
             "token": spec.token,

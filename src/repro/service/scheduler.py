@@ -15,10 +15,12 @@ runtime.  Two properties matter:
   lifetime and every worker executes against it, so even *distinct*
   jobs share parse/analysis artifacts for identical inputs.
 
-Execution degrades gracefully: process workers (fork-safe, true
-parallelism) when the host allows them, otherwise an in-process thread
-executor over the same entry points — results are identical either
-way, because the workload is deterministic.
+Execution is supervised: process workers run under
+:class:`~repro.service.supervisor.SupervisedPool` (crash detection,
+respawn, retry with backoff, hard cancellation) when the host allows
+forking, otherwise an in-process thread executor over the same entry
+points — results are identical either way, because the workload is
+deterministic.
 """
 
 from __future__ import annotations
@@ -26,22 +28,38 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from concurrent.futures import Executor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..pipeline.store import SharedArtifactStore
-from .core import JobSpec, execute_job, open_pool, spec_to_dict, worker_init
+from .core import JobSpec, execute_job, spec_to_dict, worker_init
 from .metrics import MetricsRegistry
+from .supervisor import (
+    JobCancelled,
+    PoisonJobError,
+    PoolExhausted,
+    SupervisedPool,
+)
 
-__all__ = ["Job", "JobScheduler", "QueueSaturated"]
+__all__ = [
+    "Job",
+    "JobCancelled",
+    "JobScheduler",
+    "PoolExhausted",
+    "QueueSaturated",
+]
 
 #: Job lifecycle states.
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Terminal states: the job will never transition again, its envelope
+#: is immutable, and retention/eviction applies.
+SETTLED = (DONE, FAILED, CANCELLED)
 
 #: Most recent evicted job keys remembered for 410 Gone answers; older
 #: evictions fall back to 404 (the set itself must not grow forever).
@@ -92,6 +110,12 @@ class Job:
     _env_state: str | None = None
     _env_head: bytes = b""
     _env_tail: bytes = b""
+    #: The supervised pool's handle for this job (None on the thread
+    #: runtime, or before dispatch) — carries the hard-cancel hook.
+    pool_job: Any = None
+    #: The asyncio task driving ``_run`` — cancellation target for
+    #: queued jobs and the thread runtime's soft cancel.
+    task: Any = None
 
     def spec_dict(self) -> dict[str, Any]:
         if self._spec_dict is None:
@@ -151,16 +175,42 @@ class JobScheduler:
         max_finished: int = 256,
         finished_ttl: float | None = None,
         metrics: MetricsRegistry | None = None,
+        job_retries: int = 1,
+        retry_backoff: float = 0.05,
+        max_worker_restarts: int = 16,
+        cancel_grace: float = 2.0,
+        retry_after_default: int = 2,
+        retry_after_max: int = 60,
+        fault_plan: Any = None,
     ):
         self.cache_dir = cache_dir
         self.max_concurrency = max(1, max_concurrency)
         #: Admission bound: queued+running jobs a new submission may
         #: not push past (coalescing submissions are always admitted).
         self.max_queue = max(1, max_queue)
-        #: Soft per-job timeout (seconds): the job FAILs and its
-        #: awaiters are released, but the worker computation is not
-        #: killed (executors cannot interrupt a running function).
+        #: Per-job timeout (seconds).  On the supervised runtime this
+        #: escalates to a *hard* cancel — SIGINT, then SIGKILL after
+        #: ``cancel_grace`` — and the job lands in ``cancelled``.  On
+        #: the thread runtime it stays soft: the job FAILs and its
+        #: awaiters are released, but the computation cannot be killed.
         self.job_timeout = job_timeout
+        #: Times a job may crash its worker before being quarantined
+        #: as poison (1 retry = a second chance, then quarantine).
+        self.job_retries = max(0, job_retries)
+        #: Base of the crash-retry exponential backoff (seconds).
+        self.retry_backoff = max(0.0, retry_backoff)
+        #: Worker respawns allowed over the pool's lifetime; when spent
+        #: and the last worker dies, submissions fail fast (503).
+        self.max_worker_restarts = max(0, max_worker_restarts)
+        #: Seconds between cancel SIGINT and the SIGKILL escalation.
+        self.cancel_grace = max(0.0, cancel_grace)
+        #: 429 Retry-After fallback before any job has finished, and
+        #: the ceiling the estimate is clamped to (long suite jobs
+        #: would otherwise tell clients to go away for minutes).
+        self.retry_after_default = max(1, retry_after_default)
+        self.retry_after_max = max(1, retry_after_max)
+        #: Fault-injection plan forwarded to worker processes.
+        self.fault_plan = fault_plan
         #: Finished-job retention: at most ``max_finished`` DONE/FAILED
         #: jobs kept (LRU by finish time), each for at most
         #: ``finished_ttl`` seconds.  Evicted keys answer 410 Gone.
@@ -179,6 +229,9 @@ class JobScheduler:
         self._rejected = 0
         self._evicted = 0
         self._timed_out = 0
+        self._cancelled = 0
+        self._poisoned = 0
+        self._unavailable = 0
         self._active = 0
         self._wait_seconds = 0.0
         self._wait_samples = 0
@@ -196,22 +249,28 @@ class JobScheduler:
         self._executor = self._make_executor(max(1, workers), use_processes)
         self._closed = False
 
-    def _make_executor(self, workers: int, use_processes: bool) -> Executor:
+    def _make_executor(self, workers: int, use_processes: bool):
         if use_processes:
             try:
-                # Pre-spawn every worker now, before the HTTP front
-                # opens any sockets: a worker forked mid-request would
-                # inherit live connection fds and keep them open after
-                # the parent's close (clients never see EOF).
-                pool = open_pool(
+                # Every worker spawns (and readiness-checks) now,
+                # before the HTTP front opens any sockets: a worker
+                # forked mid-request would inherit live connection fds
+                # and keep them open after the parent's close (clients
+                # never see EOF).  The supervisor then owns respawns.
+                pool = SupervisedPool(
                     workers,
                     cache_dir=self.cache_dir,
                     store_name=self._store.name
                     if self._store is not None
                     else None,
-                    prespawn=True,
+                    job_retries=self.job_retries,
+                    retry_backoff=self.retry_backoff,
+                    max_restarts=self.max_worker_restarts,
+                    cancel_grace=self.cancel_grace,
+                    fault_plan=self.fault_plan,
+                    store=self._store,
                 )
-                self.executor_kind = "process"
+                self.executor_kind = "supervised"
                 return pool
             except Exception:  # noqa: BLE001 - sandboxes block process
                 pass  # creation in assorted ways: fall through to threads
@@ -240,11 +299,23 @@ class JobScheduler:
         key = spec.key()
         self._submitted += 1
         job = self._jobs.get(key)
-        if job is not None and job.state != FAILED:
+        if job is not None and job.state not in (FAILED, CANCELLED):
             job.submissions += 1
             self._deduplicated += 1
             self._count_job("deduplicated")
             return job
+        if (
+            isinstance(self._executor, SupervisedPool)
+            and self._executor.exhausted
+        ):
+            # Restart budget spent, no workers left: fail fast with a
+            # clean 503 instead of queueing work that cannot run.
+            self._submitted -= 1
+            self._unavailable += 1
+            self._count_job("unavailable")
+            raise PoolExhausted(
+                "worker restart budget spent and no workers remain"
+            )
         if self._active >= self.max_queue:
             self._submitted -= 1  # rejected, not accepted-then-lost
             self._rejected += 1
@@ -261,6 +332,7 @@ class JobScheduler:
         self._active += 1
         self._count_job("accepted")
         task = asyncio.create_task(self._run(job))
+        job.task = task
         # Keep a strong reference: the event loop only holds weak ones,
         # and a GC'd task would strand the job in "queued" forever.
         self._tasks.add(task)
@@ -289,6 +361,32 @@ class JobScheduler:
             "Job submissions by disposition.",
             ("disposition",),
         )
+        registry.gauge(
+            "ompdart_workers_alive",
+            "Worker processes alive in the supervised pool.",
+            lambda: self._pool_stat("alive"),
+        )
+        registry.gauge(
+            "ompdart_worker_restarts",
+            "Worker respawns consumed from the restart budget.",
+            lambda: self._pool_stat("restarts"),
+        )
+        registry.gauge(
+            "ompdart_job_crash_retries",
+            "Jobs re-dispatched after their worker died.",
+            lambda: self._pool_stat("retries"),
+        )
+        registry.gauge(
+            "ompdart_cancel_kills",
+            "Workers SIGKILLed after the cancel grace period.",
+            lambda: self._pool_stat("cancel_kills"),
+        )
+
+    def _pool_stat(self, name: str) -> int:
+        pool = getattr(self, "_executor", None)
+        if isinstance(pool, SupervisedPool):
+            return int(pool.stats().get(name, 0))
+        return 0
 
     def _count_job(self, disposition: str) -> None:
         if self.metrics is not None:
@@ -300,10 +398,15 @@ class JobScheduler:
 
     def _retry_after(self) -> int:
         """Seconds a 429'd client should back off: roughly one mean
-        job execution, floored at 1s."""
+        job execution, defaulting to ``retry_after_default`` before
+        anything has finished and clamped to ``retry_after_max`` (a
+        run of long suite jobs must not tell clients to vanish for
+        minutes)."""
         if self._run_samples:
-            return max(1, round(self._run_seconds / self._run_samples))
-        return 1
+            estimate = round(self._run_seconds / self._run_samples)
+        else:
+            estimate = self.retry_after_default
+        return max(1, min(self.retry_after_max, estimate))
 
     async def run(self, spec: JobSpec) -> Any:
         """Submit and await in one call (the ``POST /run`` path)."""
@@ -314,69 +417,127 @@ class JobScheduler:
             return job.future.result()
         return await asyncio.shield(job.future)
 
+    def _settle_failure(self, job: Job, exc: BaseException) -> None:
+        if not job.future.done():
+            job.future.set_exception(exc)
+            # Awaiters may come later (POST then poll); don't warn
+            # about unconsumed exceptions in the meantime.
+            job.future.exception()
+
     async def _run(self, job: Job) -> None:
         result: Any = None
         ok = False
-        async with self._sem:
-            job.state = RUNNING
-            job.started_at = time.monotonic()
-            self._wait_seconds += job.started_at - job.submitted_at
-            self._wait_samples += 1
-            loop = asyncio.get_running_loop()
-            try:
+        try:
+            async with self._sem:
+                job.state = RUNNING
+                job.started_at = time.monotonic()
+                self._wait_seconds += job.started_at - job.submitted_at
+                self._wait_samples += 1
+                loop = asyncio.get_running_loop()
+                pool_job = None
                 try:
-                    result = await self._bounded(loop.run_in_executor(
-                        self._executor, execute_job, job.spec
-                    ))
-                except BrokenProcessPool:
-                    # The pool died (worker OOM-killed, fork blocked on
-                    # respawn).  Swap in the thread runtime and retry
-                    # this job on it; genuine job errors (including
-                    # OSErrors raised inside a healthy worker) are not
-                    # BrokenProcessPool and take the failure path below.
-                    self._fall_back_to_threads()
-                    result = await self._bounded(loop.run_in_executor(
-                        self._executor, execute_job, job.spec
-                    ))
-                ok = True
-            except TimeoutError:
-                # Soft timeout: the job fails (awaiters released), the
-                # server carries on.  The worker computation itself
-                # cannot be interrupted; its eventual result is dropped.
-                job.state = FAILED
-                job.error = (
-                    f"job timed out after {self.job_timeout:g}s "
-                    "(soft limit; result discarded)"
-                )
-                self._failed += 1
-                self._timed_out += 1
-                if not job.future.done():
-                    job.future.set_exception(RuntimeError(job.error))
-                    job.future.exception()
-            except asyncio.CancelledError:
-                # Cancellation must propagate (asyncio's protocol); the
-                # job is not "failed", the server is shutting down.
-                job.state = FAILED
-                job.error = "cancelled"
+                    if isinstance(self._executor, SupervisedPool):
+                        # Supervised dispatch: worker crashes retry
+                        # inside the pool; the future settles with the
+                        # result, JobCancelled, PoisonJobError, or
+                        # PoolExhausted — never a broken pool.
+                        pool_job = self._executor.submit_spec(job.spec)
+                        job.pool_job = pool_job
+                        awaitable = asyncio.wrap_future(pool_job.future)
+                    else:
+                        awaitable = loop.run_in_executor(
+                            self._executor, execute_job, job.spec
+                        )
+                    result = await self._bounded(awaitable)
+                    ok = True
+                except TimeoutError:
+                    self._timed_out += 1
+                    if pool_job is not None:
+                        # Hard escalation: SIGINT the worker, SIGKILL
+                        # after the grace period, respawn.  The job is
+                        # *cancelled*, not failed — the computation was
+                        # interrupted, not wrong.
+                        pool_job.cancel(self.cancel_grace)
+                        job.state = CANCELLED
+                        job.error = (
+                            f"job timed out after {self.job_timeout:g}s "
+                            f"(cancelled; {self.cancel_grace:g}s kill "
+                            "grace)"
+                        )
+                        self._cancelled += 1
+                        self._count_job("cancelled")
+                        self._settle_failure(job, JobCancelled(job.error))
+                    else:
+                        # Thread runtime: soft timeout only — the job
+                        # fails, awaiters are released, but the thread
+                        # cannot be interrupted; its result is dropped.
+                        job.state = FAILED
+                        job.error = (
+                            f"job timed out after {self.job_timeout:g}s "
+                            "(soft limit; result discarded)"
+                        )
+                        self._failed += 1
+                        self._settle_failure(job, RuntimeError(job.error))
+                except JobCancelled as exc:
+                    job.state = CANCELLED
+                    job.error = str(exc) or "job cancelled"
+                    self._cancelled += 1
+                    self._count_job("cancelled")
+                    self._settle_failure(job, exc)
+                except PoisonJobError as exc:
+                    # The job killed its worker past the retry bound:
+                    # quarantined, never dispatched again (resubmits
+                    # start a fresh job with a fresh attempt budget).
+                    job.state = FAILED
+                    job.error = f"poison: {exc}"
+                    self._failed += 1
+                    self._poisoned += 1
+                    self._count_job("poisoned")
+                    self._settle_failure(job, RuntimeError(job.error))
+                except PoolExhausted as exc:
+                    job.state = FAILED
+                    job.error = f"worker pool exhausted: {exc}"
+                    self._failed += 1
+                    self._unavailable += 1
+                    self._count_job("unavailable")
+                    self._settle_failure(job, exc)
+                except asyncio.CancelledError:
+                    raise  # accounted for by the outer handler
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    job.state = FAILED
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    self._failed += 1
+                    self._settle_failure(
+                        job,
+                        RuntimeError(job.error)
+                        if not isinstance(exc, Exception) else exc,
+                    )
                 job.finished_at = time.monotonic()
                 self._active -= 1
+        except asyncio.CancelledError:
+            # The driving task was cancelled: DELETE on a queued job
+            # (still waiting at the semaphore), the thread runtime's
+            # best-effort cancel, or loop teardown.  Settle the job as
+            # cancelled; propagate per asyncio protocol.
+            if job.finished_at is None:
+                job.state = CANCELLED
+                job.error = "job cancelled"
+                self._cancelled += 1
+                self._count_job("cancelled")
+                if job.pool_job is not None:
+                    job.pool_job.cancel(self.cancel_grace)
+                self._settle_failure(job, JobCancelled(job.error))
+                job.finished_at = time.monotonic()
+                self._active -= 1
+            elif ok:
+                # Cancelled at the semaphore-exit await, after the job
+                # already completed: finish it normally.
+                job.state = DONE
+                self._executed += 1
                 if not job.future.done():
-                    job.future.cancel()
-                raise
-            except BaseException as exc:  # noqa: BLE001 - reported, not leaked
-                job.state = FAILED
-                job.error = f"{type(exc).__name__}: {exc}"
-                self._failed += 1
-                if not job.future.done():
-                    job.future.set_exception(
-                        RuntimeError(job.error) if not isinstance(exc, Exception)
-                        else exc
-                    )
-                    # Awaiters may come later (POST then poll); don't
-                    # warn about unconsumed exceptions in the meantime.
-                    job.future.exception()
-            job.finished_at = time.monotonic()
-            self._active -= 1
+                    job.future.set_result(result)
+            self._record_finish(job)
+            raise
         if ok:
             job.state = DONE
             self._executed += 1
@@ -425,7 +586,7 @@ class JobScheduler:
     def _evict_one(self, key: str) -> None:
         self._finished_order.pop(0)
         job = self._jobs.get(key)
-        if job is None or job.state not in (DONE, FAILED):
+        if job is None or job.state not in SETTLED:
             return  # key was resubmitted and is live again
         del self._jobs[key]
         try:
@@ -442,16 +603,37 @@ class JobScheduler:
         """Did ``key`` hold a finished job that retention dropped?"""
         return key in self._evicted_keys
 
-    def _fall_back_to_threads(self) -> None:
-        if self.executor_kind == "thread":
-            # A concurrent job already swapped the executor; just
-            # retry on the (healthy) thread runtime.
-            return
-        broken = self._executor
-        self._executor = self._make_executor(
-            getattr(broken, "_max_workers", 2), use_processes=False
-        )
-        broken.shutdown(wait=False, cancel_futures=True)
+    # -- cancellation ----------------------------------------------------
+
+    async def cancel(self, key: str, *, grace: float | None = None) -> Job | None:
+        """Hard-cancel the job at ``key`` (the ``DELETE /jobs`` path).
+
+        Running jobs on the supervised runtime get SIGINT, then SIGKILL
+        after ``grace`` seconds; queued jobs settle immediately; the
+        thread runtime cancels best-effort (the computation itself
+        cannot be interrupted).  Waits (bounded) for the job to settle
+        so the caller can serve the final envelope.  Returns ``None``
+        for unknown keys; a job already settled is returned unchanged —
+        the caller distinguishes that case (409) by checking the state
+        before calling.
+        """
+        job = self._jobs.get(key)
+        if job is None:
+            return None
+        if job.state in SETTLED:
+            return job
+        grace = self.cancel_grace if grace is None else max(0.0, grace)
+        if job.pool_job is not None:
+            job.pool_job.cancel(grace)
+        elif job.task is not None:
+            job.task.cancel()
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(job.future), grace + 2.0
+            )
+        except Exception:  # noqa: BLE001 - JobCancelled/timeout expected;
+            pass  # the envelope reports the outcome either way
+        return job
 
     def get(self, key: str) -> Job | None:
         return self._jobs.get(key)
@@ -473,6 +655,9 @@ class JobScheduler:
             "rejected": self._rejected,
             "evicted": self._evicted,
             "timed_out": self._timed_out,
+            "cancelled": self._cancelled,
+            "poisoned": self._poisoned,
+            "unavailable": self._unavailable,
             "queue_depth": self._active,
             "max_queue": self.max_queue,
             "jobs": states,
@@ -491,8 +676,11 @@ class JobScheduler:
                 "samples": self._run_samples,
             },
         }
+        if isinstance(self._executor, SupervisedPool):
+            out["supervisor"] = self._executor.stats()
         if self._store is not None:
             out["store"] = self._store.stats().as_dict()
+            out["store_health"] = self._store.health()
         return out
 
     # -- lifecycle -------------------------------------------------------

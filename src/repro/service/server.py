@@ -39,7 +39,15 @@ Routes:
   existing job.
 * ``GET  /jobs/<id>``    — job status; ``?wait=1`` blocks until done
   and includes the result, as does polling a finished job.
+* ``DELETE /jobs/<id>``  — hard-cancel: the executing worker gets
+  SIGINT, then SIGKILL after the configured grace period, and the job
+  settles as ``cancelled`` (409 for a job that already settled, 410
+  for an evicted one).
 * ``POST /run``          — submit and await in one round trip.
+
+When the supervised pool's restart budget is spent and no workers
+remain, new submissions answer ``503 Service Unavailable`` — the HTTP
+front itself keeps serving status, stats and retained results.
 
 Job specs are the :mod:`repro.service.core` kinds::
 
@@ -58,7 +66,13 @@ from typing import Any
 
 from .core import spec_from_dict
 from .metrics import MetricsRegistry
-from .scheduler import DONE, FAILED, JobScheduler, QueueSaturated
+from .scheduler import (
+    DONE,
+    SETTLED,
+    JobScheduler,
+    PoolExhausted,
+    QueueSaturated,
+)
 
 __all__ = ["JobServer"]
 
@@ -81,10 +95,12 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    409: "Conflict",
     410: "Gone",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -519,18 +535,27 @@ class JobServer:
             return self._json(202, payload)
         if path.startswith("/jobs/") and method == "GET":
             key = path[len("/jobs/"):]
-            job = self.scheduler.get(key)
-            if job is None:
-                if self.scheduler.was_evicted(key):
-                    raise _HttpError(
-                        410, f"job {key!r} finished and was evicted"
-                    )
-                raise _HttpError(404, f"no job {key!r}")
-            if "wait=1" in query.split("&") and job.state not in (DONE, FAILED):
+            job = self._lookup_job(key)
+            if "wait=1" in query.split("&") and job.state not in SETTLED:
                 try:
                     await asyncio.shield(job.future)
                 except Exception:  # noqa: BLE001 - state carries the error
                     pass
+            return _Response(
+                200, self._job_payload_bytes(job, include_result=True)
+            )
+        if path.startswith("/jobs/") and method == "DELETE":
+            key = path[len("/jobs/"):]
+            job = self._lookup_job(key)
+            if job.state in SETTLED:
+                raise _HttpError(
+                    409, f"job {key!r} already settled ({job.state})"
+                )
+            # Queued jobs settle immediately; a running worker gets
+            # SIGINT, then SIGKILL after the grace period.  cancel()
+            # waits (bounded) for the settle so every DELETE — and
+            # every coalesced waiter — sees the same final envelope.
+            await self.scheduler.cancel(key)
             return _Response(
                 200, self._job_payload_bytes(job, include_result=True)
             )
@@ -545,6 +570,13 @@ class JobServer:
                 except Exception as e:  # noqa: BLE001 - job failure is
                     exc = e  # a response, not a server crash
             if exc is not None:
+                if job.state == "cancelled":
+                    # Every waiter — including duplicates coalesced
+                    # onto the job — gets the same settled envelope.
+                    return _Response(
+                        200,
+                        self._job_payload_bytes(job, include_result=True),
+                    )
                 return self._json(500, {
                     "job": job.key,
                     "state": job.state,
@@ -555,7 +587,19 @@ class JobServer:
             )
         if path in ("/jobs", "/run", "/stats", "/healthz", "/metrics"):
             raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/jobs/"):
+            raise _HttpError(405, f"{method} not allowed on {path}")
         raise _HttpError(404, f"no route {path!r}")
+
+    def _lookup_job(self, key: str):
+        job = self.scheduler.get(key)
+        if job is None:
+            if self.scheduler.was_evicted(key):
+                raise _HttpError(
+                    410, f"job {key!r} finished and was evicted"
+                )
+            raise _HttpError(404, f"no job {key!r}")
+        return job
 
     async def _submit(self, body: bytes):
         """Parse + submit with admission control (429 when saturated)."""
@@ -575,6 +619,10 @@ class JobServer:
                 429, str(exc),
                 headers={"Retry-After": str(exc.retry_after)},
             ) from exc
+        except PoolExhausted as exc:
+            # Worker restart budget spent: degraded, not down — status
+            # and retained results still serve, new work cannot run.
+            raise _HttpError(503, str(exc)) from exc
 
     def _stats(self) -> dict[str, Any]:
         payload = self.scheduler.stats()

@@ -1,0 +1,606 @@
+"""Fault tolerance: deterministic fault plans, the supervised pool's
+crash/retry/poison/cancel machinery, crash-safe store recovery, the
+corrupt-spill quarantine, and the chaos harness's zero-divergence
+contract."""
+
+import asyncio
+import os
+import struct
+import time
+
+import pytest
+
+from repro.pipeline.cache import MISS, ArtifactCache
+from repro.pipeline.store import _SLOT, SharedArtifactStore
+from repro.service.core import PingJobSpec, TransformJobSpec
+from repro.service.faults import (
+    CORRUPT_SPILL,
+    KILL_WORKER,
+    WEDGE,
+    FaultPlan,
+    FaultRule,
+    parse_fault_plan,
+)
+from repro.service.supervisor import (
+    JobCancelled,
+    PoisonJobError,
+    PoolExhausted,
+    SupervisedPool,
+)
+
+SRC = """
+int a[32];
+int main() {
+  a[0] = 1;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 32; i++) a[i] = a[i] + 1;
+  return a[0];
+}
+"""
+
+#: Result fields that legitimately vary run to run.
+_VARYING = ("elapsed_seconds", "timings", "cache_events", "cache_origins")
+
+
+def _scrub(payload):
+    if isinstance(payload, dict):
+        return {
+            k: _scrub(v) for k, v in payload.items() if k not in _VARYING
+        }
+    if isinstance(payload, list):
+        return [_scrub(v) for v in payload]
+    return payload
+
+
+def _pool(workers=1, **kw):
+    try:
+        return SupervisedPool(workers, **kw)
+    except Exception:
+        pytest.skip("process workers unavailable on this host")
+
+
+def _dead_pid():
+    """A pid guaranteed dead: fork a child that exits, reap it."""
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return pid
+
+
+class TestFaultPlan:
+    def test_parse_plan(self):
+        plan = parse_fault_plan(
+            "kill-worker:p=0.05, corrupt-spill:p=0.02", seed=7
+        )
+        assert plan.seed == 7
+        assert plan.rule(KILL_WORKER).probability == 0.05
+        assert plan.rule(CORRUPT_SPILL).probability == 0.02
+        assert plan.rule(WEDGE) is None
+
+    def test_parse_always_and_seconds(self):
+        plan = parse_fault_plan("wedge:p=1:always:s=5")
+        rule = plan.rule(WEDGE)
+        assert rule.always is True
+        assert rule.seconds == 5.0
+
+    def test_parse_rejects_garbage(self):
+        for bad in (
+            "explode:p=1",        # unknown kind
+            "kill-worker",        # missing probability
+            "kill-worker:p=2",    # out of [0, 1]
+            "kill-worker:p=x",    # not a float
+            "kill-worker:p=1:bogus=3",
+            "",                   # empty plan
+        ):
+            with pytest.raises(ValueError):
+                parse_fault_plan(bad)
+
+    def test_decisions_are_deterministic_and_seeded(self):
+        plan = FaultPlan(seed=1, rules=(FaultRule(KILL_WORKER, 0.5),))
+        keys = [f"job-{i}" for i in range(200)]
+        first = [plan.should_fire(KILL_WORKER, k) for k in keys]
+        second = [plan.should_fire(KILL_WORKER, k) for k in keys]
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 actually splits
+        other = FaultPlan(seed=2, rules=(FaultRule(KILL_WORKER, 0.5),))
+        assert first != [other.should_fire(KILL_WORKER, k) for k in keys]
+
+    def test_retries_survive_unless_always(self):
+        transient = FaultPlan(rules=(FaultRule(KILL_WORKER, 1.0),))
+        assert transient.should_fire(KILL_WORKER, "k", attempt=0)
+        assert not transient.should_fire(KILL_WORKER, "k", attempt=1)
+        poison = FaultPlan(
+            rules=(FaultRule(KILL_WORKER, 1.0, always=True),)
+        )
+        assert poison.should_fire(KILL_WORKER, "k", attempt=3)
+
+
+class TestSupervisedPool:
+    def test_killed_worker_respawns_and_job_retries(self):
+        pool = _pool(
+            fault_plan=parse_fault_plan("kill-worker:p=1"),
+            job_retries=1,
+            retry_backoff=0.01,
+        )
+        try:
+            result = pool.submit_spec(
+                PingJobSpec(token="killed")
+            ).future.result(30)
+            assert result["pong"] is True
+            stats = pool.stats()
+            assert stats["crashes"] == 1
+            assert stats["retries"] == 1
+            assert stats["restarts"] == 1
+            assert stats["alive"] == 1  # respawned, still serving
+        finally:
+            pool.shutdown()
+
+    def test_double_killer_is_quarantined_as_poison(self):
+        pool = _pool(
+            fault_plan=parse_fault_plan("kill-worker:p=1:always"),
+            job_retries=1,
+            retry_backoff=0.01,
+        )
+        try:
+            with pytest.raises(PoisonJobError, match="quarantined"):
+                pool.submit_spec(
+                    PingJobSpec(token="poison")
+                ).future.result(30)
+            assert pool.stats()["poisoned"] == 1
+            # The pool survives its poison job: the worker respawns
+            # and the restart budget is nowhere near spent.
+            deadline = time.monotonic() + 10
+            while pool.stats()["alive"] < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.stats()["alive"] == 1
+            assert not pool.exhausted
+        finally:
+            pool.shutdown()
+
+    def test_cooperative_cancel_interrupts_sleeping_worker(self):
+        pool = _pool()
+        try:
+            job = pool.submit_spec(PingJobSpec(token="slow", sleep_s=30))
+            time.sleep(0.3)  # let the worker start sleeping
+            start = time.monotonic()
+            job.cancel(2.0)
+            with pytest.raises(JobCancelled):
+                job.future.result(10)
+            assert time.monotonic() - start < 2.0  # SIGINT, not grace
+            stats = pool.stats()
+            assert stats["cancelled"] == 1
+            assert stats["cancel_kills"] == 0  # worker survived
+            assert stats["alive"] == 1
+        finally:
+            pool.shutdown()
+
+    def test_wedged_worker_is_killed_after_grace(self):
+        pool = _pool(
+            fault_plan=parse_fault_plan("wedge:p=1:s=60"),
+            cancel_grace=0.3,
+        )
+        try:
+            job = pool.submit_spec(PingJobSpec(token="wedged"))
+            time.sleep(0.3)
+            job.cancel(0.3)
+            start = time.monotonic()
+            with pytest.raises(JobCancelled):
+                job.future.result(15)
+            assert time.monotonic() - start < 10.0  # not the 60s wedge
+            assert pool.stats()["cancel_kills"] == 1
+        finally:
+            pool.shutdown()
+
+    def test_restart_budget_exhaustion_fails_fast(self):
+        pool = _pool(
+            fault_plan=parse_fault_plan("kill-worker:p=1:always"),
+            job_retries=0,
+            max_restarts=0,
+        )
+        try:
+            with pytest.raises((PoisonJobError, PoolExhausted)):
+                pool.submit_spec(PingJobSpec(token="boom")).future.result(30)
+            deadline = time.monotonic() + 10
+            while not pool.exhausted and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.exhausted
+            with pytest.raises(PoolExhausted):
+                pool.submit_spec(PingJobSpec(token="next"))
+        finally:
+            pool.shutdown()
+
+
+class TestSchedulerFaults:
+    def test_kill_recovery_is_bit_identical(self, tmp_path):
+        """A transform whose worker dies mid-job retries to the same
+        bytes a fault-free thread run produces."""
+        from repro.service.scheduler import JobScheduler
+
+        spec = TransformJobSpec(source=SRC, filename="a.c")
+
+        async def run():
+            async with JobScheduler(
+                workers=1,
+                use_processes=True,
+                cache_dir=str(tmp_path / "faulted"),
+                fault_plan=parse_fault_plan("kill-worker:p=1"),
+                retry_backoff=0.01,
+            ) as sched:
+                if sched.executor_kind != "supervised":
+                    pytest.skip("process workers unavailable")
+                faulted = await sched.run(spec)
+                supervisor = sched.stats()["supervisor"]
+            async with JobScheduler(
+                workers=1, use_processes=False
+            ) as clean_sched:
+                clean = await clean_sched.run(spec)
+            return faulted, clean, supervisor
+
+        faulted, clean, supervisor = asyncio.run(run())
+        assert supervisor["crashes"] == 1
+        assert _scrub(faulted) == _scrub(clean)
+
+    def test_poison_job_fails_with_quarantine_error(self):
+        from repro.service.scheduler import JobScheduler
+
+        async def run():
+            async with JobScheduler(
+                workers=1,
+                use_processes=True,
+                fault_plan=parse_fault_plan("kill-worker:p=1:always"),
+                job_retries=1,
+                retry_backoff=0.01,
+            ) as sched:
+                if sched.executor_kind != "supervised":
+                    pytest.skip("process workers unavailable")
+                job = await sched.submit(PingJobSpec(token="poison"))
+                with pytest.raises(Exception):
+                    await asyncio.shield(job.future)
+                assert job.state == "failed"
+                assert job.error.startswith("poison:")
+                assert sched.stats()["poisoned"] == 1
+
+        asyncio.run(run())
+
+    def test_timeout_hard_cancels_on_supervised_runtime(self):
+        from repro.service.scheduler import JobScheduler
+
+        async def run():
+            async with JobScheduler(
+                workers=1,
+                use_processes=True,
+                job_timeout=0.3,
+                cancel_grace=0.3,
+            ) as sched:
+                if sched.executor_kind != "supervised":
+                    pytest.skip("process workers unavailable")
+                job = await sched.submit(
+                    PingJobSpec(token="timeout", sleep_s=30)
+                )
+                with pytest.raises(Exception):
+                    await asyncio.shield(job.future)
+                assert job.state == "cancelled"
+                assert "timed out" in job.error
+                assert sched.stats()["timed_out"] == 1
+                assert sched.stats()["cancelled"] == 1
+
+        asyncio.run(run())
+
+    def test_retry_after_default_and_ceiling(self):
+        from repro.service.scheduler import JobScheduler
+
+        sched = JobScheduler(
+            workers=1,
+            use_processes=False,
+            retry_after_default=5,
+            retry_after_max=7,
+        )
+        try:
+            assert sched._retry_after() == 5  # no samples yet
+            sched._run_seconds, sched._run_samples = 100.0, 1
+            assert sched._retry_after() == 7  # clamped to the ceiling
+            sched._run_seconds, sched._run_samples = 3.0, 1
+            assert sched._retry_after() == 3
+        finally:
+            sched._executor.shutdown(wait=False)
+
+
+class TestServerFaultRoutes:
+    @staticmethod
+    async def _request(host, port, method, path, payload=None):
+        from repro.service.loadgen import LoadClient
+
+        client = LoadClient(host, port, keep_alive=False)
+        try:
+            response = await client.request(method, path, payload)
+        finally:
+            await client.aclose()
+        return response.status, response.json()
+
+    def test_delete_cancels_running_job_within_grace(self):
+        from repro.service.scheduler import JobScheduler
+        from repro.service.server import JobServer
+
+        async def run():
+            sched = JobScheduler(
+                workers=1, use_processes=True, cancel_grace=1.0
+            )
+            if sched.executor_kind != "supervised":
+                await sched.aclose()
+                pytest.skip("process workers unavailable")
+            server = JobServer(sched, port=0)
+            host, port = await server.start()
+            try:
+                status, body = await self._request(
+                    host, port, "POST", "/jobs",
+                    {"kind": "ping", "token": "del", "sleep_s": 30},
+                )
+                assert status == 202
+                key = body["job"]
+                await asyncio.sleep(0.3)  # job is executing now
+                start = time.monotonic()
+                status, body = await self._request(
+                    host, port, "DELETE", f"/jobs/{key}"
+                )
+                elapsed = time.monotonic() - start
+                assert status == 200
+                assert body["state"] == "cancelled"
+                assert elapsed < 4.0  # grace + bounded settle, not 30s
+                # Second DELETE: already settled.
+                status, _ = await self._request(
+                    host, port, "DELETE", f"/jobs/{key}"
+                )
+                assert status == 409
+                status, _ = await self._request(
+                    host, port, "DELETE", "/jobs/unknown"
+                )
+                assert status == 404
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_run_returns_cancelled_envelope_to_waiters(self):
+        from repro.service.scheduler import JobScheduler
+        from repro.service.server import JobServer
+
+        async def run():
+            sched = JobScheduler(
+                workers=1, use_processes=True, cancel_grace=1.0
+            )
+            if sched.executor_kind != "supervised":
+                await sched.aclose()
+                pytest.skip("process workers unavailable")
+            server = JobServer(sched, port=0)
+            host, port = await server.start()
+            try:
+                spec = {"kind": "ping", "token": "waiter", "sleep_s": 30}
+                waiter = asyncio.create_task(
+                    self._request(host, port, "POST", "/run", spec)
+                )
+                await asyncio.sleep(0.4)
+                key = PingJobSpec(token="waiter", sleep_s=30).key()
+                status, _ = await self._request(
+                    host, port, "DELETE", f"/jobs/{key}"
+                )
+                assert status == 200
+                status, body = await waiter
+                # Cancellation is an outcome, not a server error: the
+                # coalesced waiter gets the settled envelope.
+                assert status == 200
+                assert body["state"] == "cancelled"
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_exhausted_pool_answers_503(self):
+        from repro.service.scheduler import JobScheduler
+        from repro.service.server import JobServer
+
+        async def run():
+            sched = JobScheduler(
+                workers=1,
+                use_processes=True,
+                fault_plan=parse_fault_plan("kill-worker:p=1:always"),
+                job_retries=0,
+                max_worker_restarts=0,
+            )
+            if sched.executor_kind != "supervised":
+                await sched.aclose()
+                pytest.skip("process workers unavailable")
+            server = JobServer(sched, port=0)
+            host, port = await server.start()
+            try:
+                status, body = await self._request(
+                    host, port, "POST", "/run",
+                    {"kind": "ping", "token": "first"},
+                )
+                assert status in (500, 503)  # poison or raced exhaustion
+                deadline = time.monotonic() + 10
+                while (
+                    not sched._executor.exhausted
+                    and time.monotonic() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+                status, body = await self._request(
+                    host, port, "POST", "/run",
+                    {"kind": "ping", "token": "second"},
+                )
+                assert status == 503
+                assert "restart budget" in body["error"]
+                # The HTTP front itself is still healthy.
+                status, _ = await self._request(host, port, "GET", "/healthz")
+                assert status == 200
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+
+class TestStoreCrashSafety:
+    @pytest.fixture
+    def store(self, tmp_path):
+        store = SharedArtifactStore.create(tmp_path)
+        if store is None:
+            pytest.skip("shared memory unavailable on this host")
+        yield store
+        store.close()
+
+    def test_stale_lock_from_dead_holder_is_rotated(self, store):
+        """Regression: a lockfile flocked by a leaked descriptor and
+        stamped with a dead pid must not wedge the store forever."""
+        import fcntl
+
+        fd = os.open(store._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            dead = _dead_pid()
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, f"{dead}\n".encode(), 0)
+            store.lock_timeout = 0.2
+            start = time.monotonic()
+            store.publish("parse", "k1", 10)  # must not hang
+            assert time.monotonic() - start < 5.0
+            assert store.lock_rotations == 1
+            assert store.lookup("parse", "k1") == (True, False)
+        finally:
+            os.close(fd)
+
+    def test_lock_held_by_live_process_raises_bounded(self, store):
+        import fcntl
+
+        fd = os.open(store._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            # Stamp a live pid (our own): rotation must NOT kick in.
+            os.pwrite(fd, f"{os.getpid()}\n".encode(), 0)
+            store.lock_timeout = 0.2
+            with pytest.raises(OSError, match="held past"):
+                store._acquire_lock()
+            assert store.lock_timeouts == 1
+            assert store.lock_rotations == 0
+            # Fail-soft callers shrug it off.
+            store.publish("parse", "k1", 10)
+            assert store.health()["lock_timeouts"] >= 2
+        finally:
+            os.close(fd)
+
+    def test_reclaim_dead_zeroes_slots_and_sweeps_tmp(self, store, tmp_path):
+        dead = _dead_pid()
+        # A torn index slot left by a dead writer.
+        _SLOT.pack_into(
+            store._shm.buf, store._slot_offset(0), b"\x01" * 16, dead, 1
+        )
+        # An orphaned half-written spill, and a live writer's tmp that
+        # must survive the sweep.
+        (tmp_path / f"parse-abc.{dead}-123.tmp").write_bytes(b"torn")
+        live = tmp_path / f"parse-def.{os.getpid()}-123.tmp"
+        live.write_bytes(b"in progress")
+        out = store.reclaim_dead()
+        assert out["slots"] == 1
+        assert out["tmp_files"] == 1
+        assert live.exists()
+        raw, pid, _gen = struct.unpack_from(
+            "<16sII", store._shm.buf, store._slot_offset(0)
+        )
+        assert pid == 0 and raw == b"\x00" * 16
+        health = store.health()
+        assert health["slots_reclaimed"] == 1
+        assert health["tmp_files_reclaimed"] == 1
+
+
+class TestCacheQuarantine:
+    def test_corrupt_spill_reads_as_miss_and_is_quarantined(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache.put("parse", "k", [1, 2, 3])
+        (spill,) = tmp_path.glob("*.art")
+        spill.write_bytes(spill.read_bytes()[: spill.stat().st_size // 2])
+
+        fresh = ArtifactCache(disk_dir=tmp_path)
+        assert fresh.get("parse", "k") is MISS
+        assert fresh.stats["parse"].corrupt_spills == 1
+        bad = list(tmp_path.glob("*.art.bad"))
+        assert len(bad) == 1  # quarantined, not deleted: evidence
+        assert not list(tmp_path.glob("*.art"))
+
+        # Re-derive + re-spill at the original path heals the cache.
+        fresh.put("parse", "k", [1, 2, 3])
+        healed = ArtifactCache(disk_dir=tmp_path)
+        assert healed.get("parse", "k") == [1, 2, 3]
+        assert healed.stats["parse"].corrupt_spills == 0
+
+
+class TestChaosHarness:
+    def test_small_chaos_run_has_zero_divergence(self):
+        from repro.service.chaos import ChaosConfig, gate_chaos, run_chaos
+
+        config = ChaosConfig(
+            jobs=8,
+            workers=2,
+            clients=2,
+            seed=0,
+            plan="kill-worker:p=0.5,corrupt-spill:p=0.5",
+            distinct_transforms=4,
+            cancel_grace=0.5,
+        )
+        payload = asyncio.run(run_chaos(config))
+        if payload["chaos"].get("executor") != "supervised":
+            pytest.skip("process workers unavailable")
+        problems = gate_chaos(payload)
+        assert problems == []
+        assert payload["divergence_count"] == 0
+        assert payload["chaos"]["states"] == {"done": 8}
+        probe = payload["chaos"]["cancel_probe"]
+        assert probe["state"] == "cancelled"
+        assert probe["cancel_s"] < probe["grace_s"] + 3.0
+
+    def test_gate_flags_missing_faults_and_divergence(self):
+        from repro.service.chaos import gate_chaos
+
+        payload = {
+            "config": {"plan": "kill-worker:p=0.05", "jobs": 200},
+            "divergence_count": 1,
+            "divergences": [{"label": "transform[3]", "kind": "result"}],
+            "chaos": {
+                "executor": "supervised",
+                "server_survived": True,
+                "states": {"done": 199, "failed": 1},
+                "supervisor": {"crashes": 0, "restarts": 0,
+                               "max_restarts": 16},
+            },
+            "reference": {
+                "executor": "supervised",
+                "server_survived": True,
+                "states": {"done": 200},
+            },
+        }
+        problems = gate_chaos(payload)
+        assert any("diverged" in p for p in problems)
+        assert any("not done" in p for p in problems)
+        assert any("injected no worker crashes" in p for p in problems)
+
+    def test_chaos_cli_rejects_bad_plan(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--plan", "explode:p=1"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestServeFaultFlags:
+    def test_serve_parser_fault_defaults(self):
+        from repro.cli import build_serve_arg_parser
+
+        args = build_serve_arg_parser().parse_args([])
+        assert args.job_retries == 1
+        assert args.max_worker_restarts == 16
+        assert args.cancel_grace == 2.0
+        assert args.retry_after_max == 60
+        assert args.fault_inject is None
+
+    def test_serve_rejects_bad_fault_plan(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--fault-inject", "explode:p=1"]) == 2
+        assert "--fault-inject" in capsys.readouterr().err

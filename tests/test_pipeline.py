@@ -249,7 +249,7 @@ class TestBatchDriver:
 
         assert ArtifactCache().prewarm() == 0
 
-    def test_prewarm_respects_limit_and_skips_corrupt(self, tmp_path):
+    def test_prewarm_respects_limit_and_quarantines_corrupt(self, tmp_path):
         from repro.pipeline.cache import ArtifactCache
 
         items = [_variant(i) for i in range(3)]
@@ -259,7 +259,11 @@ class TestBatchDriver:
         assert cache.prewarm(limit=2) <= 2
         cache2 = ArtifactCache(disk_dir=str(tmp_path))
         total = cache2.prewarm()
-        assert total == len(list(tmp_path.glob("*.art"))) - 1
+        # The corrupt spill was quarantined (renamed *.art.bad) by the
+        # first prewarm; every surviving spill loads.
+        assert (tmp_path / "parse-deadbeef.art.bad").exists()
+        assert not (tmp_path / "parse-deadbeef.art").exists()
+        assert total == len(list(tmp_path.glob("*.art")))
 
     def test_worker_init_prewarms(self, tmp_path):
         from repro.pipeline import batch as batch_mod

@@ -125,6 +125,47 @@ class TestScheduler:
 
         asyncio.run(run())
 
+    def test_stats_carry_fault_tolerance_counters(self):
+        async def run():
+            async with _scheduler() as sched:
+                stats = sched.stats()
+                for key in ("cancelled", "poisoned", "unavailable",
+                            "timed_out"):
+                    assert stats[key] == 0
+                # The thread runtime has no supervisor block...
+                assert "supervisor" not in stats
+                await sched.run(TransformJobSpec(source=SRC, filename="a.c"))
+                assert sched.stats()["executed"] == 1
+
+        asyncio.run(run())
+
+    def test_metrics_expose_supervision_gauges(self):
+        async def run():
+            from repro.service.server import JobServer
+
+            server = JobServer(_scheduler(), port=0)
+            host, port = await server.start()
+            try:
+                from repro.service.loadgen import LoadClient
+
+                client = LoadClient(host, port, keep_alive=False)
+                try:
+                    response = await client.request("GET", "/metrics")
+                finally:
+                    await client.aclose()
+                text = response.body.decode()
+                for gauge in (
+                    "ompdart_workers_alive",
+                    "ompdart_worker_restarts",
+                    "ompdart_job_crash_retries",
+                    "ompdart_cancel_kills",
+                ):
+                    assert gauge in text
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
     def test_jobs_share_the_artifact_store(self, tmp_path):
         async def run():
             async with _scheduler(cache_dir=str(tmp_path)) as sched:
