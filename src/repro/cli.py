@@ -250,6 +250,16 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
             "store traffic (cross-worker hits, spill-size reduction)"
         ),
     )
+    parser.add_argument(
+        "--store-url",
+        metavar="URL",
+        help=(
+            "remote artifact store node (an ompdart serve --cache-dir "
+            "instance): local cache misses read through to its "
+            "/artifacts routes and fresh spills publish back "
+            "write-behind; requires --cache-dir"
+        ),
+    )
     _add_platform_arguments(parser)
     parser.add_argument(
         "--simulate",
@@ -298,6 +308,21 @@ def build_suite_arg_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the three-variant output-equivalence check",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help=(
+            "persist per-pass artifacts here (shared across "
+            "workers/runs, like ompdart batch)"
+        ),
+    )
+    parser.add_argument(
+        "--store-url",
+        metavar="URL",
+        help=(
+            "remote artifact store node: cache misses read through, "
+            "fresh spills publish back; requires --cache-dir"
+        ),
     )
     parser.add_argument(
         "--report",
@@ -407,6 +432,29 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         help="execute jobs on in-process threads instead of processes",
     )
     parser.add_argument(
+        "--store-url",
+        metavar="URL",
+        help=(
+            "remote artifact store node backing this server's workers: "
+            "local cache misses read through to its /artifacts routes, "
+            "fresh spills publish back write-behind (a down node "
+            "degrades to local tiers; see /healthz); requires "
+            "--cache-dir"
+        ),
+    )
+    parser.add_argument(
+        "--peer",
+        action="append",
+        default=None,
+        metavar="URL",
+        dest="peers",
+        help=(
+            "fleet peer to route admitted jobs to (repeatable); jobs "
+            "forward to the least-loaded healthy peer and fall back to "
+            "local execution when none is reachable"
+        ),
+    )
+    parser.add_argument(
         "--max-queue", type=int, default=64, metavar="N",
         help=(
             "admission bound: queued+running jobs a new submission may "
@@ -460,7 +508,9 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         help=(
             "deterministic fault plan for testing, e.g. "
             "'kill-worker:p=0.05,corrupt-spill:p=0.02' "
-            "(kinds: kill-worker, corrupt-spill, wedge)"
+            "(kinds: kill-worker, corrupt-spill, wedge, drop-conn, "
+            "slow-peer, corrupt-payload, partition); unknown kinds "
+            "are rejected"
         ),
     )
     parser.add_argument(
@@ -556,6 +606,21 @@ def build_load_arg_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when any mode's p99 exceeds this budget",
     )
     parser.add_argument(
+        "--max-connection-errors", type=int, default=None, metavar="N",
+        help=(
+            "fail when any mode sees more than N connection-level "
+            "failures (refused, reset, closed mid-response)"
+        ),
+    )
+    parser.add_argument(
+        "--max-timeouts", type=int, default=None, metavar="N",
+        help="fail when any mode sees more than N request timeouts",
+    )
+    parser.add_argument(
+        "--max-http-errors", type=int, default=None, metavar="N",
+        help="fail when any mode sees more than N non-2xx responses",
+    )
+    parser.add_argument(
         "--baseline", metavar="PATH",
         help=(
             "gate against a prior ompdart-load-perf artifact: fail on "
@@ -619,10 +684,124 @@ def build_chaos_arg_parser() -> argparse.ArgumentParser:
         help="skip the DELETE-a-running-job probe",
     )
     parser.add_argument(
+        "--store", action="store_true",
+        help=(
+            "boot an in-process remote store node per variant and "
+            "point the workers at it (tests the remote artifact tier)"
+        ),
+    )
+    parser.add_argument(
+        "--kill-store", action="store_true",
+        help=(
+            "abruptly kill the faulted variant's store node halfway "
+            "through: the remote breaker must open and results must "
+            "stay bit-identical (requires --store)"
+        ),
+    )
+    parser.add_argument(
         "--json", dest="json_path", metavar="PATH",
         help="write the ompdart-chaos/1 artifact here",
     )
     return parser
+
+
+def build_store_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart store",
+        description=(
+            "Inspect and garbage-collect an artifact cache directory: "
+            "'stats' prints a per-pass spill census, 'gc' evicts "
+            "spills least-recently-used-first to fit a size budget "
+            "and/or TTL (quarantined .bad files and dead writers' "
+            ".tmp orphans are always swept)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "action", choices=("stats", "gc"),
+        help="stats: spill census; gc: bounded eviction sweep",
+    )
+    parser.add_argument(
+        "--cache-dir", required=True,
+        help="artifact cache directory to inspect/sweep",
+    )
+    parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="gc: evict oldest spills until the directory fits under N",
+    )
+    parser.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="gc: evict spills not rewritten in the last N seconds",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="gc: count what would be evicted without unlinking",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the census/report as JSON here",
+    )
+    return parser
+
+
+def _run_store(argv: list[str]) -> int:
+    args = build_store_arg_parser().parse_args(argv)
+    import json
+
+    from .pipeline.store import gc_spills, spill_stats
+
+    if not os.path.isdir(args.cache_dir):
+        print(
+            f"ompdart store: {args.cache_dir}: not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "stats":
+        census = spill_stats(args.cache_dir)
+        print(
+            f"ompdart store: {census['directory']}: {census['files']} "
+            f"spill(s), {census['bytes']} byte(s), "
+            f"{census['quarantined']} quarantined, {census['tmp']} tmp"
+        )
+        for name, row in census.get("by_pass", {}).items():
+            print(
+                f"  {name:<11s} {row['files']:5d} file(s) "
+                f"{row['bytes']:10d} byte(s)"
+            )
+        payload = census
+    else:
+        if args.max_bytes is None and args.max_age is None:
+            print(
+                "ompdart store: gc needs --max-bytes and/or --max-age "
+                "(otherwise only quarantine/.tmp orphans are swept)",
+                file=sys.stderr,
+            )
+        report = gc_spills(
+            args.cache_dir,
+            max_bytes=args.max_bytes,
+            max_age_s=args.max_age,
+            dry_run=args.dry_run,
+        )
+        verb = "would evict" if args.dry_run else "evicted"
+        print(
+            f"ompdart store: {report.directory}: {verb} "
+            f"{report.evicted_files} of {report.files_scanned} "
+            f"spill(s) ({report.evicted_bytes} byte(s); "
+            f"{report.ttl_evicted} by TTL, {report.size_evicted} by "
+            f"size), swept {report.quarantine_swept} quarantine / "
+            f"{report.tmp_swept} tmp file(s); "
+            f"{report.remaining_files} file(s) / "
+            f"{report.remaining_bytes} byte(s) remain"
+        )
+        payload = report.as_dict()
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    return 0
 
 
 def _run_chaos(argv: list[str]) -> int:
@@ -653,6 +832,8 @@ def _run_chaos(argv: list[str]) -> int:
         job_retries=args.job_retries,
         cancel_grace=args.cancel_grace,
         cancel_probe=not args.no_cancel_probe,
+        store=args.store,
+        kill_store=args.kill_store,
     )
     try:
         payload = asyncio.run(run_chaos(config))
@@ -756,6 +937,9 @@ def _run_load(argv: list[str]) -> int:
         max_p99=args.max_p99,
         baseline=baseline,
         tolerance=args.tolerance,
+        max_connection_errors=args.max_connection_errors,
+        max_timeouts=args.max_timeouts,
+        max_http_errors=args.max_http_errors,
     )
     for problem in problems:
         print(f"REGRESSION {problem}", file=sys.stderr)
@@ -787,8 +971,24 @@ def _run_serve(argv: list[str]) -> int:
                 f"ompdart serve: bad --fault-inject: {exc}", file=sys.stderr
             )
             return 2
+    if args.store_url and not args.cache_dir:
+        print(
+            "ompdart serve: --store-url requires --cache-dir "
+            "(remote artifacts land as local spills)",
+            file=sys.stderr,
+        )
+        return 2
 
     async def _serve() -> int:
+        router = None
+        if args.peers:
+            from .service.fleet import PeerRouter
+
+            try:
+                router = PeerRouter(args.peers)
+            except ValueError as exc:
+                print(f"ompdart serve: bad --peer: {exc}", file=sys.stderr)
+                return 2
         scheduler = JobScheduler(
             workers=args.workers,
             max_concurrency=args.max_jobs,
@@ -804,6 +1004,7 @@ def _run_serve(argv: list[str]) -> int:
             cancel_grace=args.cancel_grace,
             retry_after_max=args.retry_after_max,
             fault_plan=fault_plan,
+            store_url=args.store_url,
         )
         server = JobServer(
             scheduler,
@@ -812,6 +1013,7 @@ def _run_serve(argv: list[str]) -> int:
             read_timeout=args.read_timeout,
             idle_timeout=args.idle_timeout,
             max_requests=args.max_requests,
+            router=router,
         )
         try:
             host, port = await server.start()
@@ -824,6 +1026,12 @@ def _run_serve(argv: list[str]) -> int:
             f"({scheduler.executor_kind} workers, "
             f"max {args.max_jobs} concurrent job(s)"
             + (f", store at {args.cache_dir}" if args.cache_dir else "")
+            + (f", remote store {args.store_url}" if args.store_url else "")
+            + (
+                f", routing to {len(args.peers)} peer(s)"
+                if args.peers
+                else ""
+            )
             + ")",
             file=sys.stderr,
         )
@@ -1047,6 +1255,13 @@ def _run_batch(argv: list[str]) -> int:
 
     macros = _parse_defines(args.defines)
     options = ToolOptions(predefined_macros=macros)
+    if args.store_url and not args.cache_dir:
+        print(
+            "ompdart batch: error: --store-url requires --cache-dir "
+            "(remote artifacts land as local spills)",
+            file=sys.stderr,
+        )
+        return 2
     cache = None
     run_stats = None
     if args.cache_dir and args.jobs <= 1:
@@ -1057,9 +1272,12 @@ def _run_batch(argv: list[str]) -> int:
         cache = ArtifactCache(
             disk_dir=args.cache_dir, measure_baseline=args.report
         )
-    elif args.cache_dir and args.report:
+    if args.cache_dir and args.report and cache is None:
         # Process runs surface pool-wide traffic through the shared
         # store's counters instead.
+        run_stats = BatchRunStats()
+    elif args.store_url and args.report:
+        # Serial remote runs park the driver client's health here.
         run_stats = BatchRunStats()
     outcomes = transform_paths(
         args.inputs,
@@ -1068,6 +1286,7 @@ def _run_batch(argv: list[str]) -> int:
         cache_dir=args.cache_dir,
         cache=cache,
         run_stats=run_stats,
+        store_url=args.store_url,
     )
 
     if args.output_dir:
@@ -1160,11 +1379,47 @@ def _run_batch(argv: list[str]) -> int:
                     stats.bytes_written, stats.baseline_bytes
                 )
             report_cache = ArtifactCache(disk_dir=args.cache_dir)
+        if args.store_url:
+            _print_remote_report(args.store_url, run_stats)
         print(
             f"ompdart: disk cache {args.cache_dir}: "
             f"{report_cache.disk_usage()} byte(s) in spill files"
         )
     return 1 if failures else 0
+
+
+def _print_remote_report(store_url: str, run_stats) -> None:
+    """The --report line for remote-store traffic, from either shape.
+
+    Serial runs hand back the driver client's health dict (singular
+    event names); process runs aggregate workers' counters through the
+    shared store's reserved rows (plural, via ``remote_view``).
+    """
+    remote = None
+    if run_stats is not None:
+        remote = run_stats.remote
+        if remote is None and run_stats.store is not None:
+            from .pipeline.remote import remote_view
+
+            remote = remote_view(run_stats.store.internal)
+    if remote is None:
+        print(f"ompdart: remote store {store_url}: no traffic recorded")
+        return
+
+    def count(*names: str) -> int:
+        return next((int(remote[n]) for n in names if n in remote), 0)
+
+    line = (
+        f"ompdart: remote store {store_url}: "
+        f"{count('hits', 'hit')} remote hit(s), "
+        f"{count('misses', 'miss')} miss(es), "
+        f"{count('puts', 'put')} publish(es), "
+        f"{count('errors', 'error')} error(s)"
+    )
+    degraded = count("degraded")
+    if degraded:
+        line += f", {degraded} degraded op(s) served locally"
+    print(line)
 
 
 def _print_spill_reduction(compact: int, baseline: int) -> None:
@@ -1223,10 +1478,19 @@ def _run_suite(argv: list[str]) -> int:
 
     from .pipeline.batch import BatchWorkerError
 
+    if args.store_url and not args.cache_dir:
+        print(
+            "ompdart suite: --store-url requires --cache-dir "
+            "(remote artifacts land as local spills)",
+            file=sys.stderr,
+        )
+        return 2
     manager = None
-    if args.jobs <= 1:
+    if args.jobs <= 1 and not args.cache_dir:
         # Keep a handle on the shared manager so the JSON artifact can
-        # record the run's per-pass artifact-store traffic.
+        # record the run's per-pass artifact-store traffic.  With a
+        # --cache-dir the runner builds its own disk-backed (and
+        # optionally remote-tiered) runtime instead.
         from .pipeline.manager import PassManager
 
         manager = PassManager()
@@ -1238,6 +1502,8 @@ def _run_suite(argv: list[str]) -> int:
             manager=manager,
             names=names,
             vectorize=not args.no_vectorize,
+            cache_dir=args.cache_dir,
+            store_url=args.store_url,
         )
     except ToolError as exc:
         print(f"ompdart suite: error: {exc}", file=sys.stderr)
@@ -1339,6 +1605,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_load(argv[1:])
     if argv and argv[0] == "chaos":
         return _run_chaos(argv[1:])
+    if argv and argv[0] == "store":
+        return _run_store(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -71,6 +71,9 @@ class BatchRunStats:
     """
 
     store: StoreStats | None = None
+    #: Serial runs with a ``store_url`` park the driver's remote client
+    #: health here (process runs aggregate through ``store`` instead).
+    remote: dict[str, Any] | None = None
 
 
 def _worker_transform(job: tuple[str, str, ToolOptions]) -> BatchOutcome:
@@ -92,6 +95,7 @@ def transform_batch(
     cache_dir: str | None = None,
     manager: PassManager | None = None,
     run_stats: BatchRunStats | None = None,
+    store_url: str | None = None,
 ) -> list[BatchOutcome]:
     """Transform ``(source, filename)`` pairs; results in input order.
 
@@ -104,6 +108,12 @@ def transform_batch(
     ``cache_dir`` to share artifacts between workers instead.  Process
     runs with a cache directory open a shared store for the run;
     ``run_stats`` receives its counters after the pool drains.
+
+    ``store_url`` layers the remote tier on top: lookups that miss
+    locally read through to a store node's ``/artifacts`` routes and
+    fresh spills publish back write-behind.  Requires ``cache_dir``
+    (remote payloads land as local spills); a down store node degrades
+    to the local tiers, it never fails the batch.
     """
     options = options or ToolOptions()
     items = list(items)
@@ -112,16 +122,32 @@ def transform_batch(
             "cache/manager cannot be shared with worker processes; "
             "pass cache_dir for cross-process artifact sharing"
         )
+    if store_url is not None and cache_dir is None:
+        raise ValueError("--store-url requires a cache directory")
     if jobs <= 1 or len(items) <= 1:
         mgr = manager or PassManager(
             cache=cache
             if cache is not None
             else ArtifactCache(disk_dir=cache_dir)
         )
-        return [
-            transform_one(mgr, source, filename, options)
-            for source, filename in items
-        ]
+        remote = None
+        if store_url is not None and mgr.cache.disk_dir is not None:
+            from ..service.core import make_remote_client
+
+            remote = make_remote_client(store_url, None)
+            mgr.cache.remote = remote
+        try:
+            return [
+                transform_one(mgr, source, filename, options)
+                for source, filename in items
+            ]
+        finally:
+            if remote is not None:
+                remote.flush(timeout=5.0)
+                if run_stats is not None:
+                    run_stats.remote = remote.health()
+                mgr.cache.remote = None
+                remote.close()
 
     jobs = min(jobs, len(items))
     payload = [(src, fname, options) for src, fname in items]
@@ -138,6 +164,7 @@ def transform_batch(
             # The baseline double-serialization only pays off when the
             # store exists to carry the counters back to the driver.
             measure_baseline=run_stats is not None and store is not None,
+            store_url=store_url,
         )
         if store is not None and run_stats is not None:
             run_stats.store = store.stats()
@@ -155,6 +182,7 @@ def transform_paths(
     cache_dir: str | None = None,
     cache: ArtifactCache | None = None,
     run_stats: BatchRunStats | None = None,
+    store_url: str | None = None,
 ) -> list[BatchOutcome]:
     """Read files and transform them as one batch (CLI entry point).
 
@@ -176,7 +204,7 @@ def transform_paths(
             )
     results = transform_batch(
         items, options, jobs=jobs, cache_dir=cache_dir, cache=cache,
-        run_stats=run_stats,
+        run_stats=run_stats, store_url=store_url,
     )
     for i, outcome in zip(readable, results):
         outcomes_by_index[i] = outcome

@@ -37,7 +37,7 @@ from typing import Any, Callable, Mapping
 
 from . import artifacts as artifact_schemas
 from .artifacts import ArtifactDecodeError
-from .store import SharedArtifactStore
+from .store import SharedArtifactStore, gc_spills
 
 _LOG = logging.getLogger(__name__)
 
@@ -54,6 +54,11 @@ spill_fault_hook: Callable[[Path], None] | None = None
 ORIGIN_MEMORY = "memory"
 ORIGIN_DISK = "disk"
 ORIGIN_STORE = "store"
+#: Served by a remote store node (cross-machine artifact hit).
+ORIGIN_REMOTE = "remote"
+
+#: Disk puts between opportunistic GC sweeps when a bound is set.
+_GC_EVERY = 32
 
 
 def fingerprint(*parts: Any) -> str:
@@ -113,13 +118,27 @@ class ArtifactCache:
     stats: dict[str, CacheStats] = field(default_factory=dict)
     #: Optional run-wide shared index (batch workers, serve scheduler).
     store: SharedArtifactStore | None = None
+    #: Optional remote tier (:class:`~repro.pipeline.remote
+    #: .RemoteStoreClient`): read-through on local disk misses,
+    #: write-behind on spills.  Any object with ``fetch``/``offer`` —
+    #: typed loosely so the pipeline never imports HTTP machinery
+    #: unless a store URL is actually configured.
+    remote: Any = None
     #: Also compute what the legacy spill format would have written, so
     #: ``--report`` can quote the compact-format reduction on live runs.
     measure_baseline: bool = False
+    #: Size/TTL bounds for the disk spill tier (None = unbounded, the
+    #: historical behavior).  Enforced opportunistically every
+    #: ``_GC_EVERY`` disk puts via :func:`repro.pipeline.store.gc_spills`.
+    max_disk_bytes: int | None = None
+    spill_ttl_s: float | None = None
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
         self._memory: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        self._puts_since_gc = 0
+        self.evicted_spills = 0
+        self.evicted_spill_bytes = 0
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
@@ -159,7 +178,8 @@ class ArtifactCache:
         decoding (the pass manager passes ``ctx.artifacts``); without
         it, spills that need the parse artifact decode as misses.
         Origin is ``"memory"``, ``"disk"``, ``"store"`` (produced by a
-        sibling worker during this run) or ``None`` on a miss.
+        sibling worker during this run), ``"remote"`` (fetched from a
+        remote store node) or ``None`` on a miss.
         """
         skey = artifact_schemas.storage_key(pass_name, key)
         with self._lock:
@@ -168,7 +188,7 @@ class ArtifactCache:
                 self._memory.move_to_end(memory_key)
                 self._stat(pass_name).hits += 1
                 return self._memory[memory_key], ORIGIN_MEMORY
-        value, nbytes, cross = self._disk_get(pass_name, key, skey, deps)
+        value, nbytes, origin = self._disk_get(pass_name, key, skey, deps)
         with self._lock:
             stat = self._stat(pass_name)
             if value is not _MISS:
@@ -179,7 +199,7 @@ class ArtifactCache:
                 stat.misses += 1
         if value is _MISS:
             return _MISS, None
-        return value, ORIGIN_STORE if cross else ORIGIN_DISK
+        return value, origin
 
     def get(
         self,
@@ -205,6 +225,14 @@ class ArtifactCache:
                 stat.baseline_bytes_written += baseline
             if self.store is not None:
                 self.store.publish(pass_name, skey, nbytes, baseline)
+            if self.remote is not None and self.disk_dir is not None:
+                # Write-behind: the publisher thread reads the spill
+                # file at upload time; a down store node costs nothing
+                # here beyond a queue entry.
+                self.remote.offer(
+                    f"{pass_name}-{skey}", self._compact_path(pass_name, skey)
+                )
+            self._maybe_gc()
 
     def _remember(self, pass_name: str, skey: str, value: Any) -> None:
         memory_key = (pass_name, skey)
@@ -337,22 +365,39 @@ class ArtifactCache:
         key: str,
         skey: str,
         deps: Mapping[str, Any] | None,
-    ) -> tuple[Any, int, bool]:
-        """(artifact, bytes read, cross-worker) — or (MISS, 0, False)."""
-        if self.disk_dir is None:
-            return _MISS, 0, False
+    ) -> tuple[Any, int, str | None]:
+        """(artifact, bytes read, origin) — or (MISS, 0, None)."""
+        if self.disk_dir is None and self.remote is None:
+            return _MISS, 0, None
         raw: bytes | None = None
-        src = self._compact_path(pass_name, skey)
-        try:
-            raw = src.read_bytes()
-        except OSError:
-            # Fall back to a spill written by a pre-schema revision
-            # (named by the raw fingerprint, whole-object payload).
-            src = self._disk_path(pass_name, key)
+        src: Path | None = None
+        remote_hit = False
+        if self.disk_dir is not None:
+            src = self._compact_path(pass_name, skey)
             try:
                 raw = src.read_bytes()
             except OSError:
-                return _MISS, 0, False
+                # Fall back to a spill written by a pre-schema revision
+                # (named by the raw fingerprint, whole-object payload).
+                legacy = self._disk_path(pass_name, key)
+                try:
+                    raw = legacy.read_bytes()
+                    src = legacy
+                except OSError:
+                    raw = None
+        if raw is None and self.remote is not None:
+            raw = self.remote.fetch(f"{pass_name}-{skey}")
+            if raw is None:
+                return _MISS, 0, None
+            remote_hit = True
+            if self.disk_dir is not None:
+                # Land the payload locally before decoding: future
+                # lookups stay local, and a corrupt payload rides the
+                # same quarantine path as a torn local spill.
+                src = self._compact_path(pass_name, skey)
+                self._write_spill(src, raw)
+        if raw is None:
+            return _MISS, 0, None
         try:
             value = artifact_schemas.decode_spill(raw, pass_name, deps)
         except ArtifactDecodeError:
@@ -361,15 +406,21 @@ class ArtifactCache:
             # writer was killed mid-spill).  Quarantine so the broken
             # file never costs a second decode attempt and the pass's
             # re-derived artifact can re-spill at the original path.
-            self._quarantine(pass_name, src)
-            return _MISS, 0, False
+            if src is not None:
+                self._quarantine(pass_name, src)
+            else:
+                with self._lock:
+                    self._stat(pass_name).corrupt_spills += 1
+            return _MISS, 0, None
+        if remote_hit:
+            return value, len(raw), ORIGIN_REMOTE
         cross = False
         if self.store is not None:
             # Attribute the hit only after the spill actually served —
             # a vanished or undecodable segment must not inflate the
             # cross-worker counters the batch report gates on.
             _published, cross = self.store.lookup(pass_name, skey)
-        return value, len(raw), cross
+        return value, len(raw), ORIGIN_STORE if cross else ORIGIN_DISK
 
     def _quarantine(self, pass_name: str, path: Path) -> None:
         """Move a corrupt spill aside and count it — never raise."""
@@ -389,21 +440,50 @@ class ArtifactCache:
         if self.disk_dir is None:
             return 0
         path = self._compact_path(pass_name, skey)
+        try:
+            raw = artifact_schemas.encode_spill(pass_name, value)
+        except Exception:  # noqa: BLE001 - unspillable artifacts stay in memory
+            return 0
+        if not self._write_spill(path, raw):
+            return 0
+        hook = spill_fault_hook
+        if hook is not None:
+            hook(path)
+        return len(raw)
+
+    def _write_spill(self, path: Path, raw: bytes) -> bool:
+        """Atomically land spill bytes at ``path`` (tmp + rename)."""
         # Unique tmp name per writer: concurrent batch workers missing on
         # the same key must not truncate each other's half-written spill.
         tmp = path.with_suffix(f".{os.getpid()}-{threading.get_ident()}.tmp")
         try:
-            raw = artifact_schemas.encode_spill(pass_name, value)
             with open(tmp, "wb") as fh:
                 fh.write(raw)
             tmp.replace(path)
-            hook = spill_fault_hook
-            if hook is not None:
-                hook(path)
-            return len(raw)
-        except Exception:  # noqa: BLE001 - unspillable artifacts stay in memory
+            return True
+        except OSError:
             tmp.unlink(missing_ok=True)
-            return 0
+            return False
+
+    def _maybe_gc(self) -> None:
+        """Opportunistic spill eviction once a size/TTL bound is set."""
+        if self.disk_dir is None or (
+            self.max_disk_bytes is None and self.spill_ttl_s is None
+        ):
+            return
+        with self._lock:
+            self._puts_since_gc += 1
+            if self._puts_since_gc < _GC_EVERY:
+                return
+            self._puts_since_gc = 0
+        report = gc_spills(
+            self.disk_dir,
+            max_bytes=self.max_disk_bytes,
+            max_age_s=self.spill_ttl_s,
+        )
+        with self._lock:
+            self.evicted_spills += report.evicted_files
+            self.evicted_spill_bytes += report.evicted_bytes
 
 
 def _group_of(skey: str) -> str:

@@ -59,15 +59,32 @@ try:  # pragma: no cover - present on every supported platform
 except ImportError:  # pragma: no cover - minimal builds
     shared_memory = None  # type: ignore[assignment]
 
-__all__ = ["SharedArtifactStore", "StorePassStats", "StoreStats"]
+__all__ = [
+    "SharedArtifactStore",
+    "SpillGCReport",
+    "StorePassStats",
+    "StoreStats",
+    "gc_spills",
+    "spill_stats",
+]
 
 #: SHM layout: header | counter rows | index slots.
-_HEADER = struct.Struct("<8sII")  # magic, slot count, counter rows
-_MAGIC = b"OMPSTOR1"
+#: The trailing u64 is a monotonically increasing generation counter:
+#: every publish/lookup stamps its slot with the next generation, so
+#: the index can evict least-recently-used entries when a probe window
+#: fills instead of silently dropping new publishes forever.
+_HEADER = struct.Struct("<8sIIQ")  # magic, slot count, counter rows, gen
+_MAGIC = b"OMPSTOR2"
 #: One counter row: pass name (utf-8, padded) + six u64 counters.
 _COUNTER = struct.Struct("<24sQQQQQQ")
 #: One index slot: 16-byte key digest + writer pid + generation.
 _SLOT = struct.Struct("<16sII")
+
+#: Reserved counter-row name for pool-wide index-eviction counts.
+#: Rows whose name starts with ``__`` are internal plumbing (this one,
+#: plus the remote-store rows of :mod:`repro.pipeline.remote`): they
+#: ride the same SHM counter table but stay out of the per-pass stats.
+GC_ROW = "__store_gc__"
 
 _DEFAULT_SLOTS = 4096
 _COUNTER_ROWS = 32
@@ -142,9 +159,15 @@ class StorePassStats:
 
 @dataclass
 class StoreStats:
-    """Pool-wide store counters, keyed by pass name."""
+    """Pool-wide store counters, keyed by pass name.
+
+    Reserved ``__``-prefixed rows (remote-store traffic, index
+    evictions) land in :attr:`internal` so the per-pass aggregates
+    below never mix cache counters with plumbing counters.
+    """
 
     passes: dict[str, StorePassStats] = field(default_factory=dict)
+    internal: dict[str, StorePassStats] = field(default_factory=dict)
 
     @property
     def cross_worker_hits(self) -> int:
@@ -200,6 +223,7 @@ class SharedArtifactStore:
         self.lock_timeouts = 0
         self.lock_rotations = 0
         self.slots_reclaimed = 0
+        self.slots_evicted = 0
         self.tmp_files_reclaimed = 0
 
     # -- lifecycle -------------------------------------------------------
@@ -221,7 +245,7 @@ class SharedArtifactStore:
             return None
         buf = shm.buf
         buf[: size] = b"\x00" * size
-        _HEADER.pack_into(buf, 0, _MAGIC, slots, _COUNTER_ROWS)
+        _HEADER.pack_into(buf, 0, _MAGIC, slots, _COUNTER_ROWS, 0)
         return cls(directory, shm, owner=True, slots=slots)
 
     @classmethod
@@ -243,7 +267,7 @@ class SharedArtifactStore:
         # Explicitly unregistering here instead would double-remove the
         # name and crash the shared tracker at parent exit.
         try:
-            magic, slots, rows = _HEADER.unpack_from(shm.buf, 0)
+            magic, slots, rows, _gen = _HEADER.unpack_from(shm.buf, 0)
         except struct.error:
             shm.close()
             return None
@@ -306,6 +330,20 @@ class SharedArtifactStore:
             except OSError:
                 if time.monotonic() < deadline:
                     time.sleep(_LOCK_POLL)
+                    continue
+                if not self._lock_is_current(fd):
+                    # A concurrent waiter already rotated the file:
+                    # this fd — and the dead-holder stamp readable
+                    # through it — describes the *old* inode.  Acting
+                    # on that stale evidence would unlink the fresh
+                    # lockfile a live contender may now hold, giving
+                    # two processes the "exclusive" lock.  Reopen the
+                    # current path and keep waiting instead.
+                    os.close(fd)
+                    deadline = time.monotonic() + self.lock_timeout
+                    fd = os.open(
+                        self._lock_path, os.O_CREAT | os.O_RDWR, 0o644
+                    )
                     continue
                 if not rotated and self._holder_is_dead(fd):
                     os.close(fd)
@@ -414,7 +452,10 @@ class SharedArtifactStore:
                 name = name_raw.rstrip(b"\x00").decode(errors="replace")
                 if not name:
                     continue
-                out.passes[name] = StorePassStats(
+                bucket = (
+                    out.internal if name.startswith("__") else out.passes
+                )
+                bucket[name] = StorePassStats(
                     hits=hits, misses=misses, writes=writes,
                     cross_worker_hits=cross, bytes_written=nbytes,
                     baseline_bytes=baseline,
@@ -428,6 +469,7 @@ class SharedArtifactStore:
             "lock_timeouts": self.lock_timeouts,
             "lock_rotations": self.lock_rotations,
             "slots_reclaimed": self.slots_reclaimed,
+            "slots_evicted": self.slots_evicted,
             "tmp_files_reclaimed": self.tmp_files_reclaimed,
         }
 
@@ -501,6 +543,34 @@ class SharedArtifactStore:
             _HEADER.size + _COUNTER_ROWS * _COUNTER.size + slot * _SLOT.size
         )
 
+    def _next_gen(self) -> int:
+        """Advance the store-wide generation clock (call under lock).
+
+        Slot generations are u32; the header counter is masked down
+        and skips 0 so a stamped slot is never confused with a zeroed
+        one.  Generations only order recency within one run — 4
+        billion store operations per run is unreachable, so the wrap
+        needs no tie-breaking.
+        """
+        magic, slots, rows, gen = _HEADER.unpack_from(self._shm.buf, 0)
+        gen = (gen + 1) & 0xFFFFFFFF or 1
+        _HEADER.pack_into(self._shm.buf, 0, magic, slots, rows, gen)
+        return gen
+
+    def _oldest_in_window(self, digest: bytes) -> int:
+        """LRU victim slot within the digest's probe window."""
+        start = int.from_bytes(digest[:8], "little") % self._slots
+        best = start
+        best_gen: int | None = None
+        for i in range(_MAX_PROBE):
+            slot = (start + i) % self._slots
+            _raw, _pid, gen = _SLOT.unpack_from(
+                self._shm.buf, self._slot_offset(slot)
+            )
+            if best_gen is None or gen < best_gen:
+                best, best_gen = slot, gen
+        return best
+
     def _probe(self, digest: bytes) -> tuple[int | None, int | None]:
         """(slot holding digest, first free slot) within the probe window."""
         start = int.from_bytes(digest[:8], "little") % self._slots
@@ -540,11 +610,34 @@ class SharedArtifactStore:
         digest = _digest(pass_name, key)
         with self._locked():
             slot, free = self._probe(digest)
-            if slot is None and free is not None:
+            gen = self._next_gen()
+            if slot is not None:
+                # Re-publish: keep the first writer's pid (cross-worker
+                # attribution) but refresh recency.
+                raw, pid, _old = _SLOT.unpack_from(
+                    self._shm.buf, self._slot_offset(slot)
+                )
+                _SLOT.pack_into(
+                    self._shm.buf, self._slot_offset(slot), raw, pid, gen
+                )
+            elif free is not None:
                 _SLOT.pack_into(
                     self._shm.buf, self._slot_offset(free),
-                    digest, self._pid, 1,
+                    digest, self._pid, gen,
                 )
+            else:
+                # Probe window full: evict its least-recently-touched
+                # entry instead of silently dropping this publish (the
+                # pre-GC behavior, under which a long-lived index
+                # stopped admitting new artifacts).  Evicting a hint
+                # is harmless — the disk spill still serves.
+                victim = self._oldest_in_window(digest)
+                _SLOT.pack_into(
+                    self._shm.buf, self._slot_offset(victim),
+                    digest, self._pid, gen,
+                )
+                self.slots_evicted += 1
+                self._bump(GC_ROW, field_index=0)
             self._bump(pass_name, field_index=2)  # writes
             self._bump(pass_name, field_index=4, delta=nbytes)  # bytes
             if baseline:
@@ -571,11 +664,188 @@ class SharedArtifactStore:
             if slot is None:
                 self._bump(pass_name, field_index=1)  # misses
                 return False, False
-            _raw, pid, _gen = _SLOT.unpack_from(
-                self._shm.buf, self._slot_offset(slot)
-            )
+            offset = self._slot_offset(slot)
+            raw, pid, _gen = _SLOT.unpack_from(self._shm.buf, offset)
+            # Touch recency: a looked-up entry is a bad eviction victim.
+            _SLOT.pack_into(self._shm.buf, offset, raw, pid, self._next_gen())
             self._bump(pass_name, field_index=0)  # hits
             cross = pid != self._pid
             if cross:
                 self._bump(pass_name, field_index=3)  # cross-worker hits
             return True, cross
+
+
+# ======================================================================
+# Disk spill GC (``ompdart store gc|stats``)
+# ======================================================================
+
+
+@dataclass
+class SpillGCReport:
+    """What one :func:`gc_spills` sweep saw and removed."""
+
+    directory: str = ""
+    files_scanned: int = 0
+    bytes_scanned: int = 0
+    #: Spills removed because they exceeded ``max_age_s``.
+    ttl_evicted: int = 0
+    #: Spills removed (oldest-first) to fit under ``max_bytes``.
+    size_evicted: int = 0
+    evicted_bytes: int = 0
+    #: ``.bad`` quarantine files swept (always removed).
+    quarantine_swept: int = 0
+    #: Orphaned ``.tmp`` files of dead writers swept (always removed).
+    tmp_swept: int = 0
+    remaining_files: int = 0
+    remaining_bytes: int = 0
+    dry_run: bool = False
+
+    @property
+    def evicted_files(self) -> int:
+        return self.ttl_evicted + self.size_evicted
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "directory": self.directory,
+            "files_scanned": self.files_scanned,
+            "bytes_scanned": self.bytes_scanned,
+            "evicted_files": self.evicted_files,
+            "ttl_evicted": self.ttl_evicted,
+            "size_evicted": self.size_evicted,
+            "evicted_bytes": self.evicted_bytes,
+            "quarantine_swept": self.quarantine_swept,
+            "tmp_swept": self.tmp_swept,
+            "remaining_files": self.remaining_files,
+            "remaining_bytes": self.remaining_bytes,
+            "dry_run": self.dry_run,
+        }
+
+
+def gc_spills(
+    directory: str | Path,
+    *,
+    max_bytes: int | None = None,
+    max_age_s: float | None = None,
+    now: float | None = None,
+    dry_run: bool = False,
+) -> SpillGCReport:
+    """Size- and TTL-bounded LRU eviction of a cache directory's spills.
+
+    The disk tier of the artifact store grows forever without this:
+    every new input spills its artifacts and nothing ever removes
+    them.  The sweep unlinks, in order:
+
+    1. ``.bad`` quarantine files (already written off as corrupt) and
+       ``.tmp`` orphans whose embedded writer pid is dead — always;
+    2. spills older than ``max_age_s`` (mtime-based TTL);
+    3. then the oldest remaining spills until the directory fits under
+       ``max_bytes``.
+
+    Recency is mtime: the cache rewrites a spill only on re-derive,
+    but prewarm/lookup traffic keeps hot groups young because their
+    passes re-spill whenever inputs change.  ``dry_run`` counts
+    without unlinking.  Fail-soft per file — a racing writer or
+    cleaner never aborts the sweep.
+    """
+    directory = Path(directory)
+    report = SpillGCReport(directory=str(directory), dry_run=dry_run)
+    now = time.time() if now is None else now
+
+    def unlink(path: Path) -> bool:
+        if dry_run:
+            return True
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
+
+    try:
+        entries = list(directory.iterdir())
+    except OSError:
+        return report
+    spills: list[tuple[float, int, Path]] = []
+    for path in entries:
+        name = path.name
+        if name.endswith(".bad"):
+            if unlink(path):
+                report.quarantine_swept += 1
+            continue
+        if name.endswith(".tmp"):
+            pid = _tmp_writer_pid(name)
+            if pid is not None and not _pid_alive(pid):
+                if unlink(path):
+                    report.tmp_swept += 1
+            continue
+        if path.suffix not in (".art", ".pkl"):
+            continue
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        spills.append((stat.st_mtime, stat.st_size, path))
+    report.files_scanned = len(spills)
+    report.bytes_scanned = sum(size for _mtime, size, _path in spills)
+
+    spills.sort()  # oldest first: TTL and LRU walk the same order
+    survivors: list[tuple[float, int, Path]] = []
+    for mtime, size, path in spills:
+        if max_age_s is not None and now - mtime > max_age_s:
+            if unlink(path):
+                report.ttl_evicted += 1
+                report.evicted_bytes += size
+                continue
+        survivors.append((mtime, size, path))
+    if max_bytes is not None:
+        total = sum(size for _mtime, size, _path in survivors)
+        kept: list[tuple[float, int, Path]] = []
+        for mtime, size, path in survivors:
+            if total > max_bytes and unlink(path):
+                report.size_evicted += 1
+                report.evicted_bytes += size
+                total -= size
+                continue
+            kept.append((mtime, size, path))
+        survivors = kept
+    report.remaining_files = len(survivors)
+    report.remaining_bytes = sum(s for _m, s, _p in survivors)
+    return report
+
+
+def spill_stats(directory: str | Path) -> dict[str, object]:
+    """Per-pass spill census of a cache directory (``store stats``)."""
+    directory = Path(directory)
+    by_pass: dict[str, dict[str, int]] = {}
+    files = bytes_total = quarantined = tmp = 0
+    try:
+        entries = list(directory.iterdir())
+    except OSError:
+        entries = []
+    for path in entries:
+        name = path.name
+        if name.endswith(".bad"):
+            quarantined += 1
+            continue
+        if name.endswith(".tmp"):
+            tmp += 1
+            continue
+        if path.suffix not in (".art", ".pkl"):
+            continue
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        pass_name = name.partition("-")[0] or "?"
+        row = by_pass.setdefault(pass_name, {"files": 0, "bytes": 0})
+        row["files"] += 1
+        row["bytes"] += size
+        files += 1
+        bytes_total += size
+    return {
+        "directory": str(directory),
+        "files": files,
+        "bytes": bytes_total,
+        "quarantined": quarantined,
+        "tmp": tmp,
+        "by_pass": dict(sorted(by_pass.items())),
+    }

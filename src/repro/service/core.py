@@ -147,6 +147,9 @@ _WORKER_MANAGERS: dict[str | None, PassManager] = {}
 #: The store this worker attached to at pool startup (if any).
 _WORKER_STORE: SharedArtifactStore | None = None
 
+#: This worker's remote store client (if a --store-url was configured).
+_WORKER_REMOTE: "Any | None" = None
+
 #: (cache_dir, measure_baseline) recorded by the pool initializer so
 #: job entry points find the runtime they were spawned with.
 _WORKER_RUNTIME: tuple[str | None, bool] = (None, False)
@@ -160,16 +163,40 @@ def worker_manager(
     if manager is None:
         cache = ArtifactCache(disk_dir=cache_dir) if cache_dir else ArtifactCache()
         cache.store = _WORKER_STORE
+        cache.remote = _WORKER_REMOTE
         cache.measure_baseline = measure_baseline
         manager = PassManager(cache=cache)
         _WORKER_MANAGERS[cache_dir] = manager
     return manager
 
 
+def make_remote_client(
+    store_url: str | None, store: SharedArtifactStore | None
+) -> "Any | None":
+    """Build one process's remote store client (None when unset).
+
+    When the run has a SHM store, the client's counter events are
+    bound to its reserved ``__remote__`` rows so remote traffic
+    aggregates pool-wide; without one, the client keeps local counters
+    only.  Fail-soft: a malformed URL logs nothing and disables the
+    tier — exactly the degraded mode a down store node produces.
+    """
+    if not store_url:
+        return None
+    from ..pipeline.remote import RemoteStoreClient, store_event_adapter
+
+    on_event = store_event_adapter(store) if store is not None else None
+    try:
+        return RemoteStoreClient(store_url, on_event=on_event)
+    except ValueError:
+        return None
+
+
 def worker_init(
     cache_dir: str | None,
     store_name: str | None = None,
     measure_baseline: bool = False,
+    store_url: str | None = None,
 ) -> None:
     """Pool initializer: attach the shared store, build the manager
     eagerly, and pre-warm its private in-memory cache from ``cache_dir``.
@@ -179,20 +206,27 @@ def worker_init(
     re-fetched from disk per lookup — or, before the disk check,
     re-parsed outright.  With the store attached, artifacts produced by
     *sibling workers during this run* are discovered (and counted) too.
+    With a ``store_url``, lookups that miss locally read through to the
+    remote store node and spills publish back write-behind — the
+    cross-machine tier.
     """
-    global _WORKER_STORE, _WORKER_RUNTIME
+    global _WORKER_STORE, _WORKER_REMOTE, _WORKER_RUNTIME
     _WORKER_RUNTIME = (cache_dir, measure_baseline)
     _WORKER_STORE = (
         SharedArtifactStore.attach(cache_dir, store_name)
         if store_name and cache_dir
         else None
     )
+    if _WORKER_REMOTE is not None:
+        _WORKER_REMOTE.close()
+    _WORKER_REMOTE = make_remote_client(store_url, _WORKER_STORE)
     manager = worker_manager(cache_dir, measure_baseline=measure_baseline)
     # The manager may predate this run (thread runtime reusing the
     # process, or a second scheduler binding the same cache_dir):
     # rebind it to *this* run's store so it never publishes into a
     # closed shared-memory segment from an earlier pool.
     manager.cache.store = _WORKER_STORE
+    manager.cache.remote = _WORKER_REMOTE
     manager.cache.measure_baseline = measure_baseline
     if cache_dir:
         manager.cache.prewarm()
@@ -214,6 +248,7 @@ def open_pool(
     cache_dir: str | None = None,
     store_name: str | None = None,
     measure_baseline: bool = False,
+    store_url: str | None = None,
     prespawn: bool = False,
 ) -> ProcessPoolExecutor:
     """A worker pool wired to the shared runtime (store + pre-warm).
@@ -227,7 +262,7 @@ def open_pool(
     pool = ProcessPoolExecutor(
         max_workers=jobs,
         initializer=worker_init,
-        initargs=(cache_dir, store_name, measure_baseline),
+        initargs=(cache_dir, store_name, measure_baseline, store_url),
     )
     if prespawn:
         try:
@@ -250,6 +285,7 @@ def dispatch_map(
     cache_dir: str | None = None,
     store_name: str | None = None,
     measure_baseline: bool = False,
+    store_url: str | None = None,
 ) -> list[Any]:
     """Order-preserving map — the dispatch seam every driver shares.
 
@@ -283,6 +319,7 @@ def dispatch_map(
         cache_dir=cache_dir,
         store_name=store_name,
         measure_baseline=measure_baseline,
+        store_url=store_url,
     ) as pool:
         results = []
         result_iter = pool.map(fn, items)

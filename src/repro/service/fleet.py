@@ -1,0 +1,251 @@
+"""Fleet job routing for ``ompdart serve --peer`` (frontdoor nodes).
+
+A node started with one or more ``--peer URL`` flags becomes a router:
+``POST /run`` jobs it admits are forwarded to the least-loaded healthy
+peer instead of executing locally.  The design goals mirror the remote
+store client — a down peer must cost latency, never correctness:
+
+* **Health probing.**  A background loop polls every peer's ``/stats``
+  on a fixed interval; the reported queue depth feeds the least-loaded
+  choice and a failed probe marks the peer unhealthy.
+* **Per-peer circuit breakers.**  Forward failures count against the
+  peer's breaker (same :class:`~repro.pipeline.remote.CircuitBreaker`
+  as the store client); an open breaker removes the peer from the
+  candidate set until the probe loop's half-open probe succeeds.
+* **At-most-once re-route.**  A forward that dies at the *transport*
+  level (peer crashed mid-job) is re-routed to a different peer once.
+  An HTTP-level response — including a 500 from a poison job — passes
+  through verbatim: the job *ran*, re-running it elsewhere would
+  double-execute and defeat PR-8's poison quarantine, which this keeps
+  fleet-wide (the poisoned verdict travels back to the client).
+* **Loop-free by construction.**  Every forwarded request carries
+  ``X-Ompdart-Forwarded``; a node that sees the marker always executes
+  locally, so a misconfigured peer ring terminates after one hop.
+* **Local fallback.**  With no healthy peer (or after the re-route
+  budget), the job runs on this node — counted, and surfaced as a
+  degraded-health reason, but never failed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Any
+from urllib.parse import urlsplit
+
+from ..pipeline.remote import CircuitBreaker
+from .loadgen import LoadClient
+
+__all__ = ["PeerRouter"]
+
+#: Hop marker header (the server refuses to re-forward marked requests).
+FORWARDED_HEADER = "X-Ompdart-Forwarded"
+
+
+class _Peer:
+    """One peer's routing state (transport address + health)."""
+
+    def __init__(
+        self, url: str, *, breaker_threshold: int, breaker_cooldown: float
+    ):
+        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+        if parts.scheme != "http":
+            raise ValueError(f"unsupported peer URL scheme {parts.scheme!r}")
+        if not parts.hostname:
+            raise ValueError(f"peer URL {url!r} has no host")
+        self.url = url
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
+        #: Last probed queue depth (None until the first probe lands).
+        self.queue_depth: int | None = None
+        self.healthy = False
+        self.inflight = 0
+        self.forwarded = 0
+        self.errors = 0
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "url": self.url,
+            "healthy": self.healthy,
+            "breaker": self.breaker.state,
+            "breaker_opens": self.breaker.opens,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "forwarded": self.forwarded,
+            "errors": self.errors,
+        }
+
+
+class PeerRouter:
+    """Routes admitted jobs across a fleet of serve peers."""
+
+    def __init__(
+        self,
+        peers: list[str],
+        *,
+        probe_interval: float = 1.0,
+        probe_timeout: float = 2.0,
+        forward_timeout: float = 300.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
+    ):
+        if not peers:
+            raise ValueError("PeerRouter needs at least one peer URL")
+        self.peers = [
+            _Peer(
+                url,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown=breaker_cooldown,
+            )
+            for url in peers
+        ]
+        self.probe_interval = max(0.05, probe_interval)
+        self.probe_timeout = probe_timeout
+        self.forward_timeout = forward_timeout
+        self.forwarded = 0
+        self.rerouted = 0
+        self.local_fallbacks = 0
+        self._probe_task: asyncio.Task | None = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Probe every peer once (so routing works immediately), then
+        keep probing in the background."""
+        await asyncio.gather(*[self._probe(peer) for peer in self.peers])
+        self._probe_task = asyncio.create_task(self._probe_loop())
+
+    async def aclose(self) -> None:
+        self._closed = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._probe_task
+            self._probe_task = None
+
+    # -- health probing --------------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.probe_interval)
+            await asyncio.gather(
+                *[self._probe(peer) for peer in self.peers]
+            )
+
+    async def _probe(self, peer: _Peer) -> None:
+        """One health probe: refresh queue depth, drive the breaker.
+
+        The probe is also what closes an open breaker again —
+        ``allow()`` admits the half-open attempt once the cooldown has
+        passed, and a successful probe records the close.
+        """
+        if not peer.breaker.allow():
+            peer.healthy = False
+            return
+        client = LoadClient(
+            peer.host, peer.port, keep_alive=False,
+            timeout=self.probe_timeout,
+        )
+        try:
+            response = await client.request("GET", "/stats")
+            if response.status != 200:
+                raise ConnectionError(f"/stats answered {response.status}")
+            payload = json.loads(response.body)
+            peer.queue_depth = int(payload.get("queue_depth", 0))
+        except (
+            OSError, ConnectionError, TimeoutError, ValueError,
+            asyncio.IncompleteReadError,
+        ):
+            peer.healthy = False
+            peer.breaker.record_failure()
+        else:
+            peer.healthy = True
+            peer.breaker.record_success()
+        finally:
+            with contextlib.suppress(Exception):
+                await client.aclose()
+
+    # -- routing ---------------------------------------------------------
+
+    def _pick(self, exclude: set[str]) -> _Peer | None:
+        """Least-loaded healthy peer with a closed breaker, or None."""
+        candidates = [
+            peer
+            for peer in self.peers
+            if peer.url not in exclude
+            and peer.healthy
+            and peer.breaker.state == CircuitBreaker.CLOSED
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda p: ((p.queue_depth or 0) + p.inflight, p.url),
+        )
+
+    async def forward(self, body: bytes) -> tuple[int, bytes] | None:
+        """Forward one ``POST /run`` body; None = run it locally.
+
+        Transport death (connect refused, timeout, connection torn
+        mid-response) re-routes to a different peer **once**; any HTTP
+        response — success or failure — is returned verbatim.
+        """
+        tried: set[str] = set()
+        while len(tried) < 2:  # initial attempt + one re-route
+            peer = self._pick(tried)
+            if peer is None:
+                break
+            if tried:
+                self.rerouted += 1
+            tried.add(peer.url)
+            peer.inflight += 1
+            client = LoadClient(
+                peer.host, peer.port, keep_alive=False,
+                timeout=self.forward_timeout,
+                headers={FORWARDED_HEADER: "1"},
+            )
+            try:
+                response = await client.request("POST", "/run", body)
+            except (
+                OSError, ConnectionError, TimeoutError,
+                asyncio.IncompleteReadError,
+            ):
+                peer.errors += 1
+                peer.healthy = False
+                peer.breaker.record_failure()
+                continue
+            finally:
+                peer.inflight -= 1
+                with contextlib.suppress(Exception):
+                    await client.aclose()
+            peer.breaker.record_success()
+            peer.forwarded += 1
+            self.forwarded += 1
+            return response.status, response.body
+        self.local_fallbacks += 1
+        return None
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "forwarded": self.forwarded,
+            "rerouted": self.rerouted,
+            "local_fallbacks": self.local_fallbacks,
+            "peers": [peer.describe() for peer in self.peers],
+        }
+
+    def degraded_reasons(self) -> list[str]:
+        reasons = [
+            f"peer circuit breaker open: {peer.url}"
+            for peer in self.peers
+            if peer.breaker.state != CircuitBreaker.CLOSED
+        ]
+        if self.peers and not any(p.healthy for p in self.peers):
+            reasons.append("no healthy peers (running jobs locally)")
+        return reasons

@@ -95,11 +95,14 @@ class LoadClient:
     """
 
     def __init__(self, host: str, port: int, *, keep_alive: bool = True,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0,
+                 headers: dict[str, str] | None = None):
         self.host = host
         self.port = port
         self.keep_alive = keep_alive
         self.timeout = timeout
+        #: Extra headers on every request (the fleet router's hop marker).
+        self.headers = headers or {}
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -119,10 +122,14 @@ class LoadClient:
 
     def _encode(self, method: str, path: str, body: bytes) -> bytes:
         connection = "keep-alive" if self.keep_alive else "close"
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in self.headers.items()
+        )
         return (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {connection}\r\n\r\n"
         ).encode() + body
 
@@ -294,12 +301,23 @@ class ModeResult:
     p99_s: float
     mean_s: float
     max_s: float
+    #: ``failed`` split by failure class, so a gate can budget each
+    #: separately (a chaos run tolerates dropped connections but not
+    #: server errors, a clean run tolerates neither).
+    connection_errors: int = 0
+    timeouts: int = 0
+    http_errors: int = 0
+    other_errors: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "mode": self.mode,
             "requests": self.requests,
             "failed": self.failed,
+            "connection_errors": self.connection_errors,
+            "timeouts": self.timeouts,
+            "http_errors": self.http_errors,
+            "other_errors": self.other_errors,
             "wall_s": self.wall_s,
             "throughput_rps": self.throughput_rps,
             "p50_s": self.p50_s,
@@ -307,6 +325,21 @@ class ModeResult:
             "mean_s": self.mean_s,
             "max_s": self.max_s,
         }
+
+
+def _failure_category(exc: BaseException) -> str:
+    """Which failure bucket one raised exception lands in.
+
+    ``TimeoutError`` is checked first: since 3.11 ``asyncio.timeout``
+    raises the builtin, which is *not* an ``OSError``, but a socket
+    timeout surfacing as ``socket.timeout`` is both — deadline
+    overruns should count as timeouts either way.
+    """
+    if isinstance(exc, TimeoutError):
+        return "timeouts"
+    if isinstance(exc, (ConnectionError, OSError, asyncio.IncompleteReadError)):
+        return "connection_errors"
+    return "other_errors"
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -318,7 +351,7 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 
 async def _client_stream(
     config: LoadConfig, client_id: int, *, keep_alive: bool,
-    latencies: list[float], failures: list[str],
+    latencies: list[float], failures: list[tuple[str, str]],
 ) -> None:
     """One client's request stream (its slice of the total load)."""
     schedule = _mix_schedule(config.mix)
@@ -373,7 +406,9 @@ async def _client_stream(
                     responses = [await client.request(*batch[0])]
             except Exception as exc:  # noqa: BLE001 - a failed request is
                 # data, not a harness crash
-                failures.append(f"{type(exc).__name__}: {exc}")
+                failures.append(
+                    (_failure_category(exc), f"{type(exc).__name__}: {exc}")
+                )
                 sent += depth
                 await client.aclose()
                 continue
@@ -384,7 +419,9 @@ async def _client_stream(
                 # is what a pipelining client experiences.
                 latencies.append(elapsed / len(responses))
                 if response.status >= 400:
-                    failures.append(f"HTTP {response.status}")
+                    failures.append(
+                        ("http_errors", f"HTTP {response.status}")
+                    )
             sent += depth
     finally:
         await client.aclose()
@@ -393,7 +430,7 @@ async def _client_stream(
 async def _run_mode(config: LoadConfig, mode: str) -> ModeResult:
     keep_alive = mode == "keepalive"
     latencies: list[float] = []
-    failures: list[str] = []
+    failures: list[tuple[str, str]] = []
     start = time.perf_counter()
     await asyncio.gather(*[
         _client_stream(
@@ -405,10 +442,17 @@ async def _run_mode(config: LoadConfig, mode: str) -> ModeResult:
     wall = time.perf_counter() - start
     ordered = sorted(latencies)
     done = len(latencies)
+    by_category: dict[str, int] = {}
+    for category, _detail in failures:
+        by_category[category] = by_category.get(category, 0) + 1
     return ModeResult(
         mode=mode,
         requests=config.requests,
         failed=len(failures),
+        connection_errors=by_category.get("connection_errors", 0),
+        timeouts=by_category.get("timeouts", 0),
+        http_errors=by_category.get("http_errors", 0),
+        other_errors=by_category.get("other_errors", 0),
         wall_s=wall,
         throughput_rps=done / wall if wall > 0 else 0.0,
         p50_s=_percentile(ordered, 0.50),
@@ -490,10 +534,16 @@ def gate_load(
     max_p99: float | None = None,
     baseline: dict[str, Any] | None = None,
     tolerance: float = 0.25,
+    max_connection_errors: int | None = None,
+    max_timeouts: int | None = None,
+    max_http_errors: int | None = None,
 ) -> list[str]:
     """Regression checks over one load artifact; returns failures.
 
-    * any failed request fails the gate;
+    * any failed request fails the gate — unless its failure class has
+      an explicit ``max_*`` budget, in which case that class is judged
+      against its budget instead (a chaos-adjacent run can tolerate a
+      few dropped connections while still failing on any 5xx);
     * ``max_p99`` is an absolute p99 budget (seconds) per mode;
     * against a ``baseline`` artifact, throughput may not drop and p99
       may not rise beyond ``tolerance`` (relative), mode by mode.
@@ -502,10 +552,26 @@ def gate_load(
     modes = payload.get("modes", {})
     if not isinstance(modes, dict) or not modes:
         return [f"artifact has no modes block (schema={payload.get('schema')!r})"]
+    budgets = {
+        "connection_errors": max_connection_errors,
+        "timeouts": max_timeouts,
+        "http_errors": max_http_errors,
+    }
     for mode, result in sorted(modes.items()):
-        failed = result.get("failed", 0)
-        if failed:
-            problems.append(f"{mode}: {failed} failed request(s)")
+        budgeted = 0
+        for category, budget in sorted(budgets.items()):
+            if budget is None:
+                continue
+            count = result.get(category, 0)
+            budgeted += count
+            if count > budget:
+                problems.append(
+                    f"{mode}: {count} {category.replace('_', ' ')} over "
+                    f"budget {budget}"
+                )
+        residual = result.get("failed", 0) - budgeted
+        if residual > 0:
+            problems.append(f"{mode}: {residual} failed request(s)")
         if max_p99 is not None and result.get("p99_s", 0.0) > max_p99:
             problems.append(
                 f"{mode}: p99 {result['p99_s']:.4f}s over budget "
@@ -547,12 +613,20 @@ def render_load(payload: dict[str, Any]) -> str:
         + f", pipeline depth {workload.get('pipeline_depth')}"
     )
     for mode, result in sorted(payload.get("modes", {}).items()):
-        lines.append(
+        line = (
             f"  {mode:<9s} {result['throughput_rps']:8.1f} req/s  "
             f"p50 {result['p50_s'] * 1e3:7.2f}ms  "
             f"p99 {result['p99_s'] * 1e3:7.2f}ms  "
             f"failed {result['failed']}"
         )
+        if result.get("failed"):
+            line += (
+                f" (conn {result.get('connection_errors', 0)}, "
+                f"timeout {result.get('timeouts', 0)}, "
+                f"http {result.get('http_errors', 0)}, "
+                f"other {result.get('other_errors', 0)})"
+            )
+        lines.append(line)
     speedup = payload.get("speedup_x")
     if speedup:
         lines.append(f"  keep-alive speedup over close: {speedup:.2f}x")

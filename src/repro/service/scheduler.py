@@ -32,7 +32,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..pipeline.store import SharedArtifactStore
+from ..pipeline.remote import remote_view
+from ..pipeline.store import GC_ROW, SharedArtifactStore
 from .core import JobSpec, execute_job, spec_to_dict, worker_init
 from .metrics import MetricsRegistry
 from .supervisor import (
@@ -182,8 +183,12 @@ class JobScheduler:
         retry_after_default: int = 2,
         retry_after_max: int = 60,
         fault_plan: Any = None,
+        store_url: str | None = None,
     ):
         self.cache_dir = cache_dir
+        #: Remote store node base URL; workers read through / publish
+        #: write-behind against its ``/artifacts`` routes.
+        self.store_url = store_url
         self.max_concurrency = max(1, max_concurrency)
         #: Admission bound: queued+running jobs a new submission may
         #: not push past (coalescing submissions are always admitted).
@@ -269,6 +274,7 @@ class JobScheduler:
                     cancel_grace=self.cancel_grace,
                     fault_plan=self.fault_plan,
                     store=self._store,
+                    store_url=self.store_url,
                 )
                 self.executor_kind = "supervised"
                 return pool
@@ -279,6 +285,7 @@ class JobScheduler:
         worker_init(
             self.cache_dir,
             self._store.name if self._store is not None else None,
+            store_url=self.store_url,
         )
         self.executor_kind = "thread"
         return ThreadPoolExecutor(
@@ -381,6 +388,29 @@ class JobScheduler:
             "Workers SIGKILLed after the cancel grace period.",
             lambda: self._pool_stat("cancel_kills"),
         )
+        registry.gauge(
+            "ompdart_remote_breaker_open",
+            "1 while the remote-store circuit breaker is open.",
+            lambda: int(self.remote_breaker_open()),
+        )
+        registry.gauge(
+            "ompdart_remote_degraded_ops",
+            "Remote store operations skipped while the breaker was open.",
+            lambda: self._remote_stat("degraded"),
+        )
+        registry.gauge(
+            "ompdart_degraded",
+            "Count of active degraded-health reasons (0 = healthy).",
+            lambda: len(self.degraded_reasons()),
+        )
+
+    def _remote_stat(self, name: str) -> int:
+        if self._store is not None:
+            view = remote_view(self._store.stats().internal)
+            if view is not None:
+                return int(view.get(name, 0))
+        view = self._local_remote_health()
+        return int(view.get(name, 0)) if view is not None else 0
 
     def _pool_stat(self, name: str) -> int:
         pool = getattr(self, "_executor", None)
@@ -679,9 +709,89 @@ class JobScheduler:
         if isinstance(self._executor, SupervisedPool):
             out["supervisor"] = self._executor.stats()
         if self._store is not None:
-            out["store"] = self._store.stats().as_dict()
+            snapshot = self._store.stats()
+            out["store"] = snapshot.as_dict()
             out["store_health"] = self._store.health()
+            gc_row = snapshot.internal.get(GC_ROW)
+            out["store_gc"] = {
+                "slots_evicted": gc_row.hits if gc_row is not None else 0,
+            }
+            remote = remote_view(snapshot.internal)
+            if remote is None and self.store_url:
+                remote = self._local_remote_health()
+            if remote is not None:
+                out["remote"] = remote
+        elif self.store_url:
+            local = self._local_remote_health()
+            if local is not None:
+                out["remote"] = local
+        reasons = self.degraded_reasons()
+        if reasons:
+            out["degraded_reasons"] = reasons
         return out
+
+    def _local_remote_health(self) -> dict[str, Any] | None:
+        """This process's remote-client counters (thread runtime only).
+
+        On the supervised runtime each worker process owns its client
+        and aggregation rides the SHM rows instead; the parent's
+        ``_WORKER_REMOTE`` is then None and this returns None.
+        """
+        from . import core as core_module
+
+        client = core_module._WORKER_REMOTE
+        if client is None:
+            return None
+        health = client.health()
+        return {
+            "hits": health.get("hit", 0),
+            "misses": health.get("miss", 0),
+            "puts": health.get("put", 0),
+            "errors": health.get("error", 0),
+            "breaker_opens": health.get("breaker_opens", 0),
+            "breaker_closes": health.get("breaker_closes", 0),
+            "publish_shed": health.get("publish_shed", 0),
+            "publish_errors": health.get("publish_error", 0),
+            "degraded": health.get("degraded", 0),
+        }
+
+    def remote_breaker_open(self) -> bool:
+        """Is the remote-store circuit breaker open pool-wide?
+
+        "Currently open" is derived from the monotonic open/close
+        counters (opens > closes): worker processes cannot share a
+        state enum, but every transition bumps a SHM counter.
+        """
+        if not self.store_url:
+            return False
+        view: dict[str, Any] | None = None
+        if self._store is not None:
+            view = remote_view(self._store.stats().internal)
+        if view is None:
+            view = self._local_remote_health()
+        if view is None:
+            return False
+        return view["breaker_opens"] > view["breaker_closes"]
+
+    def degraded_reasons(self) -> list[str]:
+        """Why this node is degraded-but-serving (empty = healthy).
+
+        Degraded is not down: jobs still run, but a redundancy layer
+        has been consumed or a remote dependency is being skipped.
+        ``/healthz`` reports these without turning 503.
+        """
+        reasons: list[str] = []
+        if isinstance(self._executor, SupervisedPool):
+            pool = self._executor.stats()
+            if pool.get("exhausted"):
+                reasons.append(
+                    "worker restart budget spent and no workers remain"
+                )
+            elif pool.get("restarts", 0) >= pool.get("max_restarts", 0) > 0:
+                reasons.append("worker restart budget spent")
+        if self.remote_breaker_open():
+            reasons.append("remote store circuit breaker open")
+        return reasons
 
     # -- lifecycle -------------------------------------------------------
 

@@ -86,6 +86,7 @@ def _worker_main(
     store_name: str | None,
     measure_baseline: bool,
     fault_plan,
+    store_url: str | None = None,
 ) -> None:
     """Worker loop: recv a spec, execute, reply; SIGINT = cancel.
 
@@ -102,8 +103,11 @@ def _worker_main(
     except OSError:
         pass
     try:
-        worker_init(cache_dir, store_name, measure_baseline)
+        # Faults first: the network fault hooks must be live before
+        # worker_init builds the remote client (whose prewarm-adjacent
+        # traffic the chaos plans target).
         faults_module.install(fault_plan)
+        worker_init(cache_dir, store_name, measure_baseline, store_url)
     except BaseException as exc:  # noqa: BLE001 - reported to supervisor
         try:
             conn.send(("init-fail", os.getpid(), describe_exception(exc)))
@@ -230,9 +234,11 @@ class SupervisedPool:
         cancel_grace: float = 2.0,
         fault_plan=None,
         store=None,
+        store_url: str | None = None,
     ):
         self.cache_dir = cache_dir
         self.store_name = store_name
+        self.store_url = store_url
         self.measure_baseline = measure_baseline
         self.job_retries = max(0, job_retries)
         self.retry_backoff = max(0.0, retry_backoff)
@@ -609,7 +615,7 @@ class SupervisedPool:
             target=_worker_main,
             args=(
                 child_conn, parent_conn, self.cache_dir, self.store_name,
-                self.measure_baseline, self.fault_plan,
+                self.measure_baseline, self.fault_plan, self.store_url,
             ),
             daemon=True,
         )

@@ -45,7 +45,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..core.tool import OMPDart, ToolOptions, TransformResult
+from ..pipeline.cache import ArtifactCache
 from ..pipeline.manager import PassManager
+from ..pipeline.store import SharedArtifactStore
 from ..service.core import dispatch_map
 from ..runtime.costmodel import CostModel
 from ..runtime.interp import SimulationResult, run_simulation
@@ -353,6 +355,55 @@ def _benchmark_job(
     )
 
 
+def _serial_runtime(
+    manager: PassManager | None,
+    cache_dir: str | None,
+    store_url: str | None,
+) -> "tuple[PassManager, object | None]":
+    """(manager, remote client or None) for a serial suite run.
+
+    A caller-provided manager is used as-is; otherwise the run gets a
+    manager whose cache spills to ``cache_dir`` and — with a
+    ``store_url`` — reads through to / publishes back to a remote
+    store node, exactly like the batch driver's serial path.
+    """
+    if manager is not None:
+        return manager, None
+    cache = (
+        ArtifactCache(disk_dir=cache_dir) if cache_dir else ArtifactCache()
+    )
+    remote = None
+    if store_url and cache_dir:
+        from ..service.core import make_remote_client
+
+        remote = make_remote_client(store_url, None)
+        cache.remote = remote
+    return PassManager(cache=cache), remote
+
+
+def _close_serial_runtime(remote: "object | None") -> None:
+    if remote is not None:
+        remote.flush(timeout=5.0)
+        remote.close()
+
+
+def _dispatch_suite(fn, payload, *, jobs, label, cache_dir, store_url):
+    """Suite fan-out with the shared-store + remote tier attached."""
+    store = (
+        SharedArtifactStore.create(cache_dir) if cache_dir else None
+    )
+    try:
+        return dispatch_map(
+            fn, payload, jobs=jobs, label=label,
+            cache_dir=cache_dir,
+            store_name=store.name if store is not None else None,
+            store_url=store_url,
+        )
+    finally:
+        if store is not None:
+            store.close()
+
+
 def run_all(
     *,
     platform: Platform | str | None = None,
@@ -364,6 +415,8 @@ def run_all(
     names: "list[str] | None" = None,
     concurrent_variants: bool = True,
     vectorize: bool = True,
+    cache_dir: str | None = None,
+    store_url: str | None = None,
 ) -> "dict[str, BenchmarkRun] | SweepResult":
     """Run the full nine-application evaluation (paper section VI).
 
@@ -392,33 +445,40 @@ def run_all(
             names=names,
             concurrent_variants=concurrent_variants,
             vectorize=vectorize,
+            cache_dir=cache_dir,
+            store_url=store_url,
         )
     names = list(names if names is not None else BENCHMARK_ORDER)
     if jobs <= 1:
-        manager = manager or PassManager()
-        return {
-            name: run_benchmark(
-                name,
-                platform=platform,
-                cost_model=cost_model,
-                verify=verify,
-                manager=manager,
-                concurrent_variants=concurrent_variants,
-                vectorize=vectorize,
-            )
-            for name in names
-        }
+        manager, remote = _serial_runtime(manager, cache_dir, store_url)
+        try:
+            return {
+                name: run_benchmark(
+                    name,
+                    platform=platform,
+                    cost_model=cost_model,
+                    verify=verify,
+                    manager=manager,
+                    concurrent_variants=concurrent_variants,
+                    vectorize=vectorize,
+                )
+                for name in names
+            }
+        finally:
+            _close_serial_runtime(remote)
     if manager is not None:
         raise ValueError(
             "a shared manager cannot cross worker processes; "
             "use jobs=1 to share one pass manager"
         )
     machine = cost_model if cost_model is not None else resolve_platform(platform)
-    runs = dispatch_map(
+    runs = _dispatch_suite(
         _benchmark_job,
         [(name, machine, verify, vectorize) for name in names],
         jobs=jobs,
         label=lambda job: f"benchmark {job[0]!r}",
+        cache_dir=cache_dir,
+        store_url=store_url,
     )
     return dict(zip(names, runs))
 
@@ -525,6 +585,8 @@ def run_sweep(
     names: "list[str] | None" = None,
     concurrent_variants: bool = True,
     vectorize: bool = True,
+    cache_dir: str | None = None,
+    store_url: str | None = None,
 ) -> SweepResult:
     """Evaluate the suite across several platforms (Fig. 5/6 sweep).
 
@@ -547,19 +609,22 @@ def run_sweep(
     sweeps = {p.name: PlatformSweep(platform=p) for p in resolved}
 
     if jobs <= 1:
-        manager = manager or PassManager()
-        # Benchmark-outer order keeps each source's artifacts hot in
-        # the cache while every platform consumes them.
-        for name in names:
-            for p in resolved:
-                sweeps[p.name].runs[name] = run_benchmark(
-                    name,
-                    platform=p,
-                    verify=verify,
-                    manager=manager,
-                    concurrent_variants=concurrent_variants,
-                    vectorize=vectorize,
-                )
+        manager, remote = _serial_runtime(manager, cache_dir, store_url)
+        try:
+            # Benchmark-outer order keeps each source's artifacts hot in
+            # the cache while every platform consumes them.
+            for name in names:
+                for p in resolved:
+                    sweeps[p.name].runs[name] = run_benchmark(
+                        name,
+                        platform=p,
+                        verify=verify,
+                        manager=manager,
+                        concurrent_variants=concurrent_variants,
+                        vectorize=vectorize,
+                    )
+        finally:
+            _close_serial_runtime(remote)
         return SweepResult(sweeps=sweeps)
 
     if manager is not None:
@@ -567,11 +632,13 @@ def run_sweep(
             "a shared manager cannot cross worker processes; "
             "use jobs=1 to share one pass manager"
         )
-    per_bench = dispatch_map(
+    per_bench = _dispatch_suite(
         _sweep_job,
         [(name, tuple(resolved), verify, vectorize) for name in names],
         jobs=jobs,
         label=lambda job: f"benchmark {job[0]!r}",
+        cache_dir=cache_dir,
+        store_url=store_url,
     )
     for name, by_platform in zip(names, per_bench):
         for p in resolved:

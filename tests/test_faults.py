@@ -468,6 +468,56 @@ class TestStoreCrashSafety:
         finally:
             os.close(fd)
 
+    def test_two_contenders_rotate_a_dead_lock_exactly_once(
+        self, store, tmp_path
+    ):
+        """Race: two attached handles both time out on the same dead
+        holder's lock.  Exactly one may rotate the lockfile — a double
+        rotation would let both win and tear the index."""
+        import fcntl
+        import threading
+
+        fd = os.open(store._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        handles = []
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            dead = _dead_pid()
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, f"{dead}\n".encode(), 0)
+            for _ in range(2):
+                handle = SharedArtifactStore.attach(tmp_path, store.name)
+                assert handle is not None
+                handle.lock_timeout = 0.2
+                handles.append(handle)
+            barrier = threading.Barrier(2)
+            errors = []
+
+            def contend(handle, key):
+                try:
+                    barrier.wait(timeout=5)
+                    handle.publish("parse", key, 10)
+                except Exception as exc:  # noqa: BLE001 - report to main
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=contend, args=(handle, f"k{i}"))
+                for i, handle in enumerate(handles)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            rotations = sum(handle.lock_rotations for handle in handles)
+            assert rotations == 1
+            # Both publishes landed: nobody's write was torn away.
+            assert store.lookup("parse", "k0") == (True, False)
+            assert store.lookup("parse", "k1") == (True, False)
+        finally:
+            os.close(fd)
+            for handle in handles:
+                handle.close()
+
     def test_lock_held_by_live_process_raises_bounded(self, store):
         import fcntl
 

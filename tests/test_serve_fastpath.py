@@ -75,7 +75,7 @@ class TestKeepAlive:
                 for _ in range(3):
                     response = await client.request("GET", "/healthz")
                     assert response.status == 200
-                    assert response.json() == {"ok": True}
+                    assert response.json() == {"ok": True, "status": "ok"}
                     assert (
                         response.headers.get("connection") == "keep-alive"
                     )
@@ -99,7 +99,7 @@ class TestKeepAlive:
                     ("GET", "/stats", None),
                 ])
                 assert [r.status for r in responses] == [200, 200, 200]
-                assert responses[0].json() == {"ok": True}
+                assert responses[0].json() == {"ok": True, "status": "ok"}
                 assert responses[1].json()["result"]["pong"] is True
                 assert responses[2].json()["http"]["connections"] == 1
             finally:
@@ -161,7 +161,7 @@ class TestKeepAlive:
                 head, _, body = data.partition(b"\r\n\r\n")
                 assert b"200" in head.split(b"\r\n")[0]
                 assert b"Connection: close" in head
-                assert json.loads(body) == {"ok": True}
+                assert json.loads(body) == {"ok": True, "status": "ok"}
             finally:
                 await server.aclose()
 

@@ -191,7 +191,9 @@ class TestServer:
             host, port = await server.start()
             try:
                 status, body = await _request(host, port, "GET", "/healthz")
-                assert (status, body) == (200, {"ok": True})
+                assert status == 200
+                assert body["ok"] is True
+                assert body["status"] == "ok"
 
                 status, body = await _request(
                     host, port, "POST", "/jobs",

@@ -1,10 +1,17 @@
 """Shared cross-process artifact store: SHM index, counters, and the
 batch driver's mid-run cross-worker sharing."""
 
+import os
+
 import pytest
 
 from repro.pipeline.cache import ArtifactCache
-from repro.pipeline.store import SharedArtifactStore
+from repro.pipeline.store import (
+    GC_ROW,
+    SharedArtifactStore,
+    gc_spills,
+    spill_stats,
+)
 
 
 @pytest.fixture
@@ -174,3 +181,122 @@ class TestBatchCrossWorkerSharing:
         assert rc == 0
         out = capsys.readouterr().out
         assert "compact spills" in out and "% smaller" in out
+
+
+class TestSpillGC:
+    """Disk-tier GC: size/TTL LRU eviction behind ``ompdart store gc``."""
+
+    @staticmethod
+    def _spill(directory, name, size, age_s, *, now=1_000_000.0):
+        path = directory / name
+        path.write_bytes(b"x" * size)
+        os.utime(path, (now - age_s, now - age_s))
+        return path
+
+    def test_ttl_evicts_only_spills_past_max_age(self, tmp_path):
+        now = 1_000_000.0
+        old = self._spill(tmp_path, "parse-old.art", 10, 200, now=now)
+        young = self._spill(tmp_path, "parse-new.art", 10, 100, now=now)
+        report = gc_spills(tmp_path, max_age_s=150, now=now)
+        assert report.ttl_evicted == 1
+        assert report.size_evicted == 0
+        assert report.evicted_bytes == 10
+        assert not old.exists() and young.exists()
+        assert report.remaining_files == 1
+        assert report.remaining_bytes == 10
+
+    def test_size_bound_evicts_oldest_first(self, tmp_path):
+        now = 1_000_000.0
+        oldest = self._spill(tmp_path, "parse-a.art", 10, 300, now=now)
+        middle = self._spill(tmp_path, "plan-b.art", 10, 200, now=now)
+        newest = self._spill(tmp_path, "parse-c.art", 10, 100, now=now)
+        report = gc_spills(tmp_path, max_bytes=15, now=now)
+        assert report.size_evicted == 2
+        assert report.evicted_bytes == 20
+        assert not oldest.exists() and not middle.exists()
+        assert newest.exists()
+        assert report.remaining_bytes == 10
+
+    def test_dry_run_counts_without_unlinking(self, tmp_path):
+        now = 1_000_000.0
+        spill = self._spill(tmp_path, "parse-a.art", 10, 300, now=now)
+        report = gc_spills(tmp_path, max_age_s=150, now=now, dry_run=True)
+        assert report.ttl_evicted == 1
+        assert report.dry_run
+        assert spill.exists()  # nothing actually removed
+        assert report.as_dict()["evicted_files"] == 1
+
+    def test_quarantine_and_dead_tmp_always_swept(self, tmp_path):
+        bad = tmp_path / "parse-k.art.bad"
+        bad.write_bytes(b"corrupt")
+        # A dead writer's orphaned tmp, and our own in-progress one.
+        dead_tmp = tmp_path / "parse-k.99999999-1.tmp"
+        dead_tmp.write_bytes(b"torn")
+        live_tmp = tmp_path / f"plan-k.{os.getpid()}-1.tmp"
+        live_tmp.write_bytes(b"in progress")
+        keeper = self._spill(tmp_path, "parse-keep.art", 10, 0)
+        report = gc_spills(tmp_path)  # no bounds: sweep-only
+        assert report.quarantine_swept == 1
+        assert report.tmp_swept == 1
+        assert not bad.exists() and not dead_tmp.exists()
+        assert live_tmp.exists() and keeper.exists()
+        assert report.ttl_evicted == 0 and report.size_evicted == 0
+
+    def test_spill_stats_census_by_pass(self, tmp_path):
+        self._spill(tmp_path, "parse-a.art", 10, 0)
+        self._spill(tmp_path, "parse-b.art", 20, 0)
+        self._spill(tmp_path, "plan-c.art", 5, 0)
+        (tmp_path / "parse-d.art.bad").write_bytes(b"x")
+        (tmp_path / "notes.txt").write_text("ignored")
+        census = spill_stats(tmp_path)
+        assert census["files"] == 3
+        assert census["bytes"] == 35
+        assert census["quarantined"] == 1
+        assert census["by_pass"]["parse"] == {"files": 2, "bytes": 30}
+        assert census["by_pass"]["plan"] == {"files": 1, "bytes": 5}
+
+
+class TestIndexEviction:
+    def test_full_probe_window_evicts_lru_instead_of_dropping(
+        self, tmp_path
+    ):
+        store = SharedArtifactStore.create(tmp_path, slots=4)
+        if store is None:
+            pytest.skip("shared memory unavailable on this host")
+        try:
+            for i in range(4):
+                store.publish("parse", f"k{i}", 10)
+            assert store.slots_evicted == 0
+            # Keep k1..k3 hot so k0 is the coldest entry.
+            for i in range(1, 4):
+                assert store.lookup("parse", f"k{i}") == (True, False)
+            store.publish("parse", "overflow", 10)
+            assert store.slots_evicted == 1
+            assert store.health()["slots_evicted"] == 1
+            internal = store.stats().internal
+            assert internal[GC_ROW].hits == 1  # field 0 = evictions
+            # The new publish is indexed; the cold entry gave its slot.
+            assert store.lookup("parse", "overflow") == (True, False)
+            assert store.lookup("parse", "k0") == (False, False)
+        finally:
+            store.close()
+
+
+class TestCacheGC:
+    def test_put_triggers_opportunistic_gc_once_bounded(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path, max_disk_bytes=1)
+        for i in range(3):
+            cache.put("parse", f"g{i}-s0", list(range(50)))
+        # Below the sweep cadence nothing has run yet...
+        assert cache.evicted_spills == 0
+        cache._puts_since_gc = 31  # fast-forward to the cadence edge
+        cache.put("parse", "trigger-s0", list(range(50)))
+        assert cache.evicted_spills > 0
+        assert cache.evicted_spill_bytes > 0
+
+    def test_unbounded_cache_never_sweeps(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache._puts_since_gc = 31
+        cache.put("parse", "k-s0", [1, 2, 3])
+        assert cache.evicted_spills == 0
+        assert len(list(tmp_path.glob("*.art"))) == 1
