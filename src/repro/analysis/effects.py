@@ -19,10 +19,14 @@ Known libc/libm builtins get precise summaries (``memset`` writes,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..frontend import ast_nodes as A
 from ..frontend.parser import BUILTIN_FUNCTION_NAMES
 from .access import Access, AccessKind, collect_accesses
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fused import FusedPrep
 
 #: Builtins with precise parameter effects: name -> per-arg-index kind.
 #: Absent indices mean "no effect on pointed-to data".
@@ -63,15 +67,57 @@ class FunctionSummary:
 
 
 class InterproceduralAnalysis:
-    """Whole-TU side-effect summaries with call-site resolution."""
+    """Whole-TU side-effect summaries with call-site resolution.
 
-    def __init__(self, tu: A.TranslationUnit):
+    ``prepared`` (a :class:`repro.analysis.fused.FusedPrep`) supplies
+    the definition table, per-function statement lists and call lists
+    from the fused single-walk scan, replacing the per-fixpoint-pass
+    AST re-walks.  With or without it, the per-statement raw facts
+    (collected accesses, owned calls) are memoized across fixpoint
+    passes, and fully-resolved access lists are memoized once the
+    fixpoint converges — the planner re-resolves the same statements
+    many times.  None of the memo state is pickled: the spilled
+    artifact stays byte-identical to the legacy class.
+    """
+
+    def __init__(
+        self, tu: A.TranslationUnit, prepared: "FusedPrep | None" = None
+    ):
         self.tu = tu
         self.summaries: dict[str, FunctionSummary] = {}
         self.global_names: set[str] = {v.name for v in tu.global_vars()}
-        self._definitions = {f.name: f for f in tu.function_definitions()}
+        if prepared is not None:
+            self._definitions = dict(prepared.definitions)
+        else:
+            self._definitions = {f.name: f for f in tu.function_definitions()}
         self.passes_run = 0
+        self._prepared = prepared
+        self._stmt_accesses: dict[int, list[Access]] = {}
+        self._stmt_calls: dict[int, list[A.CallExpr]] = {}
+        self._resolved_memo: dict[int, list[Access]] = {}
+        self._frozen = False
         self._run()
+        self._frozen = True
+
+    def __getstate__(self):
+        # Exactly the legacy attribute set, in legacy insertion order:
+        # the refs-encoded artifact must stay bit-identical whether or
+        # not the fused prep / memo machinery was used.
+        return {
+            "tu": self.tu,
+            "summaries": self.summaries,
+            "global_names": self.global_names,
+            "_definitions": self._definitions,
+            "passes_run": self.passes_run,
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._prepared = None
+        self._stmt_accesses = {}
+        self._stmt_calls = {}
+        self._resolved_memo = {}
+        self._frozen = True  # unpickled analyses have converged
 
     # -- fixpoint ----------------------------------------------------------
 
@@ -91,7 +137,12 @@ class InterproceduralAnalysis:
         """Longest acyclic chain in the call graph, bounding the fixpoint."""
         graph: dict[str, set[str]] = {name: set() for name in self._definitions}
         for name, fn in self._definitions.items():
-            for call in fn.walk_instances(A.CallExpr):
+            calls = (
+                self._prepared.calls.get(name, [])
+                if self._prepared is not None
+                else fn.walk_instances(A.CallExpr)
+            )
+            for call in calls:
                 callee = call.callee_name
                 if callee in self._definitions:
                     graph[name].add(callee)
@@ -123,13 +174,34 @@ class InterproceduralAnalysis:
                 changed |= self._apply_access(summary, param_decls, acc)
         return changed
 
-    @staticmethod
-    def _statements(fn: A.FunctionDecl):
-        for node in fn.walk():
-            if isinstance(node, A.Stmt) and not isinstance(
-                node, (A.CompoundStmt, A.OMPExecutableDirective)
-            ):
-                yield node
+    def _statements(self, fn: A.FunctionDecl):
+        if self._prepared is not None:
+            return self._prepared.statements.get(fn.name, [])
+        return [
+            node
+            for node in fn.walk()
+            if isinstance(node, A.Stmt)
+            and not isinstance(node, (A.CompoundStmt, A.OMPExecutableDirective))
+        ]
+
+    def _raw_accesses(self, stmt: A.Stmt) -> list[Access]:
+        """``collect_accesses(stmt)``, memoized — it is pure per stmt."""
+        memo = self._stmt_accesses
+        cached = memo.get(stmt.node_id)
+        if cached is None:
+            cached = memo[stmt.node_id] = collect_accesses(stmt)
+        return cached
+
+    def _owned_calls(self, stmt: A.Stmt) -> list[A.CallExpr]:
+        """CallExprs evaluated by this CFG node itself, memoized."""
+        memo = self._stmt_calls
+        cached = memo.get(stmt.node_id)
+        if cached is None:
+            cached = []
+            for expr in owned_exprs(stmt):
+                cached.extend(expr.walk_instances(A.CallExpr))
+            memo[stmt.node_id] = cached
+        return cached
 
     def _apply_access(
         self,
@@ -231,9 +303,13 @@ class InterproceduralAnalysis:
         effects of every call in the statement (including effects on
         globals the caller never names).
         """
+        if self._frozen:
+            memo = self._resolved_memo.get(stmt.node_id)
+            if memo is not None:
+                return list(memo)
         out: list[Access] = []
         seen_calls: set[int] = set()
-        for acc in collect_accesses(stmt):
+        for acc in self._raw_accesses(stmt):
             if acc.via_call is not None:
                 kind = self._callee_effect(acc)
                 if kind is not AccessKind.NONE:
@@ -242,18 +318,23 @@ class InterproceduralAnalysis:
                     )
             else:
                 out.append(acc)
-        for expr in owned_exprs(stmt):
-            for call in expr.walk_instances(A.CallExpr):
-                if call.node_id in seen_calls:
-                    continue
-                seen_calls.add(call.node_id)
-                name = call.callee_name
-                if name is None:
-                    continue
-                summary = self.summary_for(name)
-                for gname, kind in summary.global_effects.items():
-                    if kind is not AccessKind.NONE:
-                        out.append(Access(gname, None, kind, None, None, via_call=call))
+        for call in self._owned_calls(stmt):
+            if call.node_id in seen_calls:
+                continue
+            seen_calls.add(call.node_id)
+            name = call.callee_name
+            if name is None:
+                continue
+            summary = self.summary_for(name)
+            for gname, kind in summary.global_effects.items():
+                if kind is not AccessKind.NONE:
+                    out.append(Access(gname, None, kind, None, None, via_call=call))
+        if self._frozen:
+            # Summaries only grow monotonically after convergence (lazy
+            # conservative synthesis), so a post-fixpoint resolution is
+            # stable and safe to memoize.
+            self._resolved_memo[stmt.node_id] = out
+            return list(out)
         return out
 
 

@@ -52,30 +52,54 @@ class Direction(enum.Enum):
         return Space.DEVICE if self is Direction.HTOD else Space.HOST
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class VarState:
-    """Validity of one variable's copies.  Immutable; meet returns new."""
+    """Validity of one variable's copies.  Immutable; meet returns new.
+
+    There are only four possible states, so every operation hands back
+    one of the four module-level instances (:data:`_INTERNED`) — the
+    fixpoint loop churns through millions of meets on large inputs and
+    interning keeps that allocation-free.  Equality is structural with
+    an identity fast path (the hand-written ``__eq__`` below): interned
+    states hit the ``is`` check, while externally-constructed instances
+    still compare by value.
+    """
 
     valid_host: bool = True
     valid_dev: bool = False
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, VarState):
+            return NotImplemented
+        return (
+            self.valid_host == other.valid_host
+            and self.valid_dev == other.valid_dev
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.valid_host, self.valid_dev))
+
     def meet(self, other: "VarState") -> "VarState":
-        return VarState(
+        if self is other:
+            return self
+        return _INTERNED[
             self.valid_host and other.valid_host,
             self.valid_dev and other.valid_dev,
-        )
+        ]
 
     def valid_in(self, space: Space) -> bool:
         return self.valid_host if space is Space.HOST else self.valid_dev
 
     def with_valid(self, space: Space, value: bool) -> "VarState":
         if space is Space.HOST:
-            return VarState(value, self.valid_dev)
-        return VarState(self.valid_host, value)
+            return _INTERNED[bool(value), self.valid_dev]
+        return _INTERNED[self.valid_host, bool(value)]
 
     def after_write(self, space: Space) -> "VarState":
         """A write makes its space the only valid one."""
-        return VarState(space is Space.HOST, space is Space.DEVICE)
+        return ENTRY if space is Space.HOST else _DEVICE_ONLY
 
     def after_weak_write(self, space: Space) -> "VarState":
         """A partial (element) write: the writing space stays/becomes
@@ -88,6 +112,16 @@ class VarState:
 TOP = VarState(True, True)
 #: Boundary state at function entry: host data valid, device empty.
 ENTRY = VarState(True, False)
+#: Device copy valid, host stale (state after a device write).
+_DEVICE_ONLY = VarState(False, True)
+#: Neither copy valid (bottom; reachable only through meets).
+_NEITHER = VarState(False, False)
+_INTERNED: dict[tuple[bool, bool], VarState] = {
+    (True, True): TOP,
+    (True, False): ENTRY,
+    (False, True): _DEVICE_ONLY,
+    (False, False): _NEITHER,
+}
 
 
 @dataclass(frozen=True)
@@ -166,6 +200,11 @@ class ValidityAnalysis:
         self.effects = effects
         self.tracked = tracked
         self._accesses: dict[int, list[Access]] = {}
+        #: (node_id, id(access)) -> guardedness.  The Access objects are
+        #: owned by the ``_accesses`` cache, so their ids are stable for
+        #: this analysis' lifetime; the walk behind the answer is pure,
+        #: and the fixpoint re-applies nodes many times.
+        self._guard_memo: dict[tuple[int, int], bool] = {}
         self._must_execute_heads = self._find_must_execute_heads()
 
     def _find_must_execute_heads(self) -> set[int]:
@@ -215,9 +254,15 @@ class ValidityAnalysis:
         needs: dict[tuple[str, str, int], TransferNeed],
         facts: dict[str, VarFacts] | None,
     ) -> dict[str, VarState]:
+        accesses = self.accesses_of(node)
+        if not accesses:
+            # No tracked accesses: the transfer function is the identity.
+            # Returning ``state`` itself (not a copy) is safe because
+            # fixpoint states are never mutated after they are stored.
+            return state
         space = Space.DEVICE if node.offloaded else Space.HOST
         out = dict(state)
-        for acc in self.accesses_of(node):
+        for acc in accesses:
             var = acc.name
             vs = out.get(var, ENTRY)
             reads = acc.kind.reads
@@ -248,6 +293,15 @@ class ValidityAnalysis:
         return out
 
     def _write_is_guarded(self, node: CFGNode, acc: Access) -> bool:
+        key = (node.node_id, id(acc))
+        cached = self._guard_memo.get(key)
+        if cached is None:
+            cached = self._guard_memo[key] = self._compute_write_guarded(
+                node, acc
+            )
+        return cached
+
+    def _compute_write_guarded(self, node: CFGNode, acc: Access) -> bool:
         """Is this write control-dependent on a branch whose other arm
         does not also write the variable?
 
@@ -293,16 +347,20 @@ class ValidityAnalysis:
     ) -> dict[str, VarState]:
         """Pointwise meet; unvisited (None) inputs contribute TOP."""
         incoming: dict[str, VarState] | None = None
+        tracked = self.tracked
+        top = TOP
         for st in states:
             if st is None:
                 continue
             if incoming is None:
                 incoming = dict(st)
             else:
-                for var in self.tracked:
-                    incoming[var] = incoming.get(var, TOP).meet(st.get(var, TOP))
+                get_in = incoming.get
+                get_st = st.get
+                for var in tracked:
+                    incoming[var] = get_in(var, top).meet(get_st(var, top))
         if incoming is None:
-            return {v: TOP for v in self.tracked}
+            return {v: top for v in tracked}
         return incoming
 
     # -- fixpoint -----------------------------------------------------------------
@@ -314,8 +372,10 @@ class ValidityAnalysis:
         needs: dict[tuple[str, str, int], TransferNeed] = {}
 
         entry_state = {v: ENTRY for v in self.tracked}
+        from collections import deque
+
         order = self.cfg.topological_order()
-        worklist: list[CFGNode] = list(order)
+        worklist: deque[CFGNode] = deque(order)
         in_worklist = set(n.node_id for n in worklist)
         iterations = 0
         limit = max(64, len(nodes) * len(nodes))
@@ -338,15 +398,23 @@ class ValidityAnalysis:
             iterations += 1
             if iterations > limit * 4:  # pragma: no cover - safety valve
                 raise RuntimeError("validity analysis failed to converge")
-            node = worklist.pop(0)
+            node = worklist.popleft()
             in_worklist.discard(node.node_id)
 
             if node is self.cfg.entry:
                 incoming = dict(entry_state)
             else:
-                incoming = self._meet_states(
-                    [pred_out_for(e) for e in node.predecessors]
-                )
+                preds = node.predecessors
+                if len(preds) == 1:
+                    # Single predecessor: the meet is the identity.
+                    # Fixpoint dicts are never mutated once stored, so
+                    # the predecessor's OUT is shared, not copied.
+                    st = pred_out_for(preds[0])
+                    incoming = (
+                        st if st is not None else {v: TOP for v in self.tracked}
+                    )
+                else:
+                    incoming = self._meet_states([pred_out_for(e) for e in preds])
 
             state_in[node] = incoming
             new_out = self._apply_node(node, incoming, needs, None)

@@ -80,6 +80,29 @@ trajectory table (per-variant sim wall time with sparklines)::
     ompdart bench-history benchmarks/suite_a100-pcie4.json run1.json run2.json
     ompdart bench-history *.json --platform a100-pcie4 --benchmarks nw bfs
 
+Profile mode answers "where does the frontend spend its time?" with a
+per-pass / per-phase self-time and allocation table and the
+``ompdart-profile/1`` artifact; ``--profile OUT.json`` on the plain
+run, on batch and on suite records the same breakdown for those
+workloads (aggregate kind, per-pass walls from worker outcomes)::
+
+    ompdart profile input.c
+    ompdart profile input.c --json profile.json --legacy-analysis
+    ompdart input.c --profile profile.json -o out.c
+    ompdart batch src/*.c -j 4 --profile batch_profile.json --report
+    ompdart suite --profile suite_profile.json
+
+Bench-batch mode measures batch transform throughput (files/sec) on a
+deterministic synthetic corpus — seeded identifier-renamed variants of
+the nine benchmarks with a realistic duplicate share — and emits the
+``ompdart-batch-perf/1`` artifact CI gates against a committed
+baseline::
+
+    ompdart bench-batch --count 1000 --seed 0
+    ompdart bench-batch --count 300 -j 4 --json batch_perf.json
+    ompdart bench-batch --count 300 --baseline benchmarks/batch_baseline.json
+    ompdart bench-batch --count 100 --corpus-dir /tmp/corpus  # via disk
+
 Exit codes: 0 success, 1 tool/analysis error, 2 unreadable input or
 bad usage, 3 parse error in ``--dump-ast``/``--dump-cfg``.  Batch mode
 exits 0 only when every input transformed cleanly; suite mode exits 1
@@ -98,8 +121,13 @@ import os
 import sys
 
 from ._version import __version__
+
+# NOTE: nothing heavier than the version string and stdlib is imported
+# at module scope.  The pipeline (``.core.tool``), the simulator and
+# numpy all load lazily inside the command that needs them, so
+# ``ompdart --version`` / ``--help`` and parse-only runs stay fast —
+# tests/test_report_and_cli.py pins this with a cold-start budget.
 from .diagnostics import ToolError
-from .core.tool import OMPDart, ToolOptions
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -152,6 +180,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help=(
             "simulate the program before and after transformation on the "
             "selected --platform and report the modelled speedup"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        dest="profile_path",
+        metavar="PATH",
+        help=(
+            "also run one cold instrumented transform and write its "
+            "per-pass/per-phase ompdart-profile/1 artifact here"
         ),
     )
     return parser
@@ -269,6 +306,15 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
             "selected --platform and append the modelled speedup"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        dest="profile_path",
+        metavar="PATH",
+        help=(
+            "write an aggregate ompdart-profile/1 artifact (per-pass "
+            "wall totals over the inputs that ran) here"
+        ),
+    )
     return parser
 
 
@@ -328,6 +374,107 @@ def build_suite_arg_parser() -> argparse.ArgumentParser:
         "--report",
         action="store_true",
         help="print the full Figure 3-6 tables per platform",
+    )
+    parser.add_argument(
+        "--profile",
+        dest="profile_path",
+        metavar="PATH",
+        help=(
+            "write an aggregate ompdart-profile/1 artifact (per-pass "
+            "transform wall totals over the benchmarks) here"
+        ),
+    )
+    return parser
+
+
+def build_profile_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart profile",
+        description=(
+            "Run one cold, uncached, instrumented transform and print a "
+            "per-pass / per-phase self-time and allocation breakdown "
+            "(lex, macro, parse, analysis, plan, codegen, rewrite)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument("input", help="C source file to profile")
+    parser.add_argument(
+        "-D",
+        dest="defines",
+        action="append",
+        default=[],
+        metavar="NAME[=VALUE]",
+        help="predefine a macro (like the compiler's -D)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the ompdart-profile/1 artifact here",
+    )
+    parser.add_argument(
+        "--legacy-analysis",
+        action="store_true",
+        help=(
+            "profile the legacy multi-traversal analysis passes instead "
+            "of the fused single-walk scan (before/after comparisons)"
+        ),
+    )
+    return parser
+
+
+def build_bench_batch_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdart bench-batch",
+        description=(
+            "Measure batch transform throughput (files/sec) over a "
+            "deterministic synthetic corpus and emit an "
+            "ompdart-batch-perf/1 artifact, optionally gated against a "
+            "committed baseline."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--count", type=int, default=1000, metavar="N",
+        help="synthetic corpus size (default 1000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="corpus seed; same (count, seed) = same corpus (default 0)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial, the gated config)",
+    )
+    parser.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help=(
+            "materialize the corpus here and transform it from disk "
+            "(default: in-memory; disk adds I/O but matches real usage)"
+        ),
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the ompdart-batch-perf/1 artifact here",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help=(
+            "gate against a prior ompdart-batch-perf artifact: fail on "
+            "files/sec regressions beyond --tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2, metavar="FRAC",
+        help="relative regression tolerated vs --baseline (default 0.2)",
+    )
+    parser.add_argument(
+        "--min-files-per-sec", type=float, default=None, metavar="X",
+        help="fail (exit 1) when throughput falls below this floor",
     )
     return parser
 
@@ -1092,6 +1239,7 @@ def _run_dump_kernel(input_arg: str, macros: "dict[str, object]") -> int:
     benchmark name from the evaluation suite, so miscompiles in a suite
     application can be inspected without locating its source on disk.
     """
+    from .pipeline.context import ToolOptions
     from .pipeline.manager import PassManager
 
     filename = input_arg
@@ -1146,6 +1294,82 @@ def _run_dump_kernel(input_arg: str, macros: "dict[str, object]") -> int:
             )
         print()
     return 0
+
+
+def _run_profile(argv: list[str]) -> int:
+    args = build_profile_arg_parser().parse_args(argv)
+    try:
+        with open(args.input, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"ompdart profile: cannot read {args.input}: {exc}",
+              file=sys.stderr)
+        return 2
+    from .pipeline.context import ToolOptions
+    from .report.profile import (
+        profile_source,
+        render_profile,
+        write_profile_json,
+    )
+
+    options = ToolOptions(
+        predefined_macros=_parse_defines(args.defines),
+        legacy_analysis=args.legacy_analysis,
+    )
+    payload = profile_source(source, args.input, options)
+    print(render_profile(payload))
+    if args.json_path:
+        write_profile_json(payload, args.json_path)
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    return 1 if payload["error"] else 0
+
+
+def _run_bench_batch(argv: list[str]) -> int:
+    args = build_bench_batch_arg_parser().parse_args(argv)
+    if args.count < 1 or args.jobs < 1:
+        print(
+            "ompdart bench-batch: --count and --jobs must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.tolerance < 0:
+        print("ompdart bench-batch: --tolerance must be >= 0", file=sys.stderr)
+        return 2
+    from .report.batch_perf import (
+        gate_batch_perf,
+        load_batch_perf,
+        render_batch_perf,
+        run_bench_batch,
+        write_batch_json,
+    )
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_batch_perf(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"ompdart bench-batch: cannot read baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+    payload = run_bench_batch(
+        args.count,
+        seed=args.seed,
+        jobs=args.jobs,
+        corpus_dir=args.corpus_dir,
+    )
+    print(render_batch_perf(payload))
+    if args.json_path:
+        write_batch_json(payload, args.json_path)
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    problems = gate_batch_perf(
+        payload,
+        baseline=baseline,
+        tolerance=args.tolerance,
+        min_files_per_sec=args.min_files_per_sec,
+    )
+    for problem in problems:
+        print(f"REGRESSION {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def _run_suite_diff(argv: list[str]) -> int:
@@ -1252,6 +1476,7 @@ def _run_batch(argv: list[str]) -> int:
     if platform is None:
         return 2
     from .pipeline.batch import BatchRunStats, transform_paths
+    from .pipeline.context import ToolOptions
 
     macros = _parse_defines(args.defines)
     options = ToolOptions(predefined_macros=macros)
@@ -1279,6 +1504,9 @@ def _run_batch(argv: list[str]) -> int:
     elif args.store_url and args.report:
         # Serial remote runs park the driver client's health here.
         run_stats = BatchRunStats()
+    import time
+
+    batch_start = time.perf_counter()
     outcomes = transform_paths(
         args.inputs,
         options,
@@ -1288,6 +1516,7 @@ def _run_batch(argv: list[str]) -> int:
         run_stats=run_stats,
         store_url=args.store_url,
     )
+    batch_wall = time.perf_counter() - batch_start
 
     if args.output_dir:
         os.makedirs(args.output_dir, exist_ok=True)
@@ -1309,6 +1538,11 @@ def _run_batch(argv: list[str]) -> int:
             f"({hits}/{len(outcome.cache_events)} passes cached)"
         )
         if args.report:
+            if outcome.deduped_from:
+                print(
+                    "  deduplicated: identical content, result shared "
+                    f"from {outcome.deduped_from}"
+                )
             for name, seconds in outcome.timings.items():
                 event = outcome.cache_events.get(name, "uncached")
                 print(f"  {name:<11s} {seconds * 1e3:8.3f}ms  [{event}]")
@@ -1385,6 +1619,29 @@ def _run_batch(argv: list[str]) -> int:
             f"ompdart: disk cache {args.cache_dir}: "
             f"{report_cache.disk_usage()} byte(s) in spill files"
         )
+    deduped = sum(1 for o in outcomes if o.deduped_from)
+    if args.report and deduped:
+        print(
+            f"ompdart: batch dedup: {len(outcomes) - deduped} unique "
+            f"input(s), {deduped} duplicate(s) served from a "
+            "representative's result"
+        )
+    if args.profile_path:
+        from .report.profile import (
+            aggregate_profile,
+            render_profile,
+            write_profile_json,
+        )
+
+        payload = aggregate_profile(
+            (o.timings for o in outcomes if o.timings and not o.deduped_from),
+            [o.filename for o in outcomes],
+            wall_s=batch_wall,
+        )
+        write_profile_json(payload, args.profile_path)
+        print(f"wrote {args.profile_path}", file=sys.stderr)
+        if args.report:
+            print(render_profile(payload))
     return 1 if failures else 0
 
 
@@ -1562,6 +1819,20 @@ def _run_suite(argv: list[str]) -> int:
             store_stats=manager.cache.stats if manager is not None else None,
         )
         print(f"wrote {args.json_path}", file=sys.stderr)
+    if args.profile_path:
+        from .report.profile import aggregate_profile, write_profile_json
+
+        # The transform is platform-independent; the first platform's
+        # sweep carries every benchmark's per-pass transform walls.
+        first = next(iter(sweep))
+        write_profile_json(
+            aggregate_profile(
+                (run.transform.pass_timings for run in first.runs.values()),
+                list(first.runs),
+            ),
+            args.profile_path,
+        )
+        print(f"wrote {args.profile_path}", file=sys.stderr)
     return 0
 
 
@@ -1607,6 +1878,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_chaos(argv[1:])
     if argv and argv[0] == "store":
         return _run_store(argv[1:])
+    if argv and argv[0] == "profile":
+        return _run_profile(argv[1:])
+    if argv and argv[0] == "bench-batch":
+        return _run_bench_batch(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -1625,9 +1900,6 @@ def main(argv: list[str] | None = None) -> int:
         # Resolves its own input (file or suite benchmark name) — the
         # generic "readable file" requirement below does not apply.
         return _run_dump_kernel(args.input, _parse_defines(args.defines))
-    platform = _resolve_platform_arg(args.platform)
-    if platform is None:
-        return 2
     try:
         with open(args.input, "r", encoding="utf-8") as fh:
             source = fh.read()
@@ -1638,6 +1910,8 @@ def main(argv: list[str] | None = None) -> int:
     macros = _parse_defines(args.defines)
 
     if args.dump_ast or args.dump_cfg:
+        # Parse-only: never touches the planner or simulator modules
+        # (and so never validates --platform, which it does not use).
         from .frontend import dump_ast, parse_source
 
         try:
@@ -1655,6 +1929,22 @@ def main(argv: list[str] | None = None) -> int:
             for name, astcfg in build_astcfgs(tu).items():
                 print(astcfg_to_dot(astcfg))
         return 0
+
+    platform = _resolve_platform_arg(args.platform)
+    if platform is None:
+        return 2
+    from .core.tool import OMPDart, ToolOptions
+
+    if args.profile_path:
+        from .report.profile import profile_source, write_profile_json
+
+        write_profile_json(
+            profile_source(
+                source, args.input, ToolOptions(predefined_macros=macros)
+            ),
+            args.profile_path,
+        )
+        print(f"wrote {args.profile_path}", file=sys.stderr)
 
     tool = OMPDart(ToolOptions(predefined_macros=macros))
     try:

@@ -6,6 +6,25 @@ from ..diagnostics import Diagnostic, Severity
 from ..frontend import ast_nodes as A
 
 
+def data_management_diagnostic(node: A.OMPExecutableDirective) -> Diagnostic:
+    """The constraint-violation diagnostic for one offending directive.
+
+    Shared by the legacy whole-walk check below and the fused
+    single-walk scan (:mod:`repro.analysis.fused`) so both paths emit
+    byte-identical messages.
+    """
+    loc = node.range.begin
+    return Diagnostic(
+        Severity.ERROR,
+        f"input already contains a '{node.directive_kind}' "
+        "directive; OMPDart expects code without target data "
+        "or target update constructs (paper section IV-A)",
+        filename=loc.filename,
+        line=loc.line,
+        column=loc.column,
+    )
+
+
 def check_input_constraints(tu: A.TranslationUnit) -> list[Diagnostic]:
     """Validate OMPDart's input contract.
 
@@ -16,18 +35,7 @@ def check_input_constraints(tu: A.TranslationUnit) -> list[Diagnostic]:
     diagnostics: list[Diagnostic] = []
     for node in tu.walk():
         if isinstance(node, A.DATA_MANAGEMENT_DIRECTIVES):
-            loc = node.range.begin
-            diagnostics.append(
-                Diagnostic(
-                    Severity.ERROR,
-                    f"input already contains a '{node.directive_kind}' "
-                    "directive; OMPDart expects code without target data "
-                    "or target update constructs (paper section IV-A)",
-                    filename=loc.filename,
-                    line=loc.line,
-                    column=loc.column,
-                )
-            )
+            diagnostics.append(data_management_diagnostic(node))
     return diagnostics
 
 

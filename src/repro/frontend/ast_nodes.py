@@ -22,14 +22,27 @@ _node_ids = itertools.count(1)
 
 
 class Node:
-    """Base class of all AST nodes."""
+    """Base class of all AST nodes.
 
-    __slots__ = ("range", "parent", "node_id")
+    Nodes carry their **pre-order walk index** once the owning
+    :class:`TranslationUnit` has been finalized (``tu.preorder()``):
+    ``walk_index`` is the node's position in the TU's pre-order
+    traversal and ``walk_end`` is one past its last descendant, so a
+    subtree is the contiguous slice ``preorder[walk_index:walk_end]``.
+    ``walk()`` uses that slice when available — the per-analysis AST
+    re-walks (and the walk-index artifact decode) become list slicing
+    instead of repeated ``children()`` traversals.  Un-finalized trees
+    (hand-built test fixtures) fall back to the generic traversal.
+    """
+
+    __slots__ = ("range", "parent", "node_id", "walk_index", "walk_end")
 
     def __init__(self, range_: SourceRange = UNKNOWN_RANGE):
         self.range = range_
         self.parent: Node | None = None
         self.node_id: int = next(_node_ids)
+        self.walk_index: int = -1
+        self.walk_end: int = -1
 
     # -- structure ---------------------------------------------------------
 
@@ -37,23 +50,70 @@ class Node:
         """Direct child nodes, in source order."""
         return []
 
-    def walk(self) -> Iterator["Node"]:
-        """Pre-order traversal of this subtree (including ``self``)."""
+    def _generic_walk(self) -> Iterator["Node"]:
+        """Pre-order traversal by repeated ``children()`` calls."""
         stack: list[Node] = [self]
         while stack:
             node = stack.pop()
             yield node
             stack.extend(reversed(node.children()))
 
+    def _preorder_slice(self) -> "list[Node] | None":
+        """This subtree as a slice of the root TU's cached pre-order list.
+
+        Returns None when the tree has not been finalized (or this node
+        was re-parented since) — callers fall back to the generic walk.
+        The identity check guards against stale indices: a node pickled
+        out of one TU and grafted elsewhere never serves a wrong slice.
+        """
+        begin, end = self.walk_index, self.walk_end
+        if begin < 0 or end < begin:
+            return None
+        root: Node = self
+        while root.parent is not None:
+            root = root.parent
+        order = getattr(root, "_preorder", None)
+        if order is None or end > len(order) or order[begin] is not self:
+            return None
+        return order[begin:end]
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of this subtree (including ``self``)."""
+        subtree = self._preorder_slice()
+        if subtree is not None:
+            return iter(subtree)
+        return self._generic_walk()
+
+    def __setstate__(self, state):
+        # Tolerate pickles from revisions that predate the walk-index
+        # slots; the indices default to "unstamped" and the generic
+        # walk takes over.
+        dict_state, slots = state if isinstance(state, tuple) else (state, None)
+        self.walk_index = -1
+        self.walk_end = -1
+        if dict_state:
+            for name, value in dict_state.items():
+                setattr(self, name, value)
+        if slots:
+            for name, value in slots.items():
+                setattr(self, name, value)
+
     def walk_instances(self, *kinds: type) -> Iterator["Node"]:
-        """Pre-order traversal filtered to instances of ``kinds``."""
-        for node in self.walk():
-            if isinstance(node, kinds):
-                yield node
+        """Pre-order traversal filtered to instances of ``kinds``.
+
+        When the finalized pre-order slice is available (the common
+        case) the filter runs eagerly as a list comprehension — C-speed
+        instead of resuming a generator per node — and an iterator over
+        the result is returned, preserving the ``next()``-able contract.
+        """
+        subtree = self._preorder_slice()
+        if subtree is not None:
+            return iter([node for node in subtree if isinstance(node, kinds)])
+        return (node for node in self._generic_walk() if isinstance(node, kinds))
 
     def set_parents(self) -> None:
         """Populate ``parent`` links throughout this subtree."""
-        for node in self.walk():
+        for node in self._generic_walk():
             for child in node.children():
                 child.parent = node
 
@@ -105,15 +165,78 @@ class Decl(Node):
 class TranslationUnit(Decl):
     """Root of the AST for one source file."""
 
-    __slots__ = ("decls", "filename")
+    __slots__ = ("decls", "filename", "_preorder", "_id_index")
 
     def __init__(self, decls: list[Decl], filename: str, range_: SourceRange):
         super().__init__(range_)
         self.decls = decls
         self.filename = filename
+        self._preorder: list[Node] | None = None
+        self._id_index: dict[int, int] | None = None
 
     def children(self) -> list[Node]:
         return list(self.decls)
+
+    # -- pre-order finalization -------------------------------------------
+
+    def preorder(self) -> list[Node]:
+        """The cached pre-order node list, stamping ``walk_index`` /
+        ``walk_end`` on every node the first time it is built.
+
+        The parser calls this once per parse; unpickled or hand-built
+        trees build it lazily on first use.  The list is dropped from
+        pickles (:meth:`__getstate__`) and recomputed on demand — walk
+        order is structural, so indices agree across processes.
+        """
+        order = self._preorder
+        if order is None:
+            order = []
+            stack: list[tuple[Node, bool]] = [(self, False)]
+            while stack:
+                node, exiting = stack.pop()
+                if exiting:
+                    node.walk_end = len(order)
+                    continue
+                node.walk_index = len(order)
+                order.append(node)
+                stack.append((node, True))
+                for child in reversed(node.children()):
+                    stack.append((child, False))
+            self._preorder = order
+            self._id_index = None
+        return order
+
+    def preorder_index(self) -> dict[int, int]:
+        """``id(node) -> walk index`` over :meth:`preorder` (cached)."""
+        index = self._id_index
+        if index is None:
+            index = {id(n): i for i, n in enumerate(self.preorder())}
+            self._id_index = index
+        return index
+
+    def __getstate__(self):
+        # The cached pre-order list/index are derived state: dropping
+        # them keeps parse spills lean and lets indices revalidate
+        # lazily after a pickle round trip.
+        state = {
+            "range": self.range,
+            "parent": self.parent,
+            "node_id": self.node_id,
+            "walk_index": self.walk_index,
+            "walk_end": self.walk_end,
+            "decls": self.decls,
+            "filename": self.filename,
+        }
+        return (None, state)
+
+    def __setstate__(self, state):
+        _, slots = state
+        self._preorder = None
+        self._id_index = None
+        self.walk_index = -1
+        self.walk_end = -1
+        for name, value in slots.items():
+            setattr(self, name, value)
 
     def functions(self) -> list["FunctionDecl"]:
         return [d for d in self.decls if isinstance(d, FunctionDecl)]

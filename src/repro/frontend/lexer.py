@@ -1,7 +1,14 @@
-"""Hand-written lexer for the mini-C subset.
+"""Master-pattern regex lexer for the mini-C subset.
 
 Design notes
 ------------
+* One compiled alternation (:data:`_MASTER`) classifies every token in
+  a single ``match`` call; the winning named group maps straight onto
+  an interned :class:`TokenKind` (punctuators through the
+  :data:`_PUNCT_KINDS` spelling table).  The historical char-at-a-time
+  scanner walked the punctuator list per token and re-tested every
+  literal class in sequence — the master pattern does the maximal-munch
+  work inside the regex engine instead.
 * Every token records its byte offset in the *original* buffer; the
   rewriter depends on this.
 * Preprocessor directives (``#define``, ``#include``, ``#pragma`` ...)
@@ -14,6 +21,8 @@ Design notes
 """
 
 from __future__ import annotations
+
+import re
 
 from ..diagnostics import ParseError
 from .source import SourceBuffer
@@ -32,6 +41,66 @@ _ESCAPES = {
     "f": "\f",
     "v": "\v",
 }
+
+#: Whitespace, comments, line splices and newlines, matched greedily.
+#: Newlines are their own alternative so the line-start flag (which
+#: arms ``#``-directive recognition) only flips on a *bare* newline —
+#: never on one hidden inside a block comment or a ``\``-splice,
+#: matching the historical scanner exactly.
+_TRIVIA = re.compile(
+    r"[ \t\r\f\v]+"
+    r"|//[^\n]*"
+    r"|/\*.*?\*/"
+    r"|\\\n"
+    r"|\n+",
+    re.DOTALL,
+)
+
+#: Punctuators longest-first so alternation order preserves maximal
+#: munch, then interned back to their TokenKind by spelling.
+_PUNCT_KINDS: dict[str, TokenKind] = {s: k for s, k in PUNCTUATORS}
+
+_MASTER = re.compile(
+    # Identifiers / keywords (unicode letters + underscore, like the
+    # historical isalpha()-based scanner).
+    r"(?P<ID>[^\W\d]\w*)"
+    # Hex integers; the [uUlL] suffix is part of the token text but not
+    # the value.
+    r"|(?P<HEX>0[xX][0-9a-fA-F]+[uUlL]*)"
+    # Floats: digits.digits / .digits / digits-with-exponent, each with
+    # an optional one-char [fFlL] suffix — plus the bare int-with-f
+    # form (``2f``).  The (?!\.) keeps ``1..2`` lexing as INT DOT
+    # FLOAT, and exponents require a digit so ``1e+x`` stays INT ID.
+    r"|(?P<FLOAT>(?:\d+\.(?!\.)\d*(?:[eE][+-]?\d+)?"
+    r"|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+[eE][+-]?\d+)[fFlL]?"
+    r"|\d+[fF])"
+    r"|(?P<INT>\d+[uUlL]*)"
+    # One-line string/char literals; \\. (DOTALL) admits escaped
+    # newlines while a bare newline stays a lexing error.
+    r'|(?P<STR>"(?:\\.|[^"\\\n])*")'
+    r"|(?P<CHR>'(?:\\.|[^'\\])')"
+    r"|(?P<PUNCT>" + "|".join(re.escape(s) for s, _ in PUNCTUATORS) + r")",
+    re.DOTALL,
+)
+
+
+def _decode_escapes(body: str) -> str:
+    """Decode backslash escapes the way the char-scanner did."""
+    if "\\" not in body:
+        return body
+    out: list[str] = []
+    i, n = 0, len(body)
+    while i < n:
+        ch = body[i]
+        if ch == "\\" and i + 1 < n:
+            esc = body[i + 1]
+            out.append(_ESCAPES.get(esc, esc))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
 
 
 class Lexer:
@@ -62,54 +131,69 @@ class Lexer:
         i = self.pos + ahead
         return self.text[i] if i < len(self.text) else "\0"
 
-    def _make(self, kind: TokenKind, start: int, value: object = None) -> Token:
-        return Token(kind, self.text[start : self.pos], self.buffer.location(start), value)
-
-    def _skip_trivia(self) -> None:
-        """Skip whitespace and comments, tracking line starts."""
-        text, n = self.text, len(self.text)
-        while self.pos < n:
-            ch = text[self.pos]
-            if ch == "\n":
-                self._at_line_start = True
-                self.pos += 1
-            elif ch in " \t\r\f\v":
-                self.pos += 1
-            elif ch == "/" and self._peek(1) == "/":
-                while self.pos < n and text[self.pos] != "\n":
-                    self.pos += 1
-            elif ch == "/" and self._peek(1) == "*":
-                end = text.find("*/", self.pos + 2)
-                if end == -1:
-                    raise self._error("unterminated block comment")
-                self.pos = end + 2
-            elif ch == "\\" and self._peek(1) == "\n":
-                self.pos += 2  # line splice outside directives
-            else:
-                return
-
     # -- token producers -------------------------------------------------
 
     def next_token(self) -> Token:
-        self._skip_trivia()
-        if self.pos >= len(self.text):
-            return Token(TokenKind.EOF, "", self.buffer.location(self.pos))
-        start = self.pos
-        ch = self.text[self.pos]
+        text = self.text
+        pos = self.pos
+        at_line_start = self._at_line_start
+        trivia = _TRIVIA.match
+        while True:
+            m = trivia(text, pos)
+            if m is None:
+                break
+            if text[m.start()] == "\n":
+                at_line_start = True
+            pos = m.end()
+        self.pos = pos
+        self._at_line_start = at_line_start
 
-        if ch == "#" and self._at_line_start:
-            return self._lex_directive(start)
+        if pos >= len(text):
+            return Token(TokenKind.EOF, "", self.buffer.location(pos))
+        ch = text[pos]
+        if ch == "/" and text.startswith("/*", pos):
+            # A terminated block comment would have been consumed as
+            # trivia above; reaching one here means it never closes.
+            raise self._error("unterminated block comment")
+        if ch == "#" and at_line_start:
+            return self._lex_directive(pos)
         self._at_line_start = False
 
-        if ch.isalpha() or ch == "_":
-            return self._lex_identifier(start)
-        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
-            return self._lex_number(start)
-        if ch == '"':
-            return self._lex_string(start)
-        if ch == "'":
-            return self._lex_char(start)
-        return self._lex_punct(start)
+        m = _MASTER.match(text, pos)
+        if m is None:
+            if ch == '"':
+                raise self._error("unterminated string literal")
+            if ch == "'":
+                raise self._error("unterminated character literal")
+            raise self._error(f"unexpected character {ch!r}")
+        self.pos = m.end()
+        tok_text = m.group()
+        group = m.lastgroup
+        if group == "ID":
+            kind = TokenKind.KEYWORD if tok_text in KEYWORDS else TokenKind.IDENTIFIER
+            value: object = None
+        elif group == "PUNCT":
+            kind = _PUNCT_KINDS[tok_text]
+            value = None
+        elif group == "INT":
+            kind = TokenKind.INT_LITERAL
+            value = int(tok_text.rstrip("uUlL"), 10)
+        elif group == "FLOAT":
+            kind = TokenKind.FLOAT_LITERAL
+            body = tok_text[:-1] if tok_text[-1] in "fFlL" else tok_text
+            value = float(body)
+        elif group == "HEX":
+            kind = TokenKind.INT_LITERAL
+            value = int(tok_text.rstrip("uUlL"), 16)
+        elif group == "STR":
+            kind = TokenKind.STRING_LITERAL
+            value = _decode_escapes(tok_text[1:-1])
+        else:  # CHR
+            kind = TokenKind.CHAR_LITERAL
+            body = tok_text[1:-1]
+            decoded = _ESCAPES.get(body[1], body[1]) if body[0] == "\\" else body[0]
+            value = ord(decoded) if decoded else 0
+        return Token(kind, tok_text, self.buffer.location(pos), value)
 
     def tokenize(self) -> list[Token]:
         """Lex the whole buffer, including the trailing EOF token."""
@@ -154,97 +238,6 @@ class Lexer:
             value=body,
         )
         return tok
-
-    def _lex_identifier(self, start: int) -> Token:
-        n = len(self.text)
-        while self.pos < n and (self.text[self.pos].isalnum() or self.text[self.pos] == "_"):
-            self.pos += 1
-        text = self.text[start : self.pos]
-        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
-        return self._make(kind, start)
-
-    def _lex_number(self, start: int) -> Token:
-        n = len(self.text)
-        is_float = False
-        if self.text[self.pos] == "0" and self._peek(1) in "xX":
-            self.pos += 2
-            while self.pos < n and self.text[self.pos] in "0123456789abcdefABCDEF":
-                self.pos += 1
-            digits = self.text[start : self.pos]
-            self._consume_int_suffix()
-            return self._make(TokenKind.INT_LITERAL, start, value=int(digits, 16))
-
-        while self.pos < n and self.text[self.pos].isdigit():
-            self.pos += 1
-        if self._peek() == "." and self._peek(1) != ".":
-            is_float = True
-            self.pos += 1
-            while self.pos < n and self.text[self.pos].isdigit():
-                self.pos += 1
-        if self._peek() in "eE" and (
-            self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
-        ):
-            is_float = True
-            self.pos += 1
-            if self._peek() in "+-":
-                self.pos += 1
-            while self.pos < n and self.text[self.pos].isdigit():
-                self.pos += 1
-
-        digits = self.text[start : self.pos]
-        if is_float:
-            if self._peek() in "fFlL":
-                self.pos += 1
-            return self._make(TokenKind.FLOAT_LITERAL, start, value=float(digits))
-        if self._peek() in "fF":
-            self.pos += 1
-            return self._make(TokenKind.FLOAT_LITERAL, start, value=float(digits))
-        self._consume_int_suffix()
-        return self._make(TokenKind.INT_LITERAL, start, value=int(digits, 10))
-
-    def _consume_int_suffix(self) -> None:
-        while self._peek() in "uUlL":
-            self.pos += 1
-
-    def _lex_string(self, start: int) -> Token:
-        self.pos += 1  # opening quote
-        chars: list[str] = []
-        n = len(self.text)
-        while self.pos < n:
-            ch = self.text[self.pos]
-            if ch == '"':
-                self.pos += 1
-                return self._make(TokenKind.STRING_LITERAL, start, value="".join(chars))
-            if ch == "\n":
-                raise self._error("unterminated string literal")
-            if ch == "\\":
-                self.pos += 1
-                esc = self._peek()
-                chars.append(_ESCAPES.get(esc, esc))
-                self.pos += 1
-            else:
-                chars.append(ch)
-                self.pos += 1
-        raise self._error("unterminated string literal")
-
-    def _lex_char(self, start: int) -> Token:
-        self.pos += 1
-        ch = self._peek()
-        if ch == "\\":
-            self.pos += 1
-            ch = _ESCAPES.get(self._peek(), self._peek())
-        self.pos += 1
-        if self._peek() != "'":
-            raise self._error("unterminated character literal")
-        self.pos += 1
-        return self._make(TokenKind.CHAR_LITERAL, start, value=ord(ch) if ch else 0)
-
-    def _lex_punct(self, start: int) -> Token:
-        for spelling, kind in PUNCTUATORS:
-            if self.text.startswith(spelling, self.pos):
-                self.pos += len(spelling)
-                return self._make(kind, start)
-        raise self._error(f"unexpected character {self.text[self.pos]!r}")
 
 
 def tokenize(text: str, filename: str = "<input>") -> list[Token]:

@@ -176,26 +176,31 @@ class Parser:
     # Token helpers
     # ------------------------------------------------------------------
 
+    # The token list always ends in EOF and ``pos`` never moves past
+    # it, so the ahead=0 hot path is a plain index; only lookaheads
+    # need the end guard.
+
     def _tok(self, ahead: int = 0) -> Token:
-        i = min(self.pos + ahead, len(self.tokens) - 1)
-        return self.tokens[i]
+        toks = self.tokens
+        i = self.pos + ahead
+        return toks[i] if i < len(toks) else toks[-1]
 
     def _advance(self) -> Token:
-        tok = self._tok()
+        tok = self.tokens[self.pos]
         if tok.kind is not TokenKind.EOF:
             self.pos += 1
         return tok
 
     def _check(self, kind: TokenKind) -> bool:
-        return self._tok().kind is kind
+        return self.tokens[self.pos].kind is kind
 
     def _accept(self, kind: TokenKind) -> Token | None:
-        if self._check(kind):
+        if self.tokens[self.pos].kind is kind:
             return self._advance()
         return None
 
     def _expect(self, kind: TokenKind, what: str = "") -> Token:
-        tok = self._tok()
+        tok = self.tokens[self.pos]
         if tok.kind is not kind:
             raise self._error(
                 f"expected {what or kind.value!r}, found {tok.text or tok.kind.value!r}"
@@ -244,6 +249,11 @@ class Parser:
                 raise self._error("OpenMP directive outside of a function body")
             decls.extend(self._parse_external_declaration())
         tu = A.TranslationUnit(decls, self.buffer.filename, self._range(start))
+        # Finalize the pre-order walk indices up front: the forward-
+        # reference fixup below, parent linking, and every later
+        # analysis walk then iterate the cached list instead of
+        # re-traversing children().
+        tu.preorder()
         self._resolve_forward_references(tu)
         tu.set_parents()
         return tu
@@ -878,17 +888,33 @@ class Parser:
         {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"},
     ]
 
+    #: Flattened operator table for precedence climbing:
+    #: kind -> (level, spelling).  Derived from ``_BINARY_LEVELS`` so the
+    #: grammar stays declared in one place.
+    _BINARY_OPS: dict[TokenKind, tuple[int, str]] = {
+        kind: (level, op)
+        for level, ops in enumerate(_BINARY_LEVELS)
+        for kind, op in ops.items()
+    }
+
     def _parse_binary(self, level: int) -> A.Expr:
-        if level >= len(self._BINARY_LEVELS):
-            return self._parse_cast()
-        ops = self._BINARY_LEVELS[level]
-        lhs = self._parse_binary(level + 1)
-        while self._tok().kind in ops:
-            op = ops[self._advance().kind]
-            rhs = self._parse_binary(level + 1)
+        # Precedence climbing: parses every left-associative binary
+        # operator of precedence >= ``level`` in one loop, recursing
+        # only for genuinely nested (tighter-binding) right operands —
+        # the ladder formulation recursed through every level per
+        # operand, which dominated parse time at batch scale.  Produces
+        # the identical AST.
+        binary_ops = self._BINARY_OPS
+        lhs = self._parse_cast()
+        while True:
+            info = binary_ops.get(self.tokens[self.pos].kind)
+            if info is None or info[0] < level:
+                return lhs
+            op_level, op = info
+            self.pos += 1  # the operator token (never EOF: it is in the map)
+            rhs = self._parse_binary(op_level + 1)
             rng = SourceRange(lhs.range.begin, rhs.range.end)
             lhs = A.BinaryOperator(op, lhs, rhs, rng, self._binary_type(op, lhs, rhs))
-        return lhs
 
     def _parse_cast(self) -> A.Expr:
         if self._check(TokenKind.LPAREN) and self._starts_type(self._tok(1)):
@@ -905,13 +931,15 @@ class Parser:
             return A.CStyleCastExpr(qt, operand, self._range(start))
         return self._parse_unary()
 
+    _SIMPLE_UNARY = {
+        TokenKind.PLUS: "+", TokenKind.MINUS: "-",
+        TokenKind.EXCLAIM: "!", TokenKind.TILDE: "~",
+    }
+
     def _parse_unary(self) -> A.Expr:
-        tok = self._tok()
+        tok = self.tokens[self.pos]
         start = tok.location
-        simple = {
-            TokenKind.PLUS: "+", TokenKind.MINUS: "-",
-            TokenKind.EXCLAIM: "!", TokenKind.TILDE: "~",
-        }
+        simple = self._SIMPLE_UNARY
         if tok.kind in simple:
             self._advance()
             operand = self._parse_cast()
@@ -1013,6 +1041,15 @@ class Parser:
     def _parse_primary(self) -> A.Expr:
         tok = self._tok()
         start = tok.location
+        # Identifiers are the most common primary by far — test first.
+        if tok.kind is TokenKind.IDENTIFIER:
+            self._advance()
+            rng = SourceRange(start, self.buffer.location(tok.end_offset))
+            decl = self.scope.lookup(tok.text)
+            if decl is None:
+                decl = self._implicit_function(tok.text)
+            qt = self._decl_type(decl)
+            return A.DeclRefExpr(tok.text, decl, rng, qt)
         if tok.kind is TokenKind.INT_LITERAL:
             self._advance()
             rng = SourceRange(start, self.buffer.location(tok.end_offset))
@@ -1043,14 +1080,6 @@ class Parser:
             return A.ParenExpr(
                 inner, SourceRange(start, self.buffer.location(end_tok.end_offset))
             )
-        if tok.kind is TokenKind.IDENTIFIER:
-            self._advance()
-            rng = SourceRange(start, self.buffer.location(tok.end_offset))
-            decl = self.scope.lookup(tok.text)
-            if decl is None:
-                decl = self._implicit_function(tok.text)
-            qt = self._decl_type(decl)
-            return A.DeclRefExpr(tok.text, decl, rng, qt)
         raise self._error(f"unexpected token {tok.text or tok.kind.value!r} in expression")
 
     # ------------------------------------------------------------------

@@ -81,26 +81,33 @@ class Preprocessor:
     # -- token pump ------------------------------------------------------
 
     def _next(self) -> Token:
+        # Hot loop: the deque, lexer bound-method and the two token-kind
+        # sentinels are hoisted — this runs once per emitted token.
+        queue = self._queue
+        lexer_next = self._lexer.next_token
+        ident = TokenKind.IDENTIFIER
+        pragma = TokenKind.PRAGMA
+        no_bans: frozenset[str] = frozenset()
         while True:
-            if self._queue:
-                pending = self._queue.popleft()
+            if queue:
+                pending = queue.popleft()
                 tok = pending.token
-                if tok.kind is TokenKind.IDENTIFIER and self._try_expand(tok, pending.banned):
+                if tok.kind is ident and self._try_expand(tok, pending.banned):
                     continue
                 return tok
-            tok = self._lexer.next_token()
-            if tok.kind is TokenKind.PRAGMA:
+            tok = lexer_next()
+            if tok.kind is pragma:
                 passthrough = self._handle_directive(tok)
                 if passthrough is not None:
                     return passthrough
                 continue
-            if not self._active():
+            if not all(self._cond_stack):
                 if tok.kind is TokenKind.EOF:
                     raise ParseError(
                         f"{self.buffer.filename}: unterminated conditional directive"
                     )
                 continue
-            if tok.kind is TokenKind.IDENTIFIER and self._try_expand(tok, frozenset()):
+            if tok.kind is ident and self._try_expand(tok, no_bans):
                 continue
             return tok
 

@@ -20,17 +20,24 @@ from functools import total_ordering
 class SourceBuffer:
     """Immutable view of one translation unit's text."""
 
-    __slots__ = ("text", "filename", "_line_starts")
+    __slots__ = ("text", "filename", "_line_starts", "_line_hint")
 
     def __init__(self, text: str, filename: str = "<input>"):
         self.text = text
         self.filename = filename
         # Offsets at which each line begins; line numbers are 1-based.
         starts = [0]
-        for i, ch in enumerate(text):
-            if ch == "\n":
-                starts.append(i + 1)
+        find = text.find
+        i = find("\n")
+        while i != -1:
+            starts.append(i + 1)
+            i = find("\n", i + 1)
         self._line_starts = starts
+        # Last line answered by line_col; the lexer queries offsets in
+        # near-monotone order, so the answer is almost always this line
+        # or the next one.  Purely a cache — the buffer stays logically
+        # immutable.
+        self._line_hint = 1
 
     def __len__(self) -> int:
         return len(self.text)
@@ -40,8 +47,21 @@ class SourceBuffer:
         if offset < 0:
             raise ValueError(f"negative offset {offset}")
         offset = min(offset, len(self.text))
-        line = bisect.bisect_right(self._line_starts, offset)
-        col = offset - self._line_starts[line - 1] + 1
+        starts = self._line_starts
+        n = len(starts)
+        hint = self._line_hint
+        if starts[hint - 1] <= offset and (hint == n or offset < starts[hint]):
+            line = hint
+        elif (
+            hint < n
+            and starts[hint] <= offset
+            and (hint + 1 == n or offset < starts[hint + 1])
+        ):
+            line = hint + 1
+        else:
+            line = bisect.bisect_right(starts, offset)
+        self._line_hint = line
+        col = offset - starts[line - 1] + 1
         return line, col
 
     def line_start_offset(self, line: int) -> int:
@@ -68,14 +88,34 @@ class SourceBuffer:
 
 
 @total_ordering
-@dataclass(frozen=True)
 class SourceLocation:
-    """A point in the original source text."""
+    """A point in the original source text.
 
-    offset: int
-    line: int
-    column: int
-    filename: str = "<input>"
+    A plain ``__slots__`` value object rather than a (frozen) dataclass:
+    one is built for every token the lexer emits, and the dataclass
+    ``object.__setattr__`` construction path showed up in frontend
+    profiles.  Treat instances as immutable.
+    """
+
+    __slots__ = ("offset", "line", "column", "filename")
+
+    def __init__(
+        self,
+        offset: int,
+        line: int,
+        column: int,
+        filename: str = "<input>",
+    ):
+        self.offset = offset
+        self.line = line
+        self.column = column
+        self.filename = filename
+
+    def __repr__(self) -> str:
+        return (
+            f"SourceLocation(offset={self.offset!r}, line={self.line!r}, "
+            f"column={self.column!r}, filename={self.filename!r})"
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SourceLocation):

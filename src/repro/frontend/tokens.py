@@ -103,7 +103,7 @@ PUNCTUATORS: list[tuple[str, TokenKind]] = sorted(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
     """One lexical token.
 

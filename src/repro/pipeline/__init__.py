@@ -32,6 +32,7 @@ __all__ = [
     "DEFAULT_PASSES",
     "Pass",
     "PassManager",
+    "BatchRunStats",
     "PipelineContext",
     "SharedArtifactStore",
     "ToolOptions",
@@ -44,7 +45,12 @@ __all__ = [
 #: Batch-driver symbols resolve lazily (PEP 562): the batch driver is a
 #: thin client of :mod:`repro.service.core`, which itself builds on the
 #: cache/manager modules above — an eager import here would be a cycle.
-_BATCH_EXPORTS = {"BatchOutcome", "transform_batch", "transform_paths"}
+_BATCH_EXPORTS = {
+    "BatchOutcome",
+    "BatchRunStats",
+    "transform_batch",
+    "transform_paths",
+}
 
 
 def __getattr__(name: str):

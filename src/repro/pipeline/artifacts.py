@@ -138,9 +138,10 @@ def _encode_refs(artifact: Any) -> bytes:
         if plain is None:
             plain = pickle.dumps(artifact, protocol=5)
         return b"P" + plain
-    # The walk list keeps every node alive while its id() is in the map.
-    nodes = list(tu.walk())
-    table = {id(node): i for i, node in enumerate(nodes)}
+    # The TU's cached pre-order index replaces the historical re-walk;
+    # the cached node list keeps every node alive while its id() is in
+    # the map.
+    table = tu.preorder_index()
     buf = io.BytesIO()
     _RefPickler(buf, table).dump(artifact)
     return b"R" + buf.getvalue()
@@ -153,7 +154,7 @@ def _decode_refs(payload: bytes, deps: Mapping[str, Any] | None) -> Any:
         raise ArtifactDecodeError(
             "reference payload needs the parse artifact of the same input"
         )
-    nodes = list(deps["parse"].walk())
+    nodes = deps["parse"].preorder()
     return _RefUnpickler(io.BytesIO(payload[1:]), nodes).load()
 
 
@@ -261,8 +262,11 @@ def _decode_text(payload: bytes, deps: Mapping[str, Any] | None) -> Any:
 
 
 def _refs_schema(pass_name: str) -> ArtifactSchema:
+    # v3: AST nodes carry pre-order walk indices in their pickled slots,
+    # so v2 spills (parse and everything resolved against it) are
+    # incompatible and must never be looked up.
     return ArtifactSchema(
-        pass_name, 2, "refs", _encode_refs, _decode_refs, depends=("parse",)
+        pass_name, 3, "refs", _encode_refs, _decode_refs, depends=("parse",)
     )
 
 
@@ -271,7 +275,7 @@ SCHEMAS: dict[str, ArtifactSchema] = {
     s.pass_name: s
     for s in (
         ArtifactSchema("preprocess", 2, "tokens", _encode_tokens, _decode_tokens),
-        ArtifactSchema("parse", 2, "pickle", _encode_pickle, _decode_pickle),
+        ArtifactSchema("parse", 3, "pickle", _encode_pickle, _decode_pickle),
         # Codegen rows are pure data (source text + symbolic binding
         # descriptors) — a plain pickle round-trips them exactly.
         ArtifactSchema("codegen", 2, "pickle", _encode_pickle, _decode_pickle),

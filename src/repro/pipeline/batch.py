@@ -18,7 +18,7 @@ surfaces from the store's shared counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable, Sequence
 
 # Re-exported public surface: the worker runtime lives in the service
@@ -33,7 +33,7 @@ from ..service.core import (  # noqa: F401
     worker_manager,
     _WORKER_MANAGERS,
 )
-from .cache import ArtifactCache
+from .cache import ArtifactCache, fingerprint
 from .context import ToolOptions
 from .manager import PassManager
 from .store import SharedArtifactStore, StoreStats
@@ -74,6 +74,11 @@ class BatchRunStats:
     #: Serial runs with a ``store_url`` park the driver's remote client
     #: health here (process runs aggregate through ``store`` instead).
     remote: dict[str, Any] | None = None
+    #: Content-hash pre-dedup accounting for the run: how many distinct
+    #: sources actually dispatched, and how many inputs were fanned out
+    #: from a representative's result instead of running themselves.
+    unique_inputs: int = 0
+    deduped_inputs: int = 0
 
 
 def _worker_transform(job: tuple[str, str, ToolOptions]) -> BatchOutcome:
@@ -81,6 +86,35 @@ def _worker_transform(job: tuple[str, str, ToolOptions]) -> BatchOutcome:
     from ..service.core import _runtime_manager
 
     return transform_one(_runtime_manager(), source, filename, options)
+
+
+def _retag(text: str | None, old: str, new: str) -> str | None:
+    """Swap a representative's filename prefix for the duplicate's."""
+    if text is not None and text.startswith(old):
+        return new + text[len(old):]
+    return text
+
+
+def _refit_outcome(rep: BatchOutcome, filename: str) -> BatchOutcome:
+    """Attribute a representative's result to a duplicate input.
+
+    Diagnostics and parse errors render as ``filename:line:col: ...``,
+    so the representative's name is rewritten wherever it leads a
+    message; everything else (output, plans, timings) is shared content
+    and carries over as-is.  Mutable fields are copied so callers can
+    annotate one outcome without aliasing its siblings.
+    """
+    old = rep.filename
+    return replace(
+        rep,
+        filename=filename,
+        error=_retag(rep.error, old, filename),
+        diagnostics=tuple(_retag(d, old, filename) for d in rep.diagnostics),
+        timings=dict(rep.timings),
+        cache_events=dict(rep.cache_events),
+        cache_origins=dict(rep.cache_origins),
+        deduped_from=old,
+    )
 
 
 # -- public API --------------------------------------------------------------
@@ -96,8 +130,14 @@ def transform_batch(
     manager: PassManager | None = None,
     run_stats: BatchRunStats | None = None,
     store_url: str | None = None,
+    dedup: bool = True,
 ) -> list[BatchOutcome]:
     """Transform ``(source, filename)`` pairs; results in input order.
+
+    ``dedup`` (default on) collapses content-identical inputs at
+    submit: one representative runs, its outcome fans out to the
+    duplicates with ``deduped_from`` set.  Disable it to force every
+    copy through the pipeline (store/cache stress tests do).
 
     ``jobs <= 1`` runs serially through one shared manager (and shared
     artifact cache); ``jobs > 1`` fans out over a process pool.  Either
@@ -124,7 +164,38 @@ def transform_batch(
         )
     if store_url is not None and cache_dir is None:
         raise ValueError("--store-url requires a cache directory")
-    if jobs <= 1 or len(items) <= 1:
+
+    # Content-hash pre-dedup at submit: the pipeline's input key
+    # includes the filename, so identical content under different names
+    # never shares cache entries — each unique source dispatches once
+    # and its result fans out to every duplicate.
+    unique: list[tuple[str, str]] = []
+    rep_of_hash: dict[str, int] = {}
+    rep_index: list[int] = []
+    if dedup:
+        for source, filename in items:
+            content_key = fingerprint(source)
+            idx = rep_of_hash.get(content_key)
+            if idx is None:
+                idx = rep_of_hash[content_key] = len(unique)
+                unique.append((source, filename))
+            rep_index.append(idx)
+    else:
+        unique = items
+        rep_index = list(range(len(items)))
+    if run_stats is not None:
+        run_stats.unique_inputs = len(unique)
+        run_stats.deduped_inputs = len(items) - len(unique)
+
+    def _fan_out(rep_results: list[BatchOutcome]) -> list[BatchOutcome]:
+        return [
+            rep_results[idx]
+            if rep_results[idx].filename == filename
+            else _refit_outcome(rep_results[idx], filename)
+            for (_, filename), idx in zip(items, rep_index)
+        ]
+
+    if jobs <= 1 or len(unique) <= 1:
         mgr = manager or PassManager(
             cache=cache
             if cache is not None
@@ -137,10 +208,10 @@ def transform_batch(
             remote = make_remote_client(store_url, None)
             mgr.cache.remote = remote
         try:
-            return [
+            return _fan_out([
                 transform_one(mgr, source, filename, options)
-                for source, filename in items
-            ]
+                for source, filename in unique
+            ])
         finally:
             if remote is not None:
                 remote.flush(timeout=5.0)
@@ -149,8 +220,8 @@ def transform_batch(
                 mgr.cache.remote = None
                 remote.close()
 
-    jobs = min(jobs, len(items))
-    payload = [(src, fname, options) for src, fname in items]
+    jobs = min(jobs, len(unique))
+    payload = [(src, fname, options) for src, fname in unique]
     store = (
         SharedArtifactStore.create(cache_dir) if cache_dir is not None else None
     )
@@ -165,10 +236,13 @@ def transform_batch(
             # store exists to carry the counters back to the driver.
             measure_baseline=run_stats is not None and store is not None,
             store_url=store_url,
+            # Amortize per-item IPC once the queue is long; one chunk
+            # per worker per ~8 rounds keeps the pool load-balanced.
+            chunksize=max(1, min(32, len(payload) // (jobs * 8))),
         )
         if store is not None and run_stats is not None:
             run_stats.store = store.stats()
-        return results
+        return _fan_out(results)
     finally:
         if store is not None:
             store.close()
@@ -183,6 +257,7 @@ def transform_paths(
     cache: ArtifactCache | None = None,
     run_stats: BatchRunStats | None = None,
     store_url: str | None = None,
+    dedup: bool = True,
 ) -> list[BatchOutcome]:
     """Read files and transform them as one batch (CLI entry point).
 
@@ -204,7 +279,7 @@ def transform_paths(
             )
     results = transform_batch(
         items, options, jobs=jobs, cache_dir=cache_dir, cache=cache,
-        run_stats=run_stats, store_url=store_url,
+        run_stats=run_stats, store_url=store_url, dedup=dedup,
     )
     for i, outcome in zip(readable, results):
         outcomes_by_index[i] = outcome

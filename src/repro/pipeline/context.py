@@ -21,10 +21,20 @@ class ToolOptions:
     predefined_macros: dict[str, object] = field(default_factory=dict)
     #: When False, diagnostics of WARNING severity do not fail the run.
     werror: bool = False
+    #: When True, run the historical separate-traversal constraints and
+    #: effects passes instead of the fused single-walk scan.  Artifacts
+    #: are bit-identical either way (the identity tests prove it), but
+    #: the flag is part of the fingerprint so the two paths never share
+    #: cache entries by fiat.
+    legacy_analysis: bool = False
 
     def fingerprint_parts(self) -> tuple[Any, ...]:
         """The option values that affect pipeline artifacts."""
-        return (sorted(self.predefined_macros.items()), self.werror)
+        return (
+            sorted(self.predefined_macros.items()),
+            self.werror,
+            self.legacy_analysis,
+        )
 
 
 @dataclass
@@ -50,6 +60,10 @@ class PipelineContext:
     #: pass name -> where a hit came from: "memory" | "disk" | "store"
     #: ("store" = published by a sibling worker during this run).
     cache_origins: dict[str, str] = field(default_factory=dict)
+    #: Uncached pass-to-pass handoff (e.g. the fused-scan prep the
+    #: constraints pass leaves for the effects pass).  Never part of
+    #: any artifact or cache key.
+    scratch: dict[str, Any] = field(default_factory=dict)
 
     def artifact(self, pass_name: str) -> Any:
         try:

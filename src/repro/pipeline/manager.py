@@ -29,6 +29,11 @@ class PassManager:
     ):
         self.passes: tuple[Pass, ...] = tuple(passes or DEFAULT_PASSES)
         self.cache = cache if cache is not None else ArtifactCache()
+        #: Optional per-pass observer (see :mod:`repro.report.profile`).
+        #: ``begin_pass(name)`` / ``end_pass(name, wall_s, event)`` are
+        #: called around every pass execution when set; the hot path
+        #: pays a single None check otherwise.
+        self.profiler = None
         names = [p.name for p in self.passes]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate pass names in pipeline: {names}")
@@ -70,6 +75,9 @@ class PassManager:
         return ctx
 
     def _run_pass(self, p: Pass, ctx: PipelineContext, key: str) -> None:
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.begin_pass(p.name)
         start = time.perf_counter()
         origin = None
         if p.cacheable and self.cache is not None:
@@ -89,7 +97,10 @@ class PassManager:
         ctx.cache_events[p.name] = event
         if origin is not None:
             ctx.cache_origins[p.name] = origin
-        ctx.timings[p.name] = time.perf_counter() - start
+        wall = time.perf_counter() - start
+        ctx.timings[p.name] = wall
+        if profiler is not None:
+            profiler.end_pass(p.name, wall, event)
         if p.finalize is not None:
             p.finalize(ctx, value)
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..analysis.effects import InterproceduralAnalysis
+from ..analysis.fused import fused_scan
 from ..cfg.astcfg import build_astcfgs
 from ..core.errors import check_input_constraints
 from ..core.planner import plan_function
@@ -66,7 +67,15 @@ def _build_codegen(ctx: PipelineContext) -> Any:
 
 
 def _build_constraints(ctx: PipelineContext) -> list[Diagnostic]:
-    return check_input_constraints(ctx.artifact("parse"))
+    if ctx.options.legacy_analysis:
+        return check_input_constraints(ctx.artifact("parse"))
+    # Fused fast path: one walk gathers the constraint diagnostics AND
+    # the effects-pass prep facts; the prep rides to _build_effects on
+    # the uncached scratch channel, so the cached artifact (the
+    # diagnostics list) is identical to the legacy pass's.
+    prep = fused_scan(ctx.artifact("parse"))
+    ctx.scratch["fused_prep"] = prep
+    return prep.constraint_diagnostics
 
 
 def _finalize_constraints(
@@ -80,7 +89,14 @@ def _finalize_constraints(
 
 
 def _build_effects(ctx: PipelineContext) -> InterproceduralAnalysis:
-    return InterproceduralAnalysis(ctx.artifact("parse"))
+    if ctx.options.legacy_analysis:
+        return InterproceduralAnalysis(ctx.artifact("parse"))
+    prep = ctx.scratch.pop("fused_prep", None)
+    if prep is None:
+        # The constraints build was skipped (cache hit), so its scratch
+        # handoff never happened — redo the single walk here.
+        prep = fused_scan(ctx.artifact("parse"))
+    return InterproceduralAnalysis(ctx.artifact("parse"), prepared=prep)
 
 
 def _build_cfg(ctx: PipelineContext) -> Any:

@@ -15,9 +15,11 @@ mixed freely (any ``ompdart-suite-perf/`` artifact qualifies).
 ``ompdart-load-perf/`` artifacts (the ``ompdart load`` serve harness)
 fold into the same table: each mode's p50/p99 request latency becomes
 a row under the pseudo-platform ``serve``, so served-latency history
-gets the same longitudinal view as kernel perf.  Suite and load
-artifacts mix freely on one command line — rows a run lacks show
-``-`` as usual.
+gets the same longitudinal view as kernel perf.  ``ompdart-batch-perf/``
+artifacts (the ``ompdart bench-batch`` throughput harness) land as
+per-file wall time under the pseudo-platform ``batch``.  All three
+kinds mix freely on one command line — rows a run lacks show ``-``
+as usual.
 """
 
 from __future__ import annotations
@@ -50,11 +52,11 @@ def load_artifact(path: str) -> dict[str, Any] | None:
     payload = json.loads(text)
     schema = payload.get("schema", "") if isinstance(payload, dict) else ""
     if not str(schema).startswith(
-        ("ompdart-suite-perf/", "ompdart-load-perf/")
+        ("ompdart-suite-perf/", "ompdart-load-perf/", "ompdart-batch-perf/")
     ):
         raise ValueError(
-            f"{path} is not an ompdart-suite-perf or ompdart-load-perf "
-            f"artifact (schema={schema!r})"
+            f"{path} is not an ompdart-suite-perf, ompdart-load-perf or "
+            f"ompdart-batch-perf artifact (schema={schema!r})"
         )
     return payload
 
@@ -81,11 +83,35 @@ def _load_cells(payload: dict[str, Any]) -> dict[tuple[str, str, str], float]:
     return cells
 
 
+def _batch_cells(payload: dict[str, Any]) -> dict[tuple[str, str, str], float]:
+    """Per-file wall cells of one ``ompdart-batch-perf`` artifact.
+
+    Throughput is folded as *seconds per file* under the ``batch``
+    pseudo-platform so the shared renderer's ms scaling (and the
+    smaller-is-better reading of every other row) applies unchanged.
+    """
+    cells: dict[tuple[str, str, str], float] = {}
+    count = payload.get("count")
+    wall = payload.get("wall_s")
+    if (
+        isinstance(count, int)
+        and count > 0
+        and isinstance(wall, (int, float))
+        and not isinstance(wall, bool)
+    ):
+        name = f"synth-{count}@{payload.get('seed', 0)}"
+        variant = f"j{payload.get('jobs', 1)}"
+        cells[("batch", name, variant)] = float(wall) / count
+    return cells
+
+
 def _cells(payload: dict[str, Any]) -> dict[tuple[str, str, str], float]:
     """(platform, benchmark, variant) -> sim_wall_s for one artifact."""
     cells: dict[tuple[str, str, str], float] = {}
     if str(payload.get("schema", "")).startswith("ompdart-load-perf/"):
         return _load_cells(payload)
+    if str(payload.get("schema", "")).startswith("ompdart-batch-perf/"):
+        return _batch_cells(payload)
     results = payload.get("results")
     if not isinstance(results, dict):
         return cells
@@ -165,9 +191,10 @@ def history_rows(
         if p not in platforms:
             platforms.append(p)
     for p in platforms:
-        if p == "serve":
-            # Latency percentiles don't sum into a meaningful total the
-            # way per-benchmark wall times do.
+        if p in ("serve", "batch"):
+            # Latency percentiles and per-file walls over differently
+            # sized corpora don't sum into a meaningful total the way
+            # per-benchmark wall times do.
             continue
         totals: list[float | None] = []
         for cells in per_run:

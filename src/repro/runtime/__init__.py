@@ -1,28 +1,13 @@
-"""Simulated OpenMP offload runtime (GPU + CUDA + nsys substitute)."""
+"""Simulated OpenMP offload runtime (GPU + CUDA + nsys substitute).
 
-from .builtins import LCG, c_printf  # noqa: F401
-from .costmodel import A100_PCIE4, CostModel  # noqa: F401
-from .device import DeviceDataEnvironment, DeviceRuntimeError  # noqa: F401
-from .platform import (  # noqa: F401
-    DEFAULT_PLATFORM,
-    PLATFORMS,
-    Platform,
-    get_platform,
-    list_platforms,
-    platform_table,
-    register_platform,
-    resolve_platform,
-)
-from .interp import (  # noqa: F401
-    Interpreter,
-    Machine,
-    SimulationError,
-    SimulationResult,
-    run_simulation,
-)
-from .profiler import MemcpyRecord, Profiler, TransferStats  # noqa: F401
-from .values import NULL, ArrayObject, Cell, Pointer, StructObject  # noqa: F401
-from .vectorize import try_vectorize  # noqa: F401
+The re-exports below resolve lazily (PEP 562): ``repro.runtime`` sits
+on the CLI's platform-flag path, and an eager ``from .interp import
+...`` would drag numpy and the whole simulator into every cold start —
+including ``ompdart --version`` and parse-only runs, whose startup
+budget is pinned by tests.  Importing a *submodule* directly (``from
+repro.runtime.platform import DEFAULT_PLATFORM``) only executes this
+docstring and the table, never the siblings.
+"""
 
 __all__ = [
     "LCG",
@@ -54,3 +39,52 @@ __all__ = [
     "NULL",
     "try_vectorize",
 ]
+
+#: public name -> the submodule that defines it.
+_EXPORTS = {
+    "LCG": "builtins",
+    "c_printf": "builtins",
+    "A100_PCIE4": "costmodel",
+    "CostModel": "costmodel",
+    "DEFAULT_PLATFORM": "platform",
+    "PLATFORMS": "platform",
+    "Platform": "platform",
+    "get_platform": "platform",
+    "list_platforms": "platform",
+    "platform_table": "platform",
+    "register_platform": "platform",
+    "resolve_platform": "platform",
+    "DeviceDataEnvironment": "device",
+    "DeviceRuntimeError": "device",
+    "Interpreter": "interp",
+    "Machine": "interp",
+    "SimulationError": "interp",
+    "SimulationResult": "interp",
+    "run_simulation": "interp",
+    "MemcpyRecord": "profiler",
+    "Profiler": "profiler",
+    "TransferStats": "profiler",
+    "NULL": "values",
+    "ArrayObject": "values",
+    "Cell": "values",
+    "Pointer": "values",
+    "StructObject": "values",
+    "try_vectorize": "vectorize",
+}
+
+
+def __getattr__(name: str):
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(
+            f"module 'repro.runtime' has no attribute {name!r}"
+        )
+    from importlib import import_module
+
+    value = getattr(import_module(f".{submodule}", __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -74,6 +74,10 @@ class BatchOutcome:
     changed: bool = False
     #: pass name -> "memory" | "disk" | "store" for cache hits.
     cache_origins: dict[str, str] = field(default_factory=dict)
+    #: Filename of the representative input whose pipeline run this
+    #: outcome was fanned out from (batch content-hash pre-dedup);
+    #: None when this input ran itself.
+    deduped_from: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-safe rendering (the HTTP front returns this)."""
@@ -89,6 +93,7 @@ class BatchOutcome:
             "cache_events": dict(self.cache_events),
             "cache_origins": dict(self.cache_origins),
             "changed": self.changed,
+            "deduped_from": self.deduped_from,
         }
 
 
@@ -286,6 +291,7 @@ def dispatch_map(
     store_name: str | None = None,
     measure_baseline: bool = False,
     store_url: str | None = None,
+    chunksize: int = 1,
 ) -> list[Any]:
     """Order-preserving map — the dispatch seam every driver shares.
 
@@ -300,6 +306,13 @@ def dispatch_map(
     that never says which input failed.  The labelling happens on the
     driver side (result order identifies the faulty item), so ``label``
     need not be picklable.
+
+    ``chunksize`` batches IPC: at 10k-item scale, per-item submission
+    dominates supervisor overhead, so callers with many small jobs pass
+    a larger chunk.  With chunks, a raised exception is attributed to
+    the first unfilled slot — its chunk's first item — which is why
+    job functions that can fail per-item (``transform_one``) report
+    failure in-band instead of raising.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
@@ -322,7 +335,7 @@ def dispatch_map(
         store_url=store_url,
     ) as pool:
         results = []
-        result_iter = pool.map(fn, items)
+        result_iter = pool.map(fn, items, chunksize=max(1, chunksize))
         while True:
             try:
                 results.append(next(result_iter))

@@ -178,6 +178,10 @@ def test_codegen_rows_hit_cross_worker_store(tmp_path):
         jobs=2,
         cache_dir=str(cache_dir),
         run_stats=run_stats,
+        # Submit-time dedup would collapse the duplicate paths before
+        # they ever reach a worker; disable it so the second copies
+        # exercise the cross-worker store, which is what this test pins.
+        dedup=False,
     )
     assert all(o.ok for o in outcomes)
     if run_stats.store is None:

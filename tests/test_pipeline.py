@@ -13,6 +13,7 @@ from repro.core import OMPDart, ToolOptions, transform_source
 from repro.diagnostics import ToolError
 from repro.pipeline import (
     ArtifactCache,
+    BatchRunStats,
     DEFAULT_PASSES,
     PassManager,
     transform_batch,
@@ -193,13 +194,40 @@ class TestBatchDriver:
             o.output_source for o in runs[1]
         ]
 
-    def test_serial_batch_shares_cache(self):
+    def test_serial_batch_dedups_identical_content(self):
+        # Identical content dispatches once; the duplicates share the
+        # representative's result instead of re-running the pipeline
+        # (they used to re-run it per copy, cache hits or not).
         items = [(SRC, "same.c")] * 3
         outcomes = transform_batch(items, jobs=1)
         assert all(o.ok for o in outcomes)
         assert set(outcomes[0].cache_events.values()) == {"miss"}
-        assert set(outcomes[1].cache_events.values()) == {"hit"}
-        assert set(outcomes[2].cache_events.values()) == {"hit"}
+        assert outcomes[1] is outcomes[0]
+        assert outcomes[2] is outcomes[0]
+
+    def test_serial_batch_dedups_across_filenames(self):
+        items = [(SRC, "a.c"), (SRC, "b.c"), (SRC, "c.c")]
+        stats = BatchRunStats()
+        outcomes = transform_batch(items, jobs=1, run_stats=stats)
+        assert all(o.ok for o in outcomes)
+        assert stats.unique_inputs == 1
+        assert stats.deduped_inputs == 2
+        assert outcomes[0].deduped_from is None
+        assert [o.filename for o in outcomes] == ["a.c", "b.c", "c.c"]
+        assert outcomes[1].deduped_from == "a.c"
+        assert outcomes[2].deduped_from == "a.c"
+        assert outcomes[1].output_source == outcomes[0].output_source
+        # Only the representative actually ran the pipeline.
+        assert set(outcomes[0].cache_events.values()) == {"miss"}
+        assert outcomes[1].cache_events == outcomes[0].cache_events
+
+    def test_dedup_retags_diagnostics_with_duplicate_filename(self):
+        items = [(BAD_SRC, "first.c"), (BAD_SRC, "second.c")]
+        first, second = transform_batch(items, jobs=1)
+        assert not first.ok and not second.ok
+        assert second.deduped_from == "first.c"
+        assert all(d.startswith("second.c:") for d in second.diagnostics)
+        assert all(d.startswith("first.c:") for d in first.diagnostics)
 
     def test_unchanged_input_not_marked_changed(self):
         # No kernels -> rewrite equals input -> changed must be False.

@@ -134,11 +134,15 @@ class TestBatchCrossWorkerSharing:
             p.write_text(BENCH_SRC % i)
             paths.append(str(p))
         run_stats = BatchRunStats()
+        # dedup=False forces every copy through a worker: this test is
+        # about the *store* tier picking up mid-run duplicates, which
+        # submit-time pre-dedup would otherwise collapse first.
         outcomes = transform_paths(
             paths + paths,  # duplicates trail the originals
             jobs=4,
             cache_dir=str(cache_dir),
             run_stats=run_stats,
+            dedup=False,
         )
         assert all(o.ok for o in outcomes)
         # Deterministic halves: duplicate outcomes mirror the originals.
